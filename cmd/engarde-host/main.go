@@ -1,0 +1,132 @@
+// Command engarde-host runs the cloud-provider side of EnGarde: it boots
+// the (emulated) SGX platform, exports the platform attestation key, and
+// serves the provisioning protocol — one fresh EnGarde enclave per
+// connection.
+//
+// Usage:
+//
+//	engarde-host -listen 127.0.0.1:7779 \
+//	             -policies stack-protector,ifcc \
+//	             -attest-key-out /tmp/platform.pub
+//
+// Clients connect with engarde-client, verify the enclave's attestation
+// quote against the expected EnGarde measurement, and stream their
+// executables over the encrypted channel. The host learns only the
+// verdict and the executable-page list.
+package main
+
+import (
+	"crypto/x509"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"engarde"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7779", "address to serve the provisioning protocol on")
+	policies := flag.String("policies", "stack-protector", "comma-separated policy list (musl, musl-sp, stack-protector, ifcc, no-forbidden, asan)")
+	keyOut := flag.String("attest-key-out", "", "write the platform attestation public key (PEM) here")
+	heapPages := flag.Int("heap-pages", 5000, "enclave heap pages (paper default 5000)")
+	clientPages := flag.Int("client-pages", 1024, "enclave client-region pages")
+	sgxv1 := flag.Bool("sgxv1", false, "emulate SGX version 1 (insecure; for the AsyncShock demo)")
+	once := flag.Bool("once", false, "serve a single connection and exit")
+	flag.Parse()
+
+	if err := run(*listen, *policies, *keyOut, *heapPages, *clientPages, *sgxv1, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "engarde-host:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, policyList, keyOut string, heapPages, clientPages int, sgxv1, once bool) error {
+	pols, err := engarde.ParsePolicies(policyList)
+	if err != nil {
+		return err
+	}
+	version := engarde.SGXv2
+	if sgxv1 {
+		version = engarde.SGXv1
+		fmt.Println("WARNING: SGXv1 mode; W^X is enforced only in host page tables (paper §3)")
+	}
+	provider, err := engarde.NewProvider(engarde.ProviderConfig{Version: version})
+	if err != nil {
+		return err
+	}
+
+	if keyOut != "" {
+		der, err := x509.MarshalPKIXPublicKey(provider.AttestationPublicKey())
+		if err != nil {
+			return err
+		}
+		block := pem.EncodeToMemory(&pem.Block{Type: "PUBLIC KEY", Bytes: der})
+		if err := os.WriteFile(keyOut, block, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("platform attestation key written to", keyOut)
+	}
+
+	expected, err := engarde.ExpectedMeasurement(version, engarde.EnclaveConfig{
+		HeapPages: heapPages, ClientPages: clientPages,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("EnGarde enclave measurement: %x\n", expected[:])
+	fmt.Printf("policies: %v\n", pols.Names())
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Println("serving on", ln.Addr())
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		if once {
+			serve(provider, pols, heapPages, clientPages, conn)
+			return nil
+		}
+		// Each tenant gets its own enclave; connections are independent.
+		go serve(provider, pols, heapPages, clientPages, conn)
+	}
+}
+
+func serve(provider *engarde.Provider, pols *engarde.PolicySet, heapPages, clientPages int, conn net.Conn) {
+	defer conn.Close()
+	fmt.Println("connection from", conn.RemoteAddr())
+
+	encl, err := provider.CreateEnclave(engarde.EnclaveConfig{
+		Policies: pols, HeapPages: heapPages, ClientPages: clientPages,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "  creating enclave:", err)
+		return
+	}
+	rep, err := encl.ServeProvision(conn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "  provisioning:", err)
+		return
+	}
+	if rep.Compliant {
+		fmt.Printf("  COMPLIANT: %d instructions checked, %d executable pages, entry %#x\n",
+			rep.NumInsts, len(rep.ExecPages), rep.Entry)
+		if _, err := encl.Enter(); err != nil {
+			fmt.Fprintln(os.Stderr, "  entering enclave:", err)
+			return
+		}
+		fmt.Println("  control transferred to client code")
+	} else {
+		fmt.Printf("  REJECTED: %s\n", rep.Reason)
+	}
+	for phase, cyc := range rep.Phases {
+		fmt.Printf("  %-24s %15d cycles\n", phase.String()+":", cyc)
+	}
+}

@@ -1,0 +1,233 @@
+// Package engarde is a from-scratch reproduction of "EnGarde:
+// Mutually-Trusted Inspection of SGX Enclaves" (Nguyen & Ganapathy,
+// ICDCS 2017) as a reusable Go library.
+//
+// EnGarde lets a cloud provider and a cloud client — who do not trust each
+// other — agree on policies that the client's enclave code must satisfy.
+// The provider creates a fresh enclave provisioned with the EnGarde
+// bootstrap (inspectable by both parties, attested via SGX), the client
+// provisions its executable over an end-to-end encrypted channel into the
+// enclave, and EnGarde statically checks the code against the agreed
+// policies before loading it. The provider learns exactly one bit
+// (compliant or not) plus the executable-page layout; the client's code
+// never leaves the enclave in plaintext; and no runtime overhead remains
+// after provisioning.
+//
+// The package is organized around two roles:
+//
+//   - Provider: owns the (emulated) SGX device and its quoting enclave,
+//     creates EnGarde enclaves, and serves the provisioning protocol.
+//   - Client: verifies the enclave's attestation quote against the
+//     expected EnGarde measurement, wraps a session key, and streams its
+//     executable.
+//
+// The SGX substrate is a software emulation (internal/sgx) following the
+// paper's own methodology — the paper, too, ran on an emulator (OpenSGX)
+// with a cycle model rather than on silicon. See DESIGN.md for the full
+// substitution map.
+package engarde
+
+import (
+	"crypto/rsa"
+	"fmt"
+
+	"engarde/internal/attest"
+	"engarde/internal/core"
+	"engarde/internal/cycles"
+	"engarde/internal/policy"
+	"engarde/internal/policy/asan"
+	"engarde/internal/policy/ifcc"
+	"engarde/internal/policy/liblink"
+	"engarde/internal/policy/noforbidden"
+	"engarde/internal/policy/stackprot"
+	"engarde/internal/sgx"
+	"engarde/internal/toolchain"
+)
+
+// Re-exported core types, so downstream users interact with one package.
+type (
+	// Policy is one pluggable compliance check (paper §3).
+	Policy = policy.Module
+	// PolicySet is the ordered module list both parties agreed on.
+	PolicySet = policy.Set
+	// Violation reports why content was rejected.
+	Violation = policy.Violation
+	// Report is the outcome of a provisioning attempt.
+	Report = core.Report
+	// Measurement is an enclave measurement (MRENCLAVE).
+	Measurement = sgx.Measurement
+	// Quote is a signed attestation statement.
+	Quote = attest.Quote
+	// SGXVersion selects SGX v1/v2 semantics.
+	SGXVersion = sgx.Version
+)
+
+// SGX instruction-set versions. EnGarde requires V2 for security (§3); V1
+// is provided to demonstrate the attack that motivates the requirement.
+const (
+	SGXv1 = sgx.V1
+	SGXv2 = sgx.V2
+)
+
+// NewPolicySet builds a policy set.
+func NewPolicySet(mods ...Policy) *PolicySet { return policy.NewSet(mods...) }
+
+// MuslLinkingPolicy returns the paper's first policy module: the client's
+// executable must be linked against the approved musl-libc build (§5,
+// Figure 3). The hash database is derived from the provider's approved
+// libc build; stackProtected selects the canary-instrumented libc variant.
+func MuslLinkingPolicy(version string, stackProtected bool) (Policy, error) {
+	db, err := toolchain.MuslHashDB(version, stackProtected)
+	if err != nil {
+		return nil, fmt.Errorf("engarde: building musl hash database: %w", err)
+	}
+	return liblink.New("musl-libc v"+version, db), nil
+}
+
+// MuslApprovedVersion is the library version the paper's provider demands.
+const MuslApprovedVersion = toolchain.MuslV105
+
+// StackProtectorPolicy returns the paper's second policy module: every
+// function must carry Clang -fstack-protector-all instrumentation (§5,
+// Figure 4).
+func StackProtectorPolicy() Policy { return stackprot.New() }
+
+// IFCCPolicy returns the paper's third policy module: every indirect call
+// must carry LLVM IFCC jump-table guards (§5, Figure 5).
+func IFCCPolicy() Policy { return ifcc.New() }
+
+// NoForbiddenInstructionsPolicy rejects executables containing SYSCALL,
+// INT and other instructions that cannot legally execute inside an enclave
+// (§2) — a fourth module demonstrating the pluggable architecture.
+func NoForbiddenInstructionsPolicy() Policy { return noforbidden.New() }
+
+// ASanPolicy verifies AddressSanitizer-style shadow-check instrumentation
+// on every frame store — the "other tools, such as Google's
+// AddressSanitizer" customization §5 suggests. Approved-library functions
+// are exempt (their exact bytes are pinned by the library-linking policy
+// instead).
+func ASanPolicy() Policy { return asan.New(toolchain.MuslFunctionNames()...) }
+
+// EnclaveConfig configures one EnGarde enclave.
+type EnclaveConfig struct {
+	// Policies both parties agreed on.
+	Policies *PolicySet
+	// HeapPages / ClientPages size the enclave regions (defaults match
+	// the paper's modified OpenSGX: 5000 heap pages).
+	HeapPages   int
+	ClientPages int
+}
+
+// Provider is the cloud provider's side: one SGX machine with its quoting
+// enclave.
+type Provider struct {
+	dev *sgx.Device
+	qe  *attest.QuotingEnclave
+	cfg ProviderConfig
+}
+
+// ProviderConfig configures the provider's SGX platform.
+type ProviderConfig struct {
+	// Version is the SGX generation; default SGXv2.
+	Version SGXVersion
+	// EPCPages is the EPC capacity; default the paper's 32000 pages.
+	EPCPages int
+	// Counter, if set, meters all SGX and EnGarde work.
+	Counter *cycles.Counter
+}
+
+// NewProvider boots an SGX platform: device plus quoting enclave.
+func NewProvider(cfg ProviderConfig) (*Provider, error) {
+	if cfg.Version == 0 {
+		cfg.Version = sgx.V2
+	}
+	if cfg.EPCPages == 0 {
+		cfg.EPCPages = sgx.ModifiedEPCPages
+	}
+	dev, err := sgx.NewDevice(sgx.Config{
+		EPCPages: cfg.EPCPages,
+		Version:  cfg.Version,
+		Counter:  cfg.Counter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	qe, err := attest.NewQuotingEnclave(dev)
+	if err != nil {
+		return nil, err
+	}
+	return &Provider{dev: dev, qe: qe, cfg: cfg}, nil
+}
+
+// AttestationPublicKey is the platform attestation key clients verify
+// quotes against (what Intel's attestation service would vouch for).
+func (p *Provider) AttestationPublicKey() *rsa.PublicKey {
+	return p.qe.AttestationPublicKey()
+}
+
+// Device exposes the underlying SGX device (examples, benches).
+func (p *Provider) Device() *sgx.Device { return p.dev }
+
+// Enclave is one EnGarde-provisioned enclave on a provider platform.
+type Enclave struct {
+	provider *Provider
+	core     *core.EnGarde
+}
+
+// CreateEnclave creates a fresh enclave provisioned with the EnGarde
+// bootstrap and the agreed policy modules.
+func (p *Provider) CreateEnclave(cfg EnclaveConfig) (*Enclave, error) {
+	g, err := core.NewOnDevice(core.Config{
+		Version:     p.cfg.Version,
+		EPCPages:    p.cfg.EPCPages,
+		HeapPages:   cfg.HeapPages,
+		ClientPages: cfg.ClientPages,
+		Policies:    cfg.Policies,
+		Counter:     p.cfg.Counter,
+	}, p.dev)
+	if err != nil {
+		return nil, err
+	}
+	return &Enclave{provider: p, core: g}, nil
+}
+
+// Quote produces the attestation quote binding the enclave measurement and
+// its ephemeral public key.
+func (e *Enclave) Quote() (Quote, error) { return e.core.Quote(e.provider.qe) }
+
+// PublicKeyDER exports the enclave's ephemeral RSA public key.
+func (e *Enclave) PublicKeyDER() ([]byte, error) { return e.core.PublicKeyDER() }
+
+// AcceptSessionKey installs the client's RSA-wrapped AES session key.
+func (e *Enclave) AcceptSessionKey(wrapped []byte) error {
+	return e.core.AcceptSessionKey(wrapped)
+}
+
+// Provision runs the EnGarde pipeline over a plaintext image (in-process
+// use; the network protocol lives in protocol.go).
+func (e *Enclave) Provision(image []byte) (*Report, error) {
+	return e.core.Provision(image)
+}
+
+// Enter transfers control to the provisioned executable.
+func (e *Enclave) Enter() (uint64, error) { return e.core.Enter() }
+
+// Measurement returns the enclave's MRENCLAVE.
+func (e *Enclave) Measurement() Measurement { return e.core.Measurement() }
+
+// Core exposes the underlying core instance (benches, examples).
+func (e *Enclave) Core() *core.EnGarde { return e.core }
+
+// ExpectedMeasurement computes the MRENCLAVE a genuine EnGarde enclave
+// with the given configuration must carry; clients compare quotes against
+// it (both parties can compute it from the inspectable EnGarde code).
+func ExpectedMeasurement(version SGXVersion, cfg EnclaveConfig) (Measurement, error) {
+	if version == 0 {
+		version = sgx.V2
+	}
+	return core.ExpectedMeasurement(core.Config{
+		Version:     version,
+		HeapPages:   cfg.HeapPages,
+		ClientPages: cfg.ClientPages,
+	})
+}

@@ -1,0 +1,84 @@
+package engarde_test
+
+import (
+	"fmt"
+	"log"
+
+	"engarde"
+	"engarde/internal/toolchain"
+)
+
+// Example shows the complete provider-side flow: boot a platform, agree on
+// policies, create an EnGarde enclave, provision a client executable and
+// transfer control.
+func Example() {
+	// The provider boots its (emulated) SGX platform.
+	provider, err := engarde.NewProvider(engarde.ProviderConfig{EPCPages: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Provider and client agreed that all code carries stack protection.
+	enclave, err := provider.CreateEnclave(engarde.EnclaveConfig{
+		Policies:  engarde.NewPolicySet(engarde.StackProtectorPolicy()),
+		HeapPages: 1500, ClientPages: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The client built its application accordingly (the synthetic
+	// toolchain stands in for clang -fstack-protector-all).
+	bin, err := toolchain.Build(toolchain.Config{
+		Name: "app", Seed: 42, NumFuncs: 6, AvgFuncInsts: 40,
+		StackProtector: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := enclave.Provision(bin.Image)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compliant:", report.Compliant)
+
+	if _, err := enclave.Enter(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("running")
+	// Output:
+	// compliant: true
+	// running
+}
+
+// Example_rejection shows the provider-visible outcome when a client
+// submits non-compliant code: one bit and a reason, nothing else.
+func Example_rejection() {
+	provider, err := engarde.NewProvider(engarde.ProviderConfig{EPCPages: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	enclave, err := provider.CreateEnclave(engarde.EnclaveConfig{
+		Policies:  engarde.NewPolicySet(engarde.IFCCPolicy()),
+		HeapPages: 1500, ClientPages: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Indirect calls without IFCC guards.
+	bin, err := toolchain.Build(toolchain.Config{
+		Name: "bad", Seed: 43, NumFuncs: 6, AvgFuncInsts: 40,
+		IndirectRate: 0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := enclave.Provision(bin.Image)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compliant:", report.Compliant)
+	// Output:
+	// compliant: false
+}

@@ -1,0 +1,95 @@
+// Policy gating: the SLA-compliance scenario of the paper's introduction.
+// The provider demands the full agreed policy set (approved musl build +
+// stack protection + IFCC); a series of client binaries — compliant,
+// missing instrumentation, linked against the wrong libc version, stripped,
+// or with data smuggled into code pages — are submitted, and EnGarde's
+// verdicts are tabulated.
+//
+//	go run ./examples/policy-gating
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"engarde"
+	"engarde/internal/toolchain"
+)
+
+type attempt struct {
+	name   string
+	cfg    toolchain.Config
+	expect bool // expected verdict
+}
+
+func main() {
+	musl, err := engarde.MuslLinkingPolicy(engarde.MuslApprovedVersion, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policies := engarde.NewPolicySet(musl, engarde.StackProtectorPolicy(), engarde.IFCCPolicy())
+
+	provider, err := engarde.NewProvider(engarde.ProviderConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := toolchain.Config{
+		Name: "tenant", Seed: 9,
+		NumFuncs: 10, AvgFuncInsts: 70,
+		LibcCallRate: 0.05, IndirectRate: 0.02,
+		StackProtector: true, IFCC: true,
+	}
+
+	attempts := []attempt{
+		{name: "fully instrumented (compliant)", cfg: base, expect: true},
+		{name: "missing stack protector", cfg: with(base, func(c *toolchain.Config) { c.StackProtector = false }), expect: false},
+		{name: "missing IFCC guards", cfg: with(base, func(c *toolchain.Config) { c.IFCC = false }), expect: false},
+		{name: "linked against musl " + toolchain.MuslV110, cfg: with(base, func(c *toolchain.Config) { c.MuslVersion = toolchain.MuslV110 }), expect: false},
+		{name: "stripped symbol table", cfg: with(base, func(c *toolchain.Config) { c.Strip = true }), expect: false},
+		{name: "data mixed into code pages", cfg: with(base, func(c *toolchain.Config) { c.MixedCodeData = true }), expect: false},
+	}
+
+	fmt.Printf("%-38s %-10s %s\n", "client submission", "verdict", "reason")
+	allAsExpected := true
+	for _, a := range attempts {
+		enclave, err := provider.CreateEnclave(engarde.EnclaveConfig{
+			Policies: policies, HeapPages: 2500, ClientPages: 512,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bin, err := toolchain.Build(a.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := enclave.Provision(bin.Image)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "REJECTED"
+		if report.Compliant {
+			verdict = "ACCEPTED"
+		}
+		fmt.Printf("%-38s %-10s %s\n", a.name, verdict, truncate(report.Reason, 70))
+		if report.Compliant != a.expect {
+			allAsExpected = false
+		}
+	}
+	if !allAsExpected {
+		log.Fatal("some verdicts did not match expectations")
+	}
+	fmt.Println("\nall verdicts as expected ✓")
+}
+
+func with(c toolchain.Config, mutate func(*toolchain.Config)) toolchain.Config {
+	mutate(&c)
+	return c
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

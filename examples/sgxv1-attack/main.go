@@ -1,0 +1,90 @@
+// SGXv1 attack demo: why EnGarde requires SGX version 2 (paper §3).
+//
+// On SGXv1 hardware, EPC page permissions cannot be changed at the
+// hardware level, so EnGarde's W^X lock on provisioned code pages lives
+// only in the host's page tables — which the host OS itself controls. A
+// malicious or compromised host can flip the writable bit back after the
+// policy check and inject code (the AsyncShock-style attack, [39] in the
+// paper). On SGXv2, the EPCM enforces the restricted permissions on every
+// enclave access, so the same attack fails.
+//
+//	go run ./examples/sgxv1-attack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"engarde"
+	"engarde/internal/hostos"
+	"engarde/internal/toolchain"
+)
+
+func main() {
+	bin, err := toolchain.Build(toolchain.Config{
+		Name: "victim", Seed: 21, NumFuncs: 6, AvgFuncInsts: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, version := range []engarde.SGXVersion{engarde.SGXv1, engarde.SGXv2} {
+		fmt.Printf("=== %v ===\n", version)
+		injected := attemptInjection(version, bin.Image)
+		if injected {
+			fmt.Println("ATTACK SUCCEEDED: host rewrote a checked code page after provisioning")
+		} else {
+			fmt.Println("attack blocked: EPCM denies the write regardless of page tables")
+		}
+		fmt.Println()
+		if version == engarde.SGXv1 && !injected {
+			log.Fatal("expected the attack to succeed on SGXv1")
+		}
+		if version == engarde.SGXv2 && injected {
+			log.Fatal("expected the attack to fail on SGXv2")
+		}
+	}
+	fmt.Println("conclusion: EnGarde's post-check code-injection lock is binding only on SGXv2 (paper §3)")
+}
+
+// attemptInjection provisions the binary and then plays the malicious
+// host: flip the page-table permissions of the first provisioned code page
+// back to writable and try to overwrite the checked code.
+func attemptInjection(version engarde.SGXVersion, image []byte) bool {
+	provider, err := engarde.NewProvider(engarde.ProviderConfig{Version: version})
+	if err != nil {
+		log.Fatal(err)
+	}
+	enclave, err := provider.CreateEnclave(engarde.EnclaveConfig{
+		HeapPages: 2500, ClientPages: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := enclave.Provision(image)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !report.Compliant {
+		log.Fatalf("unexpected rejection: %s", report.Reason)
+	}
+	codePage := report.ExecPages[0]
+	g := enclave.Core()
+
+	// Sanity: with EnGarde's W^X in place, the write faults on both
+	// versions.
+	if err := g.Process().EnclaveWrite(g.Enclave(), codePage, []byte{0xCC}); err == nil {
+		log.Fatal("W^X not in effect immediately after provisioning")
+	}
+	fmt.Printf("provisioned: %d exec pages locked r-x; direct write correctly faults\n", len(report.ExecPages))
+
+	// The malicious host flips its own page tables.
+	if err := g.Process().AS.Protect(codePage, hostos.PermR|hostos.PermW|hostos.PermX); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("malicious host flipped PTE of %#x to rwx\n", codePage)
+
+	// Injection attempt: write an int3 over checked code.
+	err = g.Process().EnclaveWrite(g.Enclave(), codePage, []byte{0xCC})
+	return err == nil
+}

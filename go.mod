@@ -1,0 +1,3 @@
+module engarde
+
+go 1.22

@@ -1,0 +1,130 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+
+	"engarde/internal/sgx"
+)
+
+func buildAttestedEnclave(t *testing.T, v sgx.Version) (*sgx.Device, *sgx.Enclave, *QuotingEnclave) {
+	t.Helper()
+	dev, err := sgx.NewDevice(sgx.Config{EPCPages: 16, Version: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := dev.ECreate(0x10000, sgx.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.EAdd(e, 0x10000, sgx.PermR|sgx.PermX, sgx.PageREG, []byte("loader code")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.EExtendPage(e, 0x10000); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.EInit(e); err != nil {
+		t.Fatal(err)
+	}
+	qe, err := NewQuotingEnclave(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, e, qe
+}
+
+func TestQuoteVerify(t *testing.T) {
+	_, e, qe := buildAttestedEnclave(t, sgx.V2)
+	bind := BindPublicKey([]byte("fake-der-public-key"))
+	q, err := qe.Quote(e, bind)
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+	if err := VerifyQuote(q, qe.AttestationPublicKey(), e.Measurement(), bind); err != nil {
+		t.Errorf("VerifyQuote: %v", err)
+	}
+}
+
+func TestQuoteRejectsWrongMeasurement(t *testing.T) {
+	_, e, qe := buildAttestedEnclave(t, sgx.V2)
+	bind := BindPublicKey([]byte("pk"))
+	q, err := qe.Quote(e, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := e.Measurement()
+	wrong[0] ^= 1
+	err = VerifyQuote(q, qe.AttestationPublicKey(), wrong, bind)
+	if !errors.Is(err, ErrWrongMeasurement) {
+		t.Errorf("VerifyQuote = %v, want ErrWrongMeasurement", err)
+	}
+}
+
+func TestQuoteRejectsWrongBinding(t *testing.T) {
+	// A man-in-the-middle substituting its own RSA key must be caught by
+	// the report-data binding.
+	_, e, qe := buildAttestedEnclave(t, sgx.V2)
+	q, err := qe.Quote(e, BindPublicKey([]byte("enclave-key")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyQuote(q, qe.AttestationPublicKey(), e.Measurement(), BindPublicKey([]byte("mitm-key")))
+	if !errors.Is(err, ErrWrongReportData) {
+		t.Errorf("VerifyQuote = %v, want ErrWrongReportData", err)
+	}
+}
+
+func TestQuoteRejectsTampering(t *testing.T) {
+	_, e, qe := buildAttestedEnclave(t, sgx.V2)
+	bind := BindPublicKey([]byte("pk"))
+	q, err := qe.Quote(e, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte of the quoted measurement: signature must fail before
+	// the measurement comparison can be confused.
+	q.Report.MREnclave[3] ^= 0xFF
+	err = VerifyQuote(q, qe.AttestationPublicKey(), q.Report.MREnclave, bind)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Errorf("VerifyQuote = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestQuoteRejectsForeignPlatformKey(t *testing.T) {
+	_, e, qe := buildAttestedEnclave(t, sgx.V2)
+	bind := BindPublicKey([]byte("pk"))
+	q, err := qe.Quote(e, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev2, err := sgx.NewDevice(sgx.Config{EPCPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe2, err := NewQuotingEnclave(dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyQuote(q, qe2.AttestationPublicKey(), e.Measurement(), bind)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Errorf("VerifyQuote under wrong platform key = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestQuoteUninitializedEnclave(t *testing.T) {
+	dev, err := sgx.NewDevice(sgx.Config{EPCPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := dev.ECreate(0x10000, sgx.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe, err := NewQuotingEnclave(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qe.Quote(e, [sgx.ReportDataSize]byte{}); err == nil {
+		t.Error("quoting an uninitialized enclave must fail")
+	}
+}

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"engarde/internal/workload"
+)
+
+// ratio bounds accepted for "shape holds" (paper-vs-measured).
+const (
+	loBound = 0.5
+	hiBound = 2.0
+)
+
+func runExp(t *testing.T, exp Experiment) []Row {
+	t.Helper()
+	rows, err := RunAll(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows, want 7", len(rows))
+	}
+	t.Log("\n" + FormatTable(exp, rows))
+	return rows
+}
+
+func checkRatios(t *testing.T, exp Experiment, rows []Row) {
+	t.Helper()
+	paper := PaperRows(exp)
+	for _, r := range rows {
+		p, ok := paper[r.Benchmark]
+		if !ok {
+			t.Errorf("no paper reference for %s", r.Benchmark)
+			continue
+		}
+		check := func(col string, m, q uint64) {
+			ratio := float64(m) / float64(q)
+			if ratio < loBound || ratio > hiBound {
+				t.Errorf("%v %s %s: measured/paper = %.2f outside [%.1f, %.1f]",
+					exp, r.Benchmark, col, ratio, loBound, hiBound)
+			}
+		}
+		check("#Inst", uint64(r.NumInsts), uint64(p.NumInsts))
+		check("PolicyChecking", r.PolicyChecking, p.PolicyChecking)
+		check("Load+Reloc", r.LoadReloc, p.LoadReloc)
+		// Disassembly gets a looser band: the paper's own numbers for the
+		// same benchmark vary ~18% across its three tables, and its Nginx
+		// row is a per-instruction outlier (2648 cyc/inst vs ~1400 for
+		// every other benchmark).
+		ratio := float64(r.Disassembly) / float64(p.Disassembly)
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("%v %s Disassembly: ratio %.2f outside [0.4, 2.5]", exp, r.Benchmark, ratio)
+		}
+	}
+}
+
+func TestFig3ShapeHolds(t *testing.T) {
+	rows := runExp(t, Fig3)
+	checkRatios(t, Fig3, rows)
+	// Headline shape: Nginx's check is by far the most expensive; every
+	// benchmark's policy cost exceeds its loading cost by orders of
+	// magnitude.
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+	}
+	for _, r := range rows {
+		if r.Benchmark == "Nginx" {
+			continue
+		}
+		if byName["Nginx"].PolicyChecking <= r.PolicyChecking {
+			t.Errorf("Nginx (%d) should dominate %s (%d) in Figure 3",
+				byName["Nginx"].PolicyChecking, r.Benchmark, r.PolicyChecking)
+		}
+	}
+	for _, r := range rows {
+		if r.PolicyChecking < 1000*r.LoadReloc {
+			t.Errorf("%s: policy cost %d not ≫ loading cost %d", r.Benchmark, r.PolicyChecking, r.LoadReloc)
+		}
+	}
+}
+
+func TestFig4ShapeHolds(t *testing.T) {
+	rows := runExp(t, Fig4)
+	checkRatios(t, Fig4, rows)
+	// The paper's signature inversion: 401.bzip2 costs MORE than Nginx
+	// despite having an order of magnitude fewer instructions, because the
+	// per-function pattern scan is superlinear in function size.
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+	}
+	bz, ng := byName["401.bzip2"], byName["Nginx"]
+	if bz.NumInsts*5 > ng.NumInsts {
+		t.Fatalf("precondition broken: bzip2 (%d) should be ≫ smaller than nginx (%d)", bz.NumInsts, ng.NumInsts)
+	}
+	if bz.PolicyChecking <= ng.PolicyChecking {
+		t.Errorf("Figure 4 inversion lost: bzip2 %d ≤ nginx %d",
+			bz.PolicyChecking, ng.PolicyChecking)
+	}
+}
+
+func TestFig5ShapeHolds(t *testing.T) {
+	rows := runExp(t, Fig5)
+	checkRatios(t, Fig5, rows)
+	// IFCC checking is cheap and near-uniform per instruction: max/min
+	// per-instruction cost stays within a small band (paper: 70-91
+	// cycles/inst).
+	lo, hi := 1e18, 0.0
+	for _, r := range rows {
+		per := float64(r.PolicyChecking) / float64(r.NumInsts)
+		if per < lo {
+			lo = per
+		}
+		if per > hi {
+			hi = per
+		}
+	}
+	if hi/lo > 2.0 {
+		t.Errorf("per-instruction IFCC cost spread %.1f–%.1f exceeds 2x", lo, hi)
+	}
+	// And it is orders of magnitude cheaper than the library check.
+	fig3Row, err := Run(Fig3, mustSpec(t, "429.mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fig5mcf Row
+	for _, r := range rows {
+		if r.Benchmark == "429.mcf" {
+			fig5mcf = r
+		}
+	}
+	if fig5mcf.PolicyChecking*20 > fig3Row.PolicyChecking {
+		t.Errorf("IFCC check (%d) should be ≫ cheaper than liblink (%d)",
+			fig5mcf.PolicyChecking, fig3Row.PolicyChecking)
+	}
+}
+
+func mustSpec(t *testing.T, name string) workload.Spec {
+	t.Helper()
+	s, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDisassemblyScalesWithSize(t *testing.T) {
+	rows := runExp(t, Fig5)
+	// Disassembly cost must be monotone in instruction count.
+	for _, a := range rows {
+		for _, b := range rows {
+			if a.NumInsts < b.NumInsts && a.Disassembly >= b.Disassembly {
+				t.Errorf("disassembly not monotone: %s (%d inst, %d cyc) vs %s (%d inst, %d cyc)",
+					a.Benchmark, a.NumInsts, a.Disassembly,
+					b.Benchmark, b.NumInsts, b.Disassembly)
+			}
+		}
+	}
+}
+
+func TestScalingShapes(t *testing.T) {
+	// Size sweep: disassembly per-instruction cost flat; stack-protection
+	// per-instruction cost strictly growing with function size.
+	points, err := RunSizeScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 3 {
+		t.Fatal("sweep too short")
+	}
+	var prevSP float64
+	for i, p := range points {
+		dis := float64(p.Disasm) / float64(p.NumInsts)
+		sp := float64(p.Stackprot) / float64(p.NumInsts)
+		if i > 0 {
+			first := float64(points[0].Disasm) / float64(points[0].NumInsts)
+			if dis < first*0.95 || dis > first*1.05 {
+				t.Errorf("disassembly per-inst not flat: %.0f vs %.0f", dis, first)
+			}
+			if sp <= prevSP {
+				t.Errorf("stackprot per-inst not growing: %.0f after %.0f (avg size %d)",
+					sp, prevSP, p.AvgFuncInsts)
+			}
+		}
+		prevSP = sp
+	}
+	// Superlinearity is strong: the largest-function point must cost
+	// several times the smallest per instruction.
+	firstSP := float64(points[0].Stackprot) / float64(points[0].NumInsts)
+	lastSP := float64(points[len(points)-1].Stackprot) / float64(points[len(points)-1].NumInsts)
+	if lastSP < 4*firstSP {
+		t.Errorf("superlinearity too weak: %.0f vs %.0f cyc/inst", lastSP, firstSP)
+	}
+
+	// Count sweep: total costs grow monotonically with size.
+	counts, err := RunScaling([]int{25, 100, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i].Disasm <= counts[i-1].Disasm || counts[i].Liblink <= counts[i-1].Liblink {
+			t.Errorf("costs not monotone in size at point %d", i)
+		}
+	}
+	t.Log("\n" + FormatSizeScaling(points) + "\n" + FormatScaling(counts))
+}
+
+func TestFormatTableMentionsPaper(t *testing.T) {
+	rows := []Row{{Benchmark: "Nginx", NumInsts: 1, Disassembly: 2, PolicyChecking: 3, LoadReloc: 4}}
+	out := FormatTable(Fig3, rows)
+	if !strings.Contains(out, "Nginx") || !strings.Contains(out, "ratio") {
+		t.Errorf("table output malformed:\n%s", out)
+	}
+}
+
+func TestExperimentMetadata(t *testing.T) {
+	if Fig3.Variant() != workload.Plain || Fig4.Variant() != workload.StackProtected || Fig5.Variant() != workload.IFCCProtected {
+		t.Error("experiment→variant mapping broken")
+	}
+	for _, e := range []Experiment{Fig3, Fig4, Fig5} {
+		if PaperRows(e) == nil {
+			t.Errorf("%v has no paper reference", e)
+		}
+		if _, err := e.policies(); err != nil {
+			t.Errorf("%v: policies: %v", e, err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"engarde/internal/core"
+	"engarde/internal/cycles"
+	"engarde/internal/policy"
+	"engarde/internal/policy/liblink"
+	"engarde/internal/policy/stackprot"
+	"engarde/internal/sgx"
+	"engarde/internal/toolchain"
+)
+
+// Scaling sweep: a supplementary experiment the paper's evaluation implies
+// but does not tabulate — how EnGarde's one-time provisioning cost scales
+// with client size. Disassembly and loading are linear in the instruction
+// count; the library-linking check scales with call sites × callee size;
+// the stack-protection check is superlinear in function size. The sweep
+// holds the shape knobs fixed and varies only the function count.
+
+// ScalePoint is one row of the sweep.
+type ScalePoint struct {
+	NumFuncs  int
+	NumInsts  int
+	Disasm    uint64
+	Liblink   uint64
+	Stackprot uint64
+	Load      uint64
+}
+
+// RunScaling sweeps client size over the given function counts.
+func RunScaling(funcCounts []int) ([]ScalePoint, error) {
+	db, err := toolchain.MuslHashDB(toolchain.MuslV105, false)
+	if err != nil {
+		return nil, err
+	}
+	dbSP, err := toolchain.MuslHashDB(toolchain.MuslV105, true)
+	if err != nil {
+		return nil, err
+	}
+	_ = dbSP
+
+	out := make([]ScalePoint, 0, len(funcCounts))
+	for _, n := range funcCounts {
+		pt := ScalePoint{NumFuncs: n}
+
+		// Pass 1: plain build, library-linking policy.
+		plain := toolchain.Config{
+			Name: "sweep", Seed: int64(1000 + n),
+			NumFuncs: n, AvgFuncInsts: 120, FuncSizeVariance: 0.4,
+			LibcCallRate: 0.06, AppCallRate: 0.02,
+		}
+		ins, dis, pol, load, err := provisionCost(plain, policy.NewSet(liblink.New("musl", db)))
+		if err != nil {
+			return nil, fmt.Errorf("bench: scaling n=%d (liblink): %w", n, err)
+		}
+		pt.NumInsts, pt.Disasm, pt.Liblink, pt.Load = ins, dis, pol, load
+
+		// Pass 2: protected build, stack-protection policy.
+		sp := plain
+		sp.StackProtector = true
+		_, _, pol2, _, err := provisionCost(sp, policy.NewSet(stackprot.New()))
+		if err != nil {
+			return nil, fmt.Errorf("bench: scaling n=%d (stackprot): %w", n, err)
+		}
+		pt.Stackprot = pol2
+
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func provisionCost(cfg toolchain.Config, pols *policy.Set) (insts int, dis, pol, load uint64, err error) {
+	bin, err := toolchain.Build(cfg)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	ctr := cycles.NewCounter(cycles.DefaultModel())
+	g, err := core.New(core.Config{
+		Version: sgx.V2, EPCPages: 16384,
+		HeapPages: sgx.ModifiedHeapPages, ClientPages: 1024,
+		Policies: pols, Counter: ctr,
+	})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	rep, err := g.Provision(bin.Image)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if !rep.Compliant {
+		return 0, 0, 0, 0, fmt.Errorf("rejected: %s", rep.Reason)
+	}
+	return rep.NumInsts, ctr.Cycles(cycles.PhaseDisasm), ctr.Cycles(cycles.PhasePolicy), ctr.Cycles(cycles.PhaseLoad), nil
+}
+
+// SizePoint is one row of the function-size sweep.
+type SizePoint struct {
+	NumFuncs     int
+	AvgFuncInsts int
+	NumInsts     int
+	Disasm       uint64
+	Stackprot    uint64
+}
+
+// RunSizeScaling holds the total app size roughly constant (~30K body
+// instructions) while concentrating it into ever larger functions — the
+// isolated mechanism behind Figure 4's bzip2-beats-Nginx inversion. The
+// stack-protection check's per-instruction cost must grow with function
+// size while disassembly stays flat.
+func RunSizeScaling() ([]SizePoint, error) {
+	shapes := []struct{ funcs, avg int }{
+		{300, 100}, {150, 200}, {75, 400}, {37, 800}, {18, 1600},
+	}
+	out := make([]SizePoint, 0, len(shapes))
+	for _, sh := range shapes {
+		cfg := toolchain.Config{
+			Name: "sizesweep", Seed: int64(2000 + sh.funcs),
+			NumFuncs: sh.funcs, AvgFuncInsts: sh.avg, FuncSizeVariance: 0.3,
+			LibcCallRate: 0.03, AppCallRate: 0.01,
+			StackProtector: true,
+		}
+		ins, dis, pol, _, err := provisionCost(cfg, policy.NewSet(stackprot.New()))
+		if err != nil {
+			return nil, fmt.Errorf("bench: size sweep %dx%d: %w", sh.funcs, sh.avg, err)
+		}
+		out = append(out, SizePoint{
+			NumFuncs: sh.funcs, AvgFuncInsts: sh.avg,
+			NumInsts: ins, Disasm: dis, Stackprot: pol,
+		})
+	}
+	return out, nil
+}
+
+// FormatSizeScaling renders the function-size sweep.
+func FormatSizeScaling(points []SizePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Function-size sweep at constant total size (the Figure-4 mechanism)\n")
+	fmt.Fprintf(&b, "%7s %9s %9s %22s %22s\n",
+		"#funcs", "avg size", "#insts", "disassembly", "stackprot check")
+	for _, p := range points {
+		per := func(c uint64) string {
+			return fmt.Sprintf("%d (%.0f)", c, float64(c)/float64(p.NumInsts))
+		}
+		fmt.Fprintf(&b, "%7d %9d %9d %22s %22s\n",
+			p.NumFuncs, p.AvgFuncInsts, p.NumInsts, per(p.Disasm), per(p.Stackprot))
+	}
+	return b.String()
+}
+
+// FormatScaling renders the sweep with per-instruction normalization, so
+// the linear-vs-superlinear contrast is visible at a glance.
+func FormatScaling(points []ScalePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Provisioning-cost scaling (supplementary; cycles, cyc/inst in parens)\n")
+	fmt.Fprintf(&b, "%7s %9s %22s %22s %22s %10s\n",
+		"#funcs", "#insts", "disassembly", "liblink check", "stackprot check", "load")
+	for _, p := range points {
+		per := func(c uint64) string {
+			return fmt.Sprintf("%d (%.0f)", c, float64(c)/float64(p.NumInsts))
+		}
+		fmt.Fprintf(&b, "%7d %9d %22s %22s %22s %10d\n",
+			p.NumFuncs, p.NumInsts, per(p.Disasm), per(p.Liblink), per(p.Stackprot), p.Load)
+	}
+	return b.String()
+}

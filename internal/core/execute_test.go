@@ -1,0 +1,288 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"engarde/internal/elf64"
+	"engarde/internal/interp"
+	"engarde/internal/symtab"
+	"engarde/internal/toolchain"
+)
+
+// provisionFor builds and provisions a client, returning the EnGarde
+// instance and the image.
+func provisionFor(t *testing.T, cfg toolchain.Config) (*EnGarde, []byte) {
+	t.Helper()
+	bin, err := toolchain.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := newEnGarde(t, testConfig(nil))
+	rep, err := g.Provision(bin.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Compliant {
+		t.Fatalf("rejected: %s", rep.Reason)
+	}
+	return g, bin.Image
+}
+
+// objectSymbolAddr resolves any symbol (function or object) to its
+// runtime address.
+func objectSymbolAddr(t *testing.T, g *EnGarde, image []byte, name string) uint64 {
+	t.Helper()
+	f, err := elf64.Parse(image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms, err := f.Symbols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range syms {
+		if s.SymName == name {
+			return g.LoadResult().Bias + s.Value
+		}
+	}
+	t.Fatalf("symbol %s not found", name)
+	return 0
+}
+
+// symbolAddr resolves a function's *runtime* address (static address +
+// load bias).
+func symbolAddr(t *testing.T, g *EnGarde, image []byte, name string) uint64 {
+	t.Helper()
+	f, err := elf64.Parse(image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := symtab.FromELF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := tab.AddrOf(name)
+	if !ok {
+		t.Fatalf("symbol %s not found", name)
+	}
+	return g.LoadResult().Bias + addr
+}
+
+func TestExecuteProvisionedClient(t *testing.T) {
+	// Real execution of checked code through the page tables and EPCM:
+	// the program must run a substantial number of instructions and either
+	// terminate cleanly (ud2 after exit) or exhaust the step budget —
+	// never fault.
+	g, _ := provisionFor(t, toolchain.Config{
+		Name: "run", Seed: 91, NumFuncs: 6, AvgFuncInsts: 40,
+		LibcCallRate: 0.04, AppCallRate: 0.02,
+	})
+	res, err := g.Execute(200_000)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Steps < 100 {
+		t.Errorf("only %d steps executed", res.Steps)
+	}
+	if res.Reason != interp.StopTrap && res.Reason != interp.StopMaxSteps {
+		t.Errorf("stop reason = %v", res.Reason)
+	}
+	t.Logf("executed %d instructions, stop=%v at %#x", res.Steps, res.Reason, res.StoppedAt)
+}
+
+func TestExecuteStackProtectedClient(t *testing.T) {
+	// The canary instrumentation the policy verified statically must also
+	// hold up dynamically: with an intact canary, __stack_chk_fail is
+	// never reached.
+	g, image := provisionFor(t, toolchain.Config{
+		Name: "canary", Seed: 92, NumFuncs: 5, AvgFuncInsts: 40,
+		LibcCallRate: 0.04, StackProtector: true,
+	})
+	failAddr := symbolAddr(t, g, image, "__stack_chk_fail")
+
+	cpu, err := g.NewCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu.Breakpoints[failAddr] = true
+	reason, err := cpu.Run(200_000)
+	if err != nil {
+		t.Fatalf("Run: %v (rip %#x)", err, cpu.RIP)
+	}
+	if reason == interp.StopBreakpoint {
+		t.Fatal("reached __stack_chk_fail with an intact canary")
+	}
+	if cpu.Steps < 100 {
+		t.Errorf("only %d steps", cpu.Steps)
+	}
+}
+
+func TestExecuteDetectsCorruptedCanary(t *testing.T) {
+	// Corrupt the TLS canary mid-run: the very next protected epilogue
+	// must divert to __stack_chk_fail. This demonstrates the runtime
+	// behaviour of the instrumentation EnGarde's Figure-4 policy checks
+	// for.
+	g, image := provisionFor(t, toolchain.Config{
+		Name: "corrupt", Seed: 93, NumFuncs: 5, AvgFuncInsts: 40,
+		LibcCallRate: 0.04, StackProtector: true,
+	})
+	failAddr := symbolAddr(t, g, image, "__stack_chk_fail")
+
+	cpu, err := g.NewCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu.Breakpoints[failAddr] = true
+	// Let some code run so canaries are live on the stack.
+	if _, err := cpu.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	// The attacker corrupts the TLS canary (equivalently: an overflow
+	// corrupted the on-stack copy; either way the compare fails).
+	if err := g.Enclave().Write(g.LoadResult().TLSBase+CanaryTLSOffset, []byte{0xFF, 0xEE, 0xDD, 0xCC, 0xBB, 0xAA, 0x99, 0x88}); err != nil {
+		t.Fatal(err)
+	}
+	reason, err := cpu.Run(200_000)
+	if err != nil {
+		t.Fatalf("Run after corruption: %v", err)
+	}
+	if reason != interp.StopBreakpoint || cpu.RIP != failAddr {
+		t.Errorf("expected stop at __stack_chk_fail (%#x), got %v at %#x",
+			failAddr, reason, cpu.RIP)
+	}
+}
+
+func TestExecuteIFCCClient(t *testing.T) {
+	// IFCC-instrumented dispatch actually flows through the jump table at
+	// runtime.
+	g, _ := provisionFor(t, toolchain.Config{
+		Name: "ifccrun", Seed: 94, NumFuncs: 6, AvgFuncInsts: 40,
+		IndirectRate: 0.05, NumIndirectTargets: 4, IFCC: true,
+	})
+	res, err := g.Execute(200_000)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Reason != interp.StopTrap && res.Reason != interp.StopMaxSteps {
+		t.Errorf("stop reason = %v", res.Reason)
+	}
+}
+
+func TestExecuteWithRuntimeCFI(t *testing.T) {
+	// The §1 runtime-enforcement extension: with the CFI monitor on,
+	// legitimate programs (whose indirect targets are function starts)
+	// run exactly as before.
+	g, _ := provisionFor(t, toolchain.Config{
+		Name: "cfi", Seed: 96, NumFuncs: 6, AvgFuncInsts: 40,
+		IndirectRate: 0.05, NumIndirectTargets: 3,
+	})
+	cpu, err := g.NewCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.EnableRuntimeCFI(cpu)
+	reason, err := cpu.Run(200_000)
+	if err != nil {
+		t.Fatalf("Run with CFI: %v", err)
+	}
+	if reason != interp.StopTrap && reason != interp.StopMaxSteps {
+		t.Errorf("reason = %v", reason)
+	}
+
+	// A hijacked function pointer (mid-function target) is killed by the
+	// monitor: simulate by re-running with a poisoned CFI target.
+	g2, _ := provisionFor(t, toolchain.Config{
+		Name: "cfi", Seed: 96, NumFuncs: 6, AvgFuncInsts: 40,
+		IndirectRate: 0.05, NumIndirectTargets: 3,
+	})
+	cpu2, err := g2.NewCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monitor that treats every target as hijacked — the first indirect
+	// call must abort with a CFI violation.
+	cpu2.CFICheck = func(uint64) bool { return false }
+	_, err = cpu2.Run(200_000)
+	if !errors.Is(err, interp.ErrCFIViolation) {
+		t.Errorf("poisoned run = %v, want ErrCFIViolation", err)
+	}
+}
+
+func TestExecuteASanDetectsPoisonedShadow(t *testing.T) {
+	// The sanitizer instrumentation the asan policy verifies statically
+	// also fires at runtime: poisoning the shadow region sends the next
+	// guarded store to __asan_report.
+	g, image := provisionFor(t, toolchain.Config{
+		Name: "asanrun", Seed: 99, NumFuncs: 5, AvgFuncInsts: 50,
+		LibcCallRate: 0.03, ASan: true,
+	})
+	reportAddr := symbolAddr(t, g, image, toolchain.ASanReportSym)
+
+	// Run 1: clean shadow — the report function is never reached.
+	cpu, err := g.NewCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu.Breakpoints[reportAddr] = true
+	reason, err := cpu.Run(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason == interp.StopBreakpoint {
+		t.Fatal("reached __asan_report with a clean shadow")
+	}
+
+	// Run 2: poison the whole shadow region — the very next guarded store
+	// must divert to __asan_report.
+	g2, image2 := provisionFor(t, toolchain.Config{
+		Name: "asanrun", Seed: 99, NumFuncs: 5, AvgFuncInsts: 50,
+		LibcCallRate: 0.03, ASan: true,
+	})
+	reportAddr2 := symbolAddr(t, g2, image2, toolchain.ASanReportSym)
+	shadowAddr := objectSymbolAddr(t, g2, image2, toolchain.ASanShadowSym)
+	cpu2, err := g2.NewCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu2.Breakpoints[reportAddr2] = true
+	poison := make([]byte, toolchain.ASanShadowBytes)
+	for i := range poison {
+		poison[i] = 0xF1 // ASan's stack-left-redzone marker
+	}
+	if err := g2.Enclave().Write(shadowAddr, poison); err != nil {
+		t.Fatal(err)
+	}
+	reason2, err := cpu2.Run(100_000)
+	if err != nil {
+		t.Fatalf("Run with poisoned shadow: %v", err)
+	}
+	if reason2 != interp.StopBreakpoint || cpu2.RIP != reportAddr2 {
+		t.Errorf("expected stop at __asan_report, got %v at %#x", reason2, cpu2.RIP)
+	}
+}
+
+func TestExecuteRequiresProvisioning(t *testing.T) {
+	g, _ := newEnGarde(t, testConfig(nil))
+	if _, err := g.Execute(10); err == nil {
+		t.Error("Execute before provisioning should fail")
+	}
+}
+
+func TestExecuteCannotWriteCodePages(t *testing.T) {
+	// A hostile CPU state that tries to write into the code region via a
+	// stack pointer pointed at a code page must fault (W^X at runtime).
+	g, _ := provisionFor(t, toolchain.Config{
+		Name: "wx", Seed: 95, NumFuncs: 4, AvgFuncInsts: 30,
+	})
+	cpu, err := g.NewCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point RSP into the code region: the first push must fault.
+	cpu.Regs[4] = g.LoadResult().ExecPages[0] + 0x100 // RSP
+	_, err = cpu.Run(10_000)
+	if err == nil {
+		t.Error("expected a write fault with RSP in a code page")
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"engarde/internal/cycles"
+	"engarde/internal/interp"
+	"engarde/internal/policy"
+	"engarde/internal/policy/noforbidden"
+	"engarde/internal/sgx"
+	"engarde/internal/toolchain"
+)
+
+// TestStockEPCWithPaging shows the alternative to the paper's §4 EPC
+// enlargement: with OS demand paging, the same EnGarde enclave (5000 heap
+// pages + 1024 client pages) that cannot even be built inside OpenSGX's
+// stock 2000-page EPC builds, provisions and runs — at the cost of extra
+// SGX instructions per eviction/reload, which the counter quantifies.
+func TestStockEPCWithPaging(t *testing.T) {
+	bin, err := toolchain.Build(toolchain.Config{
+		Name: "paged", Seed: 97, NumFuncs: 8, AvgFuncInsts: 60, LibcCallRate: 0.04,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without paging, this configuration cannot be created at all (the
+	// existing TestDefaultEPCTooSmallForLargeClients); with paging it can.
+	ctr := cycles.NewCounter(cycles.DefaultModel())
+	g, err := New(Config{
+		Version:         sgx.V2,
+		EPCPages:        sgx.DefaultEPCPages, // stock 2000
+		HeapPages:       2500,
+		ClientPages:     512, // 16 + 2500 + 512 = 3028 pages > 2000 EPC
+		Policies:        policy.NewSet(noforbidden.New()),
+		Counter:         ctr,
+		EnableEPCPaging: true,
+	})
+	if err != nil {
+		t.Fatalf("New with paging: %v", err)
+	}
+
+	rep, err := g.Provision(bin.Image)
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	if !rep.Compliant {
+		t.Fatalf("rejected: %s", rep.Reason)
+	}
+
+	// The enclave's pages exceed the EPC, so evictions must have happened:
+	// SGX-instruction charges beyond the no-paging baseline.
+	if free := g.Device().EPCFree(); free < 0 {
+		t.Fatalf("impossible free count %d", free)
+	}
+
+	// And the code still executes — faults on evicted pages are serviced
+	// transparently.
+	res, err := g.Execute(20_000)
+	if err != nil {
+		t.Fatalf("Execute under paging: %v", err)
+	}
+	if res.Reason != interp.StopTrap && res.Reason != interp.StopMaxSteps {
+		t.Errorf("stop = %v", res.Reason)
+	}
+	t.Logf("executed %d steps under EPC pressure (EPC %d pages, enclave %d pages)",
+		res.Steps, sgx.DefaultEPCPages, 16+2500+512)
+}
+
+// TestPagingCostVisible compares provisioning cost with a roomy EPC vs a
+// stock EPC + paging: the paged run must charge strictly more SGX
+// instructions (every EWB/ELDU is one).
+func TestPagingCostVisible(t *testing.T) {
+	bin, err := toolchain.Build(toolchain.Config{
+		Name: "pagecost", Seed: 98, NumFuncs: 6, AvgFuncInsts: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(epcPages int, paging bool) uint64 {
+		ctr := cycles.NewCounter(cycles.DefaultModel())
+		g, err := New(Config{
+			Version: sgx.V2, EPCPages: epcPages,
+			HeapPages: 2500, ClientPages: 512,
+			Counter: ctr, EnableEPCPaging: paging,
+		})
+		if err != nil {
+			t.Fatalf("New(epc=%d): %v", epcPages, err)
+		}
+		rep, err := g.Provision(bin.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Compliant {
+			t.Fatal(rep.Reason)
+		}
+		return ctr.Units(cycles.PhaseProvision, cycles.UnitSGXInstr) +
+			ctr.Units(cycles.PhaseDisasm, cycles.UnitSGXInstr) +
+			ctr.Units(cycles.PhaseLoad, cycles.UnitSGXInstr)
+	}
+	roomy := run(4096, false)
+	paged := run(sgx.DefaultEPCPages, true)
+	if paged <= roomy {
+		t.Errorf("paged run charged %d SGX instructions ≤ roomy run's %d", paged, roomy)
+	}
+	t.Logf("SGX instructions: roomy EPC %d, stock EPC with paging %d (+%d from EWB/ELDU)",
+		roomy, paged, paged-roomy)
+}
+
+// TestPagingDisabledStillFails confirms the paging flag is what makes the
+// difference.
+func TestPagingDisabledStillFails(t *testing.T) {
+	_, err := New(Config{
+		Version: sgx.V2, EPCPages: sgx.DefaultEPCPages,
+		HeapPages: 2500, ClientPages: 512,
+	})
+	if !errors.Is(err, sgx.ErrEPCFull) {
+		t.Errorf("New without paging = %v, want ErrEPCFull", err)
+	}
+}

@@ -1,0 +1,135 @@
+package cycles
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestChargeAccumulates(t *testing.T) {
+	c := NewCounter(DefaultModel())
+	c.Charge(PhaseDisasm, UnitDecodedInst, 100)
+	c.Charge(PhaseDisasm, UnitDecodedInst, 50)
+	c.Charge(PhasePolicy, UnitHashedByte, 1000)
+
+	if got := c.Units(PhaseDisasm, UnitDecodedInst); got != 150 {
+		t.Errorf("units = %d, want 150", got)
+	}
+	wantDisasm := 150 * DefaultModel()[UnitDecodedInst]
+	if got := c.Cycles(PhaseDisasm); got != wantDisasm {
+		t.Errorf("disasm cycles = %d, want %d", got, wantDisasm)
+	}
+	wantPolicy := 1000 * DefaultModel()[UnitHashedByte]
+	if got := c.Cycles(PhasePolicy); got != wantPolicy {
+		t.Errorf("policy cycles = %d, want %d", got, wantPolicy)
+	}
+	if got := c.Total(); got != wantDisasm+wantPolicy {
+		t.Errorf("total = %d", got)
+	}
+}
+
+func TestSGXInstructionCost(t *testing.T) {
+	// The paper's methodology fixes SGX instructions at 10K cycles.
+	if DefaultModel()[UnitSGXInstr] != 10_000 {
+		t.Fatalf("SGX instruction cost = %d, want 10000", DefaultModel()[UnitSGXInstr])
+	}
+	c := NewCounter(DefaultModel())
+	c.Charge(PhaseProvision, UnitSGXInstr, 3)
+	if got := c.Cycles(PhaseProvision); got != 30_000 {
+		t.Errorf("3 SGX instructions = %d cycles, want 30000", got)
+	}
+}
+
+func TestOutOfRangeChargesIgnored(t *testing.T) {
+	c := NewCounter(DefaultModel())
+	c.Charge(Phase(0), UnitSGXInstr, 5)
+	c.Charge(Phase(99), UnitSGXInstr, 5)
+	c.Charge(PhaseDisasm, Unit(-1), 5)
+	c.Charge(PhaseDisasm, Unit(99), 5)
+	if c.Total() != 0 {
+		t.Errorf("total = %d, want 0", c.Total())
+	}
+	if c.Cycles(Phase(99)) != 0 || c.Units(Phase(0), UnitSGXInstr) != 0 {
+		t.Error("out-of-range reads should return 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCounter(DefaultModel())
+	c.Charge(PhaseLoad, UnitPageMap, 10)
+	c.Reset()
+	if c.Total() != 0 {
+		t.Errorf("total after reset = %d", c.Total())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	c := NewCounter(DefaultModel())
+	c.Charge(PhaseDisasm, UnitDecodedInst, 1)
+	c.Charge(PhaseLoad, UnitRelocEntry, 2)
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d phases, want 2", len(snap))
+	}
+	if snap[PhaseDisasm] != DefaultModel()[UnitDecodedInst] {
+		t.Errorf("snapshot disasm = %d", snap[PhaseDisasm])
+	}
+}
+
+func TestConcurrentCharges(t *testing.T) {
+	c := NewCounter(DefaultModel())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Charge(PhasePolicy, UnitScanInst, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Units(PhasePolicy, UnitScanInst); got != 8000 {
+		t.Errorf("units = %d, want 8000", got)
+	}
+}
+
+func TestMilliseconds(t *testing.T) {
+	// The paper's worked example: 694,405,019 cycles at 3.5 GHz is
+	// 198.4 ms.
+	ms := Milliseconds(694_405_019)
+	if ms < 198.0 || ms > 198.8 {
+		t.Errorf("Milliseconds(694405019) = %.1f, want ≈198.4", ms)
+	}
+}
+
+// TestQuickChargeLinear: charging is linear — charge(a+b) equals
+// charge(a);charge(b) for every phase/unit.
+func TestQuickChargeLinear(t *testing.T) {
+	m := DefaultModel()
+	f := func(a, b uint16, pRaw, uRaw uint8) bool {
+		p := Phase(int(pRaw)%int(numPhases-1) + 1)
+		u := Unit(int(uRaw) % int(numUnits))
+		c1 := NewCounter(m)
+		c1.Charge(p, u, uint64(a)+uint64(b))
+		c2 := NewCounter(m)
+		c2.Charge(p, u, uint64(a))
+		c2.Charge(p, u, uint64(b))
+		return c1.Cycles(p) == c2.Cycles(p) && c1.Units(p, u) == c2.Units(p, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseAndUnitNames(t *testing.T) {
+	if PhasePolicy.String() != "Policy Checking" {
+		t.Errorf("PhasePolicy = %q", PhasePolicy.String())
+	}
+	if UnitSGXInstr.String() != "sgx-instr" {
+		t.Errorf("UnitSGXInstr = %q", UnitSGXInstr.String())
+	}
+	if Phase(77).String() == "" || Unit(77).String() == "" {
+		t.Error("out-of-range names should be non-empty")
+	}
+}

@@ -1,0 +1,311 @@
+package elf64
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Parse and verification errors.
+var (
+	// ErrBadMagic is returned when the file does not start with \x7fELF.
+	ErrBadMagic = errors.New("elf64: bad magic")
+	// ErrBadClass is returned for non-64-bit files.
+	ErrBadClass = errors.New("elf64: not an ELF64 file")
+	// ErrBadEncoding is returned for big-endian files.
+	ErrBadEncoding = errors.New("elf64: not little-endian")
+	// ErrBadMachine is returned for non-x86-64 files.
+	ErrBadMachine = errors.New("elf64: not an x86-64 binary")
+	// ErrNotPIE is returned when the file is not ET_DYN; EnGarde requires
+	// position-independent executables (paper §4).
+	ErrNotPIE = errors.New("elf64: not a position-independent executable")
+	// ErrTruncatedFile is returned when a header points past the end of
+	// the file image.
+	ErrTruncatedFile = errors.New("elf64: truncated file")
+	// ErrNoSymtab is returned by Symbols when the binary is stripped.
+	// EnGarde auto-rejects stripped binaries (paper §6).
+	ErrNoSymtab = errors.New("elf64: no symbol table (stripped binary)")
+)
+
+// Section is a parsed section header plus its name and data.
+type Section struct {
+	Shdr
+	SecName string
+	// Data is the raw section content (nil for SHT_NOBITS).
+	Data []byte
+}
+
+// Symbol is a parsed symbol-table entry with its name resolved.
+type Symbol struct {
+	Sym
+	SymName string
+}
+
+// File is a parsed ELF64 image.
+type File struct {
+	Header   Ehdr
+	Progs    []Phdr
+	Sections []Section
+
+	raw []byte
+}
+
+// Parse reads an ELF64 image from memory. It performs the same header
+// verification EnGarde's loader does before disassembly: signature, class,
+// encoding, machine and version (paper §4: "checking the signature as well
+// as the ELF class of the executable").
+func Parse(data []byte) (*File, error) {
+	if len(data) < EhdrSize {
+		return nil, ErrTruncatedFile
+	}
+	if string(data[:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if data[EIClass] != Class64 {
+		return nil, ErrBadClass
+	}
+	if data[EIData] != Data2LSB {
+		return nil, ErrBadEncoding
+	}
+
+	f := &File{raw: data}
+	if err := binary.Read(bytes.NewReader(data[:EhdrSize]), binary.LittleEndian, &f.Header); err != nil {
+		return nil, fmt.Errorf("elf64: reading header: %w", err)
+	}
+	h := &f.Header
+	if h.Machine != MachineX8664 {
+		return nil, ErrBadMachine
+	}
+	if h.Version != VersionCurrent {
+		return nil, fmt.Errorf("elf64: unsupported version %d", h.Version)
+	}
+	if h.Phentsize != 0 && h.Phentsize != PhdrSize {
+		return nil, fmt.Errorf("elf64: bad phentsize %d", h.Phentsize)
+	}
+	if h.Shentsize != 0 && h.Shentsize != ShdrSize {
+		return nil, fmt.Errorf("elf64: bad shentsize %d", h.Shentsize)
+	}
+
+	// Program headers.
+	if h.Phnum > 0 {
+		end := h.Phoff + uint64(h.Phnum)*PhdrSize
+		if end > uint64(len(data)) || end < h.Phoff {
+			return nil, fmt.Errorf("%w: program headers", ErrTruncatedFile)
+		}
+		f.Progs = make([]Phdr, h.Phnum)
+		r := bytes.NewReader(data[h.Phoff:end])
+		for i := range f.Progs {
+			if err := binary.Read(r, binary.LittleEndian, &f.Progs[i]); err != nil {
+				return nil, fmt.Errorf("elf64: reading phdr %d: %w", i, err)
+			}
+		}
+	}
+
+	// Section headers.
+	if h.Shnum > 0 {
+		end := h.Shoff + uint64(h.Shnum)*ShdrSize
+		if end > uint64(len(data)) || end < h.Shoff {
+			return nil, fmt.Errorf("%w: section headers", ErrTruncatedFile)
+		}
+		shdrs := make([]Shdr, h.Shnum)
+		r := bytes.NewReader(data[h.Shoff:end])
+		for i := range shdrs {
+			if err := binary.Read(r, binary.LittleEndian, &shdrs[i]); err != nil {
+				return nil, fmt.Errorf("elf64: reading shdr %d: %w", i, err)
+			}
+		}
+		if int(h.Shstrndx) >= len(shdrs) {
+			return nil, fmt.Errorf("elf64: shstrndx %d out of range", h.Shstrndx)
+		}
+		shstr, err := sliceAt(data, shdrs[h.Shstrndx].Off, shdrs[h.Shstrndx].Size)
+		if err != nil {
+			return nil, fmt.Errorf("elf64: section name table: %w", err)
+		}
+		f.Sections = make([]Section, h.Shnum)
+		for i, sh := range shdrs {
+			sec := Section{Shdr: sh}
+			sec.SecName = cstring(shstr, sh.Name)
+			if sh.Type != SHTNobits && sh.Type != SHTNull {
+				d, err := sliceAt(data, sh.Off, sh.Size)
+				if err != nil {
+					return nil, fmt.Errorf("elf64: section %q: %w", sec.SecName, err)
+				}
+				sec.Data = d
+			}
+			f.Sections[i] = sec
+		}
+	}
+	return f, nil
+}
+
+// VerifyPIE checks that the file is a position-independent x86-64
+// executable, the only format EnGarde's prototype supports.
+func (f *File) VerifyPIE() error {
+	if f.Header.Type != TypeDyn {
+		return ErrNotPIE
+	}
+	if f.Header.Entry == 0 {
+		return errors.New("elf64: no entry point")
+	}
+	return nil
+}
+
+// Section returns the first section with the given name, or nil.
+func (f *File) Section(name string) *Section {
+	for i := range f.Sections {
+		if f.Sections[i].SecName == name {
+			return &f.Sections[i]
+		}
+	}
+	return nil
+}
+
+// TextSections returns all allocatable executable sections, in file order.
+// This mirrors the loader step "reads the program header of the executable
+// to extract all text sections" (paper §4).
+func (f *File) TextSections() []*Section {
+	var out []*Section
+	for i := range f.Sections {
+		s := &f.Sections[i]
+		if s.Type == SHTProgbits && s.Flags&SHFAlloc != 0 && s.Flags&SHFExecinstr != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Symbols parses the .symtab section. It returns ErrNoSymtab for stripped
+// binaries, which EnGarde rejects outright.
+func (f *File) Symbols() ([]Symbol, error) {
+	symtab := f.Section(".symtab")
+	if symtab == nil {
+		return nil, ErrNoSymtab
+	}
+	if int(symtab.Link) >= len(f.Sections) {
+		return nil, fmt.Errorf("elf64: symtab link %d out of range", symtab.Link)
+	}
+	strtab := f.Sections[symtab.Link].Data
+	if symtab.Size%SymSize != 0 {
+		return nil, fmt.Errorf("elf64: symtab size %d not a multiple of %d", symtab.Size, SymSize)
+	}
+	n := int(symtab.Size / SymSize)
+	syms := make([]Symbol, 0, n)
+	r := bytes.NewReader(symtab.Data)
+	for i := 0; i < n; i++ {
+		var s Sym
+		if err := binary.Read(r, binary.LittleEndian, &s); err != nil {
+			return nil, fmt.Errorf("elf64: reading symbol %d: %w", i, err)
+		}
+		syms = append(syms, Symbol{Sym: s, SymName: cstring(strtab, s.Name)})
+	}
+	return syms, nil
+}
+
+// Dynamic parses the .dynamic section into tag/value pairs, stopping at
+// DT_NULL.
+func (f *File) Dynamic() ([]Dyn, error) {
+	dyn := f.Section(".dynamic")
+	if dyn == nil {
+		return nil, errors.New("elf64: no .dynamic section")
+	}
+	var out []Dyn
+	r := bytes.NewReader(dyn.Data)
+	for {
+		var d Dyn
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			break
+		}
+		if d.Tag == DTNull {
+			break
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// DynValue returns the value of the first dynamic entry with the given tag.
+func (f *File) DynValue(tag uint64) (uint64, bool) {
+	entries, err := f.Dynamic()
+	if err != nil {
+		return 0, false
+	}
+	for _, d := range entries {
+		if d.Tag == tag {
+			return d.Val, true
+		}
+	}
+	return 0, false
+}
+
+// Relocations locates the RELA table through the .dynamic section — the
+// address and size of the relocation table come from DT_RELA/DT_RELASZ,
+// exactly as the paper's loader does ("the loader determines the address
+// and the size of relocation tables ... by reading appropriated entries of
+// the .dynamic section").
+func (f *File) Relocations() ([]Rela, error) {
+	addr, ok := f.DynValue(DTRela)
+	if !ok {
+		return nil, nil // no relocations
+	}
+	size, ok := f.DynValue(DTRelasz)
+	if !ok {
+		return nil, errors.New("elf64: DT_RELA without DT_RELASZ")
+	}
+	if ent, ok := f.DynValue(DTRelaent); ok && ent != RelaSize {
+		return nil, fmt.Errorf("elf64: unsupported DT_RELAENT %d", ent)
+	}
+	data, err := f.DataAt(addr, size)
+	if err != nil {
+		return nil, fmt.Errorf("elf64: relocation table: %w", err)
+	}
+	n := int(size / RelaSize)
+	out := make([]Rela, 0, n)
+	r := bytes.NewReader(data)
+	for i := 0; i < n; i++ {
+		var rel Rela
+		if err := binary.Read(r, binary.LittleEndian, &rel); err != nil {
+			return nil, fmt.Errorf("elf64: reading rela %d: %w", i, err)
+		}
+		out = append(out, rel)
+	}
+	return out, nil
+}
+
+// DataAt resolves a virtual address range to file bytes using the program
+// headers.
+func (f *File) DataAt(vaddr, size uint64) ([]byte, error) {
+	for _, p := range f.Progs {
+		if p.Type != PTLoad {
+			continue
+		}
+		if vaddr >= p.Vaddr && vaddr+size <= p.Vaddr+p.Filesz {
+			off := p.Off + (vaddr - p.Vaddr)
+			return sliceAt(f.raw, off, size)
+		}
+	}
+	return nil, fmt.Errorf("address %#x (+%d) not mapped by any PT_LOAD", vaddr, size)
+}
+
+// Raw returns the underlying file image.
+func (f *File) Raw() []byte { return f.raw }
+
+func sliceAt(data []byte, off, size uint64) ([]byte, error) {
+	end := off + size
+	if end < off || end > uint64(len(data)) {
+		return nil, ErrTruncatedFile
+	}
+	return data[off:end], nil
+}
+
+// cstring extracts a NUL-terminated string at the given offset.
+func cstring(strtab []byte, off uint32) string {
+	if int(off) >= len(strtab) {
+		return ""
+	}
+	end := bytes.IndexByte(strtab[off:], 0)
+	if end < 0 {
+		return string(strtab[off:])
+	}
+	return string(strtab[off : int(off)+end])
+}

@@ -1,0 +1,351 @@
+package elf64
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the layout granularity for loadable segments; it matches the
+// EPC page size of the SGX substrate.
+const PageSize = 4096
+
+// BuildSection describes one section to be placed in the output image by a
+// Builder. Alloc sections must carry pre-assigned virtual addresses (the
+// linker in internal/toolchain does address assignment); non-alloc sections
+// (symtab etc.) are appended after the loadable part of the file.
+type BuildSection struct {
+	Name    string
+	Type    uint32
+	Flags   uint64
+	Addr    uint64
+	Data    []byte
+	MemSize uint64 // for SHT_NOBITS; otherwise len(Data) is used
+	Align   uint64
+	Entsize uint64
+	Link    string // name of the linked section (e.g. symtab→strtab)
+}
+
+// BuildSymbol is a symbol to be emitted into .symtab.
+type BuildSymbol struct {
+	Name    string
+	Value   uint64
+	Size    uint64
+	Info    uint8
+	Section string // name of the defining section ("" = SHN_UNDEF)
+}
+
+// Builder assembles a complete ELF64 position-independent executable image.
+// The zero value is ready for use.
+type Builder struct {
+	// Entry is the virtual address of the entry point.
+	Entry uint64
+	// Type is the ELF file type; defaults to TypeDyn (PIE) if zero.
+	Type uint16
+
+	sections []BuildSection
+	symbols  []BuildSymbol
+}
+
+// AddSection appends a section. Sections are emitted in the order added;
+// alloc sections must be added in increasing address order.
+func (b *Builder) AddSection(s BuildSection) { b.sections = append(b.sections, s) }
+
+// AddSymbol appends a symbol for the .symtab.
+func (b *Builder) AddSymbol(s BuildSymbol) { b.symbols = append(b.symbols, s) }
+
+// EncodeDynamic serializes a dynamic table, appending the DT_NULL
+// terminator.
+func EncodeDynamic(entries []Dyn) []byte {
+	var buf bytes.Buffer
+	for _, d := range entries {
+		_ = binary.Write(&buf, binary.LittleEndian, d)
+	}
+	_ = binary.Write(&buf, binary.LittleEndian, Dyn{})
+	return buf.Bytes()
+}
+
+// EncodeRelas serializes a RELA relocation table.
+func EncodeRelas(relas []Rela) []byte {
+	var buf bytes.Buffer
+	for _, r := range relas {
+		_ = binary.Write(&buf, binary.LittleEndian, r)
+	}
+	return buf.Bytes()
+}
+
+// strtab is an incremental ELF string table builder.
+type strtab struct {
+	buf  bytes.Buffer
+	offs map[string]uint32
+}
+
+func newStrtab() *strtab {
+	st := &strtab{offs: make(map[string]uint32)}
+	st.buf.WriteByte(0) // index 0 is the empty string
+	return st
+}
+
+func (st *strtab) add(s string) uint32 {
+	if s == "" {
+		return 0
+	}
+	if off, ok := st.offs[s]; ok {
+		return off
+	}
+	off := uint32(st.buf.Len())
+	st.offs[s] = off
+	st.buf.WriteString(s)
+	st.buf.WriteByte(0)
+	return off
+}
+
+// Build lays out and serializes the image.
+func (b *Builder) Build() ([]byte, error) {
+	if b.Entry == 0 {
+		return nil, errors.New("elf64: builder: no entry point set")
+	}
+
+	// Synthesize .symtab/.strtab/.shstrtab sections.
+	sections := make([]BuildSection, len(b.sections))
+	copy(sections, b.sections)
+
+	secIndex := func(name string) (uint16, error) {
+		if name == "" {
+			return SHNUndef, nil
+		}
+		for i, s := range sections {
+			if s.Name == name {
+				return uint16(i + 1), nil // +1 for the null section
+			}
+		}
+		return 0, fmt.Errorf("elf64: builder: unknown section %q", name)
+	}
+
+	// symtabInfo becomes sh_info of .symtab: one greater than the index of
+	// the last local symbol.
+	var symtabInfo uint32
+	if len(b.symbols) > 0 {
+		symstr := newStrtab()
+		var symbuf bytes.Buffer
+		_ = binary.Write(&symbuf, binary.LittleEndian, Sym{}) // null symbol
+		// Locals must precede globals in a symtab.
+		syms := make([]BuildSymbol, len(b.symbols))
+		copy(syms, b.symbols)
+		sort.SliceStable(syms, func(i, j int) bool {
+			return syms[i].Info>>4 < syms[j].Info>>4
+		})
+		nLocal := 1
+		for _, s := range syms {
+			shndx, err := secIndex(s.Section)
+			if err != nil {
+				return nil, err
+			}
+			if s.Info>>4 == STBLocal {
+				nLocal++
+			}
+			_ = binary.Write(&symbuf, binary.LittleEndian, Sym{
+				Name:  symstr.add(s.Name),
+				Info:  s.Info,
+				Shndx: shndx,
+				Value: s.Value,
+				Size:  s.Size,
+			})
+		}
+		sections = append(sections,
+			BuildSection{Name: ".symtab", Type: SHTSymtab, Data: symbuf.Bytes(),
+				Align: 8, Entsize: SymSize, Link: ".strtab"},
+			BuildSection{Name: ".strtab", Type: SHTStrtab, Data: symstr.buf.Bytes(), Align: 1},
+		)
+		symtabInfo = uint32(nLocal)
+	}
+
+	shstr := newStrtab()
+	for i := range sections {
+		shstr.add(sections[i].Name)
+	}
+	shstr.add(".shstrtab")
+	sections = append(sections, BuildSection{
+		Name: ".shstrtab", Type: SHTStrtab, Data: shstr.buf.Bytes(), Align: 1,
+	})
+
+	// Segment planning: group alloc sections into an RX segment and an RW
+	// segment by flags, in address order.
+	type segment struct {
+		flags          uint32
+		vaddr, off     uint64
+		filesz, memsz  uint64
+		firstSec, last int
+	}
+	var segs []segment
+	var dynamicSec = -1
+	for i, s := range sections {
+		if s.Flags&SHFAlloc == 0 {
+			continue
+		}
+		var pf uint32 = PFR
+		if s.Flags&SHFExecinstr != 0 {
+			pf |= PFX
+		}
+		if s.Flags&SHFWrite != 0 {
+			pf |= PFW
+		}
+		if s.Type == SHTDynamic {
+			dynamicSec = i
+		}
+		if len(segs) > 0 && segs[len(segs)-1].flags == pf {
+			segs[len(segs)-1].last = i
+		} else {
+			segs = append(segs, segment{flags: pf, firstSec: i, last: i})
+		}
+	}
+
+	// File layout. Header + phdrs first; each segment starts at a file
+	// offset congruent to its vaddr modulo the page size.
+	nPhdr := len(segs)
+	if dynamicSec >= 0 {
+		nPhdr++
+	}
+	off := uint64(EhdrSize + nPhdr*PhdrSize)
+	offsets := make([]uint64, len(sections))
+	for si := range segs {
+		seg := &segs[si]
+		base := sections[seg.firstSec].Addr
+		// Advance off so that off ≡ base (mod PageSize), the mmap
+		// congruence requirement for PT_LOAD.
+		off += (PageSize + base%PageSize - off%PageSize) % PageSize
+		seg.vaddr = base
+		seg.off = off
+		var memEnd, fileEnd uint64 = base, base
+		for i := seg.firstSec; i <= seg.last; i++ {
+			s := &sections[i]
+			if s.Flags&SHFAlloc == 0 {
+				continue
+			}
+			if s.Addr < memEnd {
+				return nil, fmt.Errorf("elf64: builder: section %q overlaps previous (addr %#x < %#x)", s.Name, s.Addr, memEnd)
+			}
+			offsets[i] = seg.off + (s.Addr - seg.vaddr)
+			size := uint64(len(s.Data))
+			if s.Type == SHTNobits {
+				memEnd = s.Addr + s.MemSize
+			} else {
+				memEnd = s.Addr + size
+				fileEnd = s.Addr + size
+			}
+		}
+		seg.filesz = fileEnd - seg.vaddr
+		seg.memsz = memEnd - seg.vaddr
+		off = seg.off + seg.filesz
+	}
+	// Non-alloc sections follow the loadable image.
+	for i, s := range sections {
+		if s.Flags&SHFAlloc != 0 {
+			continue
+		}
+		align := s.Align
+		if align == 0 {
+			align = 1
+		}
+		off = (off + align - 1) / align * align
+		offsets[i] = off
+		if s.Type != SHTNobits {
+			off += uint64(len(s.Data))
+		}
+	}
+	shoff := (off + 7) / 8 * 8
+
+	total := shoff + uint64(1+len(sections))*ShdrSize
+	image := make([]byte, total)
+
+	// ELF header.
+	ftype := b.Type
+	if ftype == 0 {
+		ftype = TypeDyn
+	}
+	var hdr Ehdr
+	copy(hdr.Ident[:], Magic)
+	hdr.Ident[EIClass] = Class64
+	hdr.Ident[EIData] = Data2LSB
+	hdr.Ident[EIVersion] = VersionCurrent
+	hdr.Type = ftype
+	hdr.Machine = MachineX8664
+	hdr.Version = VersionCurrent
+	hdr.Entry = b.Entry
+	hdr.Phoff = EhdrSize
+	hdr.Shoff = shoff
+	hdr.Ehsize = EhdrSize
+	hdr.Phentsize = PhdrSize
+	hdr.Phnum = uint16(nPhdr)
+	hdr.Shentsize = ShdrSize
+	hdr.Shnum = uint16(1 + len(sections))
+	hdr.Shstrndx = uint16(len(sections)) // .shstrtab is last
+	putStruct(image[0:], &hdr)
+
+	// Program headers.
+	phoff := uint64(EhdrSize)
+	for _, seg := range segs {
+		putStruct(image[phoff:], &Phdr{
+			Type: PTLoad, Flags: seg.flags,
+			Off: seg.off, Vaddr: seg.vaddr, Paddr: seg.vaddr,
+			Filesz: seg.filesz, Memsz: seg.memsz, Align: PageSize,
+		})
+		phoff += PhdrSize
+	}
+	if dynamicSec >= 0 {
+		d := sections[dynamicSec]
+		putStruct(image[phoff:], &Phdr{
+			Type: PTDynamic, Flags: PFR | PFW,
+			Off: offsets[dynamicSec], Vaddr: d.Addr, Paddr: d.Addr,
+			Filesz: uint64(len(d.Data)), Memsz: uint64(len(d.Data)), Align: 8,
+		})
+	}
+
+	// Section contents.
+	for i, s := range sections {
+		if s.Type != SHTNobits && len(s.Data) > 0 {
+			copy(image[offsets[i]:], s.Data)
+		}
+	}
+
+	// Section headers (null first).
+	shpos := shoff + ShdrSize
+	for i, s := range sections {
+		size := uint64(len(s.Data))
+		if s.Type == SHTNobits {
+			size = s.MemSize
+		}
+		var link uint32
+		if s.Link != "" {
+			li, err := secIndex(s.Link)
+			if err != nil {
+				return nil, err
+			}
+			link = uint32(li)
+		}
+		var info uint32
+		if s.Type == SHTSymtab {
+			info = symtabInfo
+		}
+		align := s.Align
+		if align == 0 {
+			align = 1
+		}
+		putStruct(image[shpos:], &Shdr{
+			Name: shstr.add(s.Name), Type: s.Type, Flags: s.Flags,
+			Addr: s.Addr, Off: offsets[i], Size: size,
+			Link: link, Info: info, Addralign: align, Entsize: s.Entsize,
+		})
+		shpos += ShdrSize
+	}
+
+	return image, nil
+}
+
+func putStruct(dst []byte, v any) {
+	var buf bytes.Buffer
+	_ = binary.Write(&buf, binary.LittleEndian, v)
+	copy(dst, buf.Bytes())
+}

@@ -1,0 +1,162 @@
+package hostos
+
+import (
+	"errors"
+	"fmt"
+
+	"engarde/internal/sgx"
+)
+
+// Driver errors.
+var (
+	// ErrProvisioned is returned when the EnGarde kernel component refuses
+	// to grow an enclave that has already been provisioned and locked.
+	ErrProvisioned = errors.New("hostos: enclave already provisioned and locked")
+)
+
+// Process is a host process owning an address space that may contain
+// enclaves.
+type Process struct {
+	AS *AddressSpace
+	// FaultHandler, when set, is invoked on an EPC miss (an access to a
+	// page the OS evicted); returning nil means the page was reloaded and
+	// the access should be retried. Installed by drivers in demand-paging
+	// mode.
+	FaultHandler func(e *sgx.Enclave, vaddr uint64) error
+}
+
+// NewProcess returns a process with an empty address space.
+func NewProcess() *Process {
+	return &Process{AS: NewAddressSpace()}
+}
+
+// retryEPC runs access, servicing at most a bounded number of EPC misses
+// through the fault handler.
+func (p *Process) retryEPC(e *sgx.Enclave, addr uint64, n int, access func() error) error {
+	const maxFaults = 64 // an access spans at most a handful of pages
+	for i := 0; ; i++ {
+		err := access()
+		if err == nil || p.FaultHandler == nil || !errors.Is(err, sgx.ErrPageNotMapped) || i >= maxFaults {
+			return err
+		}
+		// Fault in every page of the span; the handler no-ops cheaply on
+		// resident ones via the backing-store lookup.
+		var handled bool
+		for page := addr &^ uint64(PageSize-1); page < addr+uint64(n); page += PageSize {
+			if _, resident := e.PageSlot(page); !resident {
+				if herr := p.FaultHandler(e, page); herr != nil {
+					return fmt.Errorf("%w (paging: %v)", err, herr)
+				}
+				handled = true
+			}
+		}
+		if !handled {
+			return err
+		}
+	}
+}
+
+// EnclaveRead performs a read the way enclave code would: the host page
+// tables translate (and permission-check) the access, then the hardware
+// checks the EPCM (on SGX v2) and decrypts. Accesses to evicted pages are
+// transparently serviced through the fault handler.
+func (p *Process) EnclaveRead(e *sgx.Enclave, addr uint64, buf []byte) error {
+	if err := p.AS.Check(addr, uint64(len(buf)), PermR); err != nil {
+		return err
+	}
+	return p.retryEPC(e, addr, len(buf), func() error { return e.Read(addr, buf) })
+}
+
+// EnclaveWrite is the write counterpart of EnclaveRead.
+func (p *Process) EnclaveWrite(e *sgx.Enclave, addr uint64, buf []byte) error {
+	if err := p.AS.Check(addr, uint64(len(buf)), PermW); err != nil {
+		return err
+	}
+	return p.retryEPC(e, addr, len(buf), func() error { return e.Write(addr, buf) })
+}
+
+// EnclaveFetch models an instruction fetch at addr: both the page tables
+// and (on v2) the EPCM must grant execute permission.
+func (p *Process) EnclaveFetch(e *sgx.Enclave, addr uint64, buf []byte) error {
+	if err := p.AS.Check(addr, uint64(len(buf)), PermX); err != nil {
+		return err
+	}
+	return p.retryEPC(e, addr, len(buf), func() error {
+		perm, err := e.PagePerm(addr)
+		if err != nil {
+			return err
+		}
+		if e.Dev().Version() == sgx.V2 && perm&sgx.PermX == 0 {
+			return fmt.Errorf("%w: EPCM denies execute at %#x", ErrPageFault, addr)
+		}
+		return e.Read(addr, buf)
+	})
+}
+
+// Driver is the in-kernel SGX driver: it owns the device and services
+// enclave build requests on behalf of processes, mirroring OpenSGX's
+// driver support (paper §4). With EnablePaging it also demand-pages the
+// EPC (see paging.go).
+type Driver struct {
+	dev   *sgx.Device
+	pager *pager
+}
+
+// NewDriver returns a driver for the device.
+func NewDriver(dev *sgx.Device) *Driver {
+	return &Driver{dev: dev}
+}
+
+// Device returns the underlying SGX device.
+func (d *Driver) Device() *sgx.Device { return d.dev }
+
+// CreateEnclave allocates an enclave span in the process's address space.
+func (d *Driver) CreateEnclave(p *Process, base, size uint64) (*sgx.Enclave, error) {
+	e, err := d.dev.ECreate(base, size)
+	if err != nil {
+		return nil, fmt.Errorf("hostos: ECREATE: %w", err)
+	}
+	return e, nil
+}
+
+// AddMeasuredPage EADDs one page with content, measures it (16 EEXTENDs)
+// and installs a page-table mapping with the given page-table permissions.
+// In paging mode, EPC exhaustion evicts a victim and retries.
+func (d *Driver) AddMeasuredPage(p *Process, e *sgx.Enclave, vaddr uint64, epcm sgx.Perm, pt Perm, content []byte) error {
+	return d.addMeasuredPageRetrying(p, e, vaddr, epcm, pt, content)
+}
+
+// AddDynamicPage grows an initialized enclave by one zeroed page (SGX v2
+// EAUG + EACCEPT) and maps it. In paging mode, EPC exhaustion evicts a
+// victim and retries.
+func (d *Driver) AddDynamicPage(p *Process, e *sgx.Enclave, vaddr uint64, epcm sgx.Perm, pt Perm) error {
+	for {
+		err := d.dev.EAug(e, vaddr, epcm)
+		if err == nil {
+			break
+		}
+		if d.pager == nil || !errors.Is(err, sgx.ErrEPCFull) {
+			return fmt.Errorf("hostos: EAUG %#x: %w", vaddr, err)
+		}
+		if evictErr := d.evictOne(); evictErr != nil {
+			return evictErr
+		}
+	}
+	d.trackResident(e, vaddr)
+	if err := d.dev.EAccept(e, vaddr); err != nil {
+		return fmt.Errorf("hostos: EACCEPT %#x: %w", vaddr, err)
+	}
+	slot, _ := e.PageSlot(vaddr)
+	if err := p.AS.Map(vaddr, slot, pt); err != nil {
+		return fmt.Errorf("hostos: mapping %#x: %w", vaddr, err)
+	}
+	return nil
+}
+
+// InitEnclave finalizes the enclave measurement.
+func (d *Driver) InitEnclave(e *sgx.Enclave) error {
+	if err := d.dev.EInit(e); err != nil {
+		return fmt.Errorf("hostos: EINIT: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package hostos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"engarde/internal/cycles"
+	"engarde/internal/sgx"
+)
+
+// KernelComponent is EnGarde's host-level component (paper §3): after the
+// in-enclave library reports the list of executable code pages, it marks
+// those pages executable-but-not-writable and every other provisioned page
+// writable-but-not-executable, then prevents the enclave from being
+// extended. On SGX v2 devices it additionally pins the same W^X split into
+// the EPCM via EMODPR, which is what makes the enforcement binding against
+// a malicious host.
+type KernelComponent struct {
+	drv     *Driver
+	counter *cycles.Counter
+}
+
+// NewKernelComponent returns the EnGarde kernel component. counter may be
+// nil.
+func NewKernelComponent(drv *Driver, counter *cycles.Counter) *KernelComponent {
+	return &KernelComponent{drv: drv, counter: counter}
+}
+
+// ApplyProvisionedPermissions receives the executable-page list from the
+// in-enclave component and enforces W^X over the client's provisioned
+// region: pages in execPages become r-x, pages in dataPages become rw-.
+// Pages outside both lists (EnGarde's own bootstrap code and heap) are left
+// untouched. Finally the enclave is locked so no further pages can be
+// added — EADD and EAUG both fail afterwards, preventing post-check code
+// injection (paper §3).
+func (k *KernelComponent) ApplyProvisionedPermissions(p *Process, e *sgx.Enclave, execPages, dataPages []uint64) error {
+	apply := func(pages []uint64, ptPerm Perm, epcmPerm sgx.Perm) error {
+		sorted := append([]uint64(nil), pages...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		v2 := k.drv.Device().Version() == sgx.V2
+		for _, va := range sorted {
+			if va%PageSize != 0 {
+				return fmt.Errorf("%w: page %#x", ErrBadAlign, va)
+			}
+			if err := p.AS.Protect(va, ptPerm); err != nil {
+				return fmt.Errorf("hostos: engarde: protecting %#x: %w", va, err)
+			}
+			if v2 {
+				if err := k.modprFaulting(p, e, va, epcmPerm); err != nil {
+					return err
+				}
+			}
+			// Permission pinning happens host-side; the paper's "Loading
+			// and Relocation" column covers only the in-enclave loader, so
+			// this is charged to provisioning.
+			if k.counter != nil {
+				k.counter.Charge(cycles.PhaseProvision, cycles.UnitPageMap, 1)
+			}
+		}
+		return nil
+	}
+	if err := apply(execPages, PermR|PermX, sgx.PermR|sgx.PermX); err != nil {
+		return err
+	}
+	if err := apply(dataPages, PermR|PermW, sgx.PermR|sgx.PermW); err != nil {
+		return err
+	}
+	e.Lock()
+	return nil
+}
+
+// modprFaulting restricts EPCM permissions, faulting the page back in
+// first when the driver has demand-paged it out.
+func (k *KernelComponent) modprFaulting(p *Process, e *sgx.Enclave, va uint64, perm sgx.Perm) error {
+	err := k.drv.Device().EModPR(e, va, perm)
+	if errors.Is(err, sgx.ErrPageNotMapped) && k.drv.PagingEnabled() {
+		if ferr := k.drv.HandleEPCFault(e, va); ferr != nil {
+			return fmt.Errorf("hostos: engarde: faulting in %#x: %w", va, ferr)
+		}
+		err = k.drv.Device().EModPR(e, va, perm)
+	}
+	if err != nil {
+		return fmt.Errorf("hostos: engarde: EMODPR %#x: %w", va, err)
+	}
+	if err := k.drv.Device().EAccept(e, va); err != nil {
+		return fmt.Errorf("hostos: engarde: EACCEPT %#x: %w", va, err)
+	}
+	return nil
+}
+
+// ProtectGuardPages strips the given pages to read-only at both levels, so
+// a stack overflow faults instead of descending into adjacent memory.
+func (k *KernelComponent) ProtectGuardPages(p *Process, e *sgx.Enclave, pages []uint64) error {
+	v2 := k.drv.Device().Version() == sgx.V2
+	for _, va := range pages {
+		if err := p.AS.Protect(va, PermR); err != nil {
+			return fmt.Errorf("hostos: engarde: guarding %#x: %w", va, err)
+		}
+		if v2 {
+			if err := k.modprFaulting(p, e, va, sgx.PermR); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package hostos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"engarde/internal/sgx"
+)
+
+func TestPageTableMapTranslate(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.Map(0x7f0000001000, 42, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	frame, perm, err := as.Translate(0x7f0000001abc)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	if frame != 42 || perm != PermR|PermW {
+		t.Errorf("frame=%d perm=%s", frame, perm)
+	}
+	if _, _, err := as.Translate(0x7f0000002000); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("unmapped translate = %v", err)
+	}
+}
+
+func TestPageTableUnalignedMapRejected(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.Map(0x1001, 1, PermR); !errors.Is(err, ErrBadAlign) {
+		t.Errorf("Map unaligned = %v", err)
+	}
+}
+
+func TestPageTableProtect(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.Map(0x1000, 1, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Check(0x1000, 8, PermW); err != nil {
+		t.Errorf("Check W: %v", err)
+	}
+	if err := as.Protect(0x1000, PermR|PermX); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Check(0x1000, 8, PermW); !errors.Is(err, ErrPageFault) {
+		t.Errorf("Check W after Protect = %v, want page fault", err)
+	}
+	if err := as.Check(0x1000, 8, PermX); err != nil {
+		t.Errorf("Check X: %v", err)
+	}
+	if err := as.Protect(0x9000, PermR); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("Protect unmapped = %v", err)
+	}
+}
+
+func TestPageTableUnmap(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.Map(0x1000, 1, PermR); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unmap(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := as.Translate(0x1000); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("Translate after Unmap = %v", err)
+	}
+	if err := as.Unmap(0x1000); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("double Unmap = %v", err)
+	}
+}
+
+func TestCheckSpansPages(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.Map(0x1000, 1, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(0x2000, 2, PermR); err != nil {
+		t.Fatal(err)
+	}
+	// A write spanning both pages must fault on the second.
+	if err := as.Check(0x1ff0, 0x20, PermW); !errors.Is(err, ErrPageFault) {
+		t.Errorf("cross-page W check = %v, want page fault", err)
+	}
+	if err := as.Check(0x1ff0, 0x20, PermR); err != nil {
+		t.Errorf("cross-page R check = %v", err)
+	}
+}
+
+// TestQuickTranslationConsistency: Translate returns exactly what Map
+// installed for arbitrary canonical addresses.
+func TestQuickTranslationConsistency(t *testing.T) {
+	as := NewAddressSpace()
+	f := func(vaRaw uint64, frame int32, permRaw uint8) bool {
+		va := (vaRaw &^ uint64(PageSize-1)) & 0x0000_7FFF_FFFF_F000
+		perm := Perm(permRaw)&(PermW|PermX) | PermR
+		if err := as.Map(va, int(frame), perm); err != nil {
+			t.Errorf("Map(%#x): %v", va, err)
+			return false
+		}
+		gotFrame, gotPerm, err := as.Translate(va + 0x123%PageSize)
+		if err != nil {
+			t.Errorf("Translate(%#x): %v", va, err)
+			return false
+		}
+		return gotFrame == int(frame) && gotPerm == perm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+//
+// Driver and EnGarde kernel component.
+//
+
+// provision builds a 2-page enclave (page 0 code, page 1 data) through the
+// driver and applies EnGarde's provisioned permissions.
+func provision(t *testing.T, version sgx.Version) (*Process, *sgx.Enclave, *Driver) {
+	t.Helper()
+	dev, err := sgx.NewDevice(sgx.Config{EPCPages: 16, Version: version})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := NewDriver(dev)
+	p := NewProcess()
+	e, err := drv.CreateEnclave(p, 0x100000, 2*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := bytes.Repeat([]byte{0x90}, PageSize)
+	if err := drv.AddMeasuredPage(p, e, 0x100000, sgx.PermR|sgx.PermW|sgx.PermX, PermR|PermW, code); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.AddMeasuredPage(p, e, 0x101000, sgx.PermR|sgx.PermW|sgx.PermX, PermR|PermW, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.InitEnclave(e); err != nil {
+		t.Fatal(err)
+	}
+	k := NewKernelComponent(drv, nil)
+	if err := k.ApplyProvisionedPermissions(p, e, []uint64{0x100000}, []uint64{0x101000}); err != nil {
+		t.Fatal(err)
+	}
+	return p, e, drv
+}
+
+func TestProvisionedWXSplit(t *testing.T) {
+	for _, v := range []sgx.Version{sgx.V1, sgx.V2} {
+		t.Run(v.String(), func(t *testing.T) {
+			p, e, _ := provision(t, v)
+
+			// Code page: executable, not writable.
+			if err := p.EnclaveFetch(e, 0x100000, make([]byte, 16)); err != nil {
+				t.Errorf("fetch from code page: %v", err)
+			}
+			if err := p.EnclaveWrite(e, 0x100000, []byte{1}); err == nil {
+				t.Error("write to code page should fault")
+			}
+			// Data page: writable, not executable.
+			if err := p.EnclaveWrite(e, 0x101000, []byte{1}); err != nil {
+				t.Errorf("write to data page: %v", err)
+			}
+			if err := p.EnclaveFetch(e, 0x101000, make([]byte, 16)); err == nil {
+				t.Error("fetch from data page should fault")
+			}
+		})
+	}
+}
+
+func TestProvisionedEnclaveLocked(t *testing.T) {
+	p, e, drv := provision(t, sgx.V2)
+	err := drv.AddDynamicPage(p, e, 0x100000+2*PageSize, sgx.PermR|sgx.PermW, PermR|PermW)
+	if err == nil {
+		t.Fatal("post-provisioning growth must be refused")
+	}
+}
+
+func TestAsyncShockStyleAttack(t *testing.T) {
+	// A malicious host OS flips the writable bit back on a code page after
+	// EnGarde's check. On SGXv1 only the page tables enforce W^X, so the
+	// attack succeeds (code injection after the policy check); on SGXv2
+	// the EPCM blocks it. This is the paper's argument for requiring v2.
+	t.Run("V1-attack-succeeds", func(t *testing.T) {
+		p, e, _ := provision(t, sgx.V1)
+		if err := p.AS.Protect(0x100000, PermR|PermW|PermX); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.EnclaveWrite(e, 0x100000, []byte{0xCC}); err != nil {
+			t.Errorf("on SGXv1 the host-level attack should succeed, got %v", err)
+		}
+	})
+	t.Run("V2-attack-blocked", func(t *testing.T) {
+		p, e, _ := provision(t, sgx.V2)
+		if err := p.AS.Protect(0x100000, PermR|PermW|PermX); err != nil {
+			t.Fatal(err)
+		}
+		err := p.EnclaveWrite(e, 0x100000, []byte{0xCC})
+		if !errors.Is(err, sgx.ErrPermission) {
+			t.Errorf("on SGXv2 the EPCM must block the write, got %v", err)
+		}
+	})
+}
+
+func TestEnclaveReadThroughProcess(t *testing.T) {
+	p, e, _ := provision(t, sgx.V2)
+	buf := make([]byte, 32)
+	if err := p.EnclaveRead(e, 0x100000, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if buf[0] != 0x90 {
+		t.Errorf("read content = %#x, want 0x90", buf[0])
+	}
+	// Reads outside any mapping fault at the page-table level.
+	if err := p.EnclaveRead(e, 0x300000, buf); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("unmapped read = %v", err)
+	}
+}

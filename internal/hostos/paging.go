@@ -1,0 +1,131 @@
+package hostos
+
+import (
+	"errors"
+	"fmt"
+
+	"engarde/internal/sgx"
+)
+
+// Demand paging: the EPC is small (OpenSGX stock: 2000 pages), and the
+// paper's response was to enlarge it (§4). The alternative an OS would
+// take is to page: when the EPC is exhausted, evict a victim page with EWB
+// into an untrusted backing store and reload it with ELDU when the enclave
+// touches it again. This file implements that policy in the driver — FIFO
+// victim selection, a per-driver backing store, and a fault handler the
+// process access path consults — so the trade-off can be measured (every
+// eviction/reload is an SGX instruction: 10K cycles plus crypto).
+
+// ErrPagingDisabled is returned by the fault handler when paging is off.
+var ErrPagingDisabled = errors.New("hostos: EPC paging not enabled")
+
+// pageKey identifies an enclave page in the backing store.
+type pageKey struct {
+	enclave sgx.EnclaveID
+	vaddr   uint64
+}
+
+// pager is the driver's paging state.
+type pager struct {
+	store map[pageKey]*sgx.EvictedPage
+	// fifo is the victim queue of resident, evictable pages.
+	fifo []pageRef
+}
+
+type pageRef struct {
+	e     *sgx.Enclave
+	vaddr uint64
+}
+
+// EnablePaging switches the driver to demand-paging mode: page additions
+// that hit EPC exhaustion evict a victim instead of failing, and faults on
+// evicted pages reload them transparently.
+func (d *Driver) EnablePaging() {
+	if d.pager == nil {
+		d.pager = &pager{store: make(map[pageKey]*sgx.EvictedPage)}
+	}
+}
+
+// PagingEnabled reports whether demand paging is on.
+func (d *Driver) PagingEnabled() bool { return d.pager != nil }
+
+// trackResident registers a page as an eviction candidate.
+func (d *Driver) trackResident(e *sgx.Enclave, vaddr uint64) {
+	if d.pager != nil {
+		d.pager.fifo = append(d.pager.fifo, pageRef{e: e, vaddr: vaddr})
+	}
+}
+
+// evictOne pages out the oldest resident page, returning an error when
+// nothing is evictable.
+func (d *Driver) evictOne() error {
+	p := d.pager
+	for len(p.fifo) > 0 {
+		victim := p.fifo[0]
+		p.fifo = p.fifo[1:]
+		if _, resident := victim.e.PageSlot(victim.vaddr); !resident {
+			continue // already evicted or removed
+		}
+		blob, err := d.dev.EWB(victim.e, victim.vaddr)
+		if err != nil {
+			return fmt.Errorf("hostos: evicting %#x: %w", victim.vaddr, err)
+		}
+		p.store[pageKey{victim.e.ID(), victim.vaddr}] = blob
+		return nil
+	}
+	return errors.New("hostos: EPC exhausted and nothing evictable")
+}
+
+// HandleEPCFault reloads an evicted page after the enclave faulted on it,
+// evicting a victim first if the EPC is still full. The process access
+// path calls this via Process.FaultHandler.
+func (d *Driver) HandleEPCFault(e *sgx.Enclave, vaddr uint64) error {
+	if d.pager == nil {
+		return ErrPagingDisabled
+	}
+	page := vaddr &^ uint64(PageSize-1)
+	key := pageKey{e.ID(), page}
+	blob, ok := d.pager.store[key]
+	if !ok {
+		return fmt.Errorf("hostos: %#x not in the backing store", page)
+	}
+	for {
+		err := d.dev.ELDU(e, blob)
+		if err == nil {
+			delete(d.pager.store, key)
+			d.trackResident(e, page)
+			return nil
+		}
+		if !errors.Is(err, sgx.ErrEPCFull) {
+			return fmt.Errorf("hostos: reloading %#x: %w", page, err)
+		}
+		if evictErr := d.evictOne(); evictErr != nil {
+			return evictErr
+		}
+	}
+}
+
+// addPagedMeasuredPage is AddMeasuredPage with eviction-on-pressure.
+func (d *Driver) addMeasuredPageRetrying(p *Process, e *sgx.Enclave, vaddr uint64, epcm sgx.Perm, pt Perm, content []byte) error {
+	for {
+		err := d.dev.EAdd(e, vaddr, epcm, sgx.PageREG, content)
+		if err == nil {
+			break
+		}
+		if d.pager == nil || !errors.Is(err, sgx.ErrEPCFull) {
+			return fmt.Errorf("hostos: EADD %#x: %w", vaddr, err)
+		}
+		if evictErr := d.evictOne(); evictErr != nil {
+			return evictErr
+		}
+	}
+	if err := d.dev.EExtendPage(e, vaddr); err != nil {
+		return fmt.Errorf("hostos: EEXTEND %#x: %w", vaddr, err)
+	}
+	slot, _ := e.PageSlot(vaddr)
+	if err := p.AS.Map(vaddr, slot, pt); err != nil {
+		return fmt.Errorf("hostos: mapping %#x: %w", vaddr, err)
+	}
+	d.trackResident(e, vaddr)
+	return nil
+}

@@ -1,0 +1,105 @@
+package hostos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"engarde/internal/sgx"
+)
+
+// pagingSetup builds a driver in paging mode over a tiny EPC.
+func pagingSetup(t *testing.T, epcPages int) (*Driver, *Process, *sgx.Enclave) {
+	t.Helper()
+	dev, err := sgx.NewDevice(sgx.Config{EPCPages: epcPages, Version: sgx.V2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := NewDriver(dev)
+	drv.EnablePaging()
+	p := NewProcess()
+	p.FaultHandler = drv.HandleEPCFault
+	e, err := drv.CreateEnclave(p, 0x100000, 64*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return drv, p, e
+}
+
+func TestDriverPagesUnderPressure(t *testing.T) {
+	// 4-page EPC, 12-page enclave: adds must succeed by evicting.
+	drv, p, e := pagingSetup(t, 4)
+	for i := 0; i < 12; i++ {
+		va := 0x100000 + uint64(i)*PageSize
+		content := bytes.Repeat([]byte{byte(i + 1)}, PageSize)
+		if err := drv.AddMeasuredPage(p, e, va, sgx.PermR|sgx.PermW, PermR|PermW, content); err != nil {
+			t.Fatalf("AddMeasuredPage %d: %v", i, err)
+		}
+	}
+	if err := drv.InitEnclave(e); err != nil {
+		t.Fatal(err)
+	}
+	// Touch every page; evicted ones must fault in transparently with the
+	// right content.
+	for i := 0; i < 12; i++ {
+		va := 0x100000 + uint64(i)*PageSize
+		buf := make([]byte, 4)
+		if err := p.EnclaveRead(e, va, buf); err != nil {
+			t.Fatalf("read page %d: %v", i, err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Errorf("page %d content = %d, want %d", i, buf[0], i+1)
+		}
+	}
+}
+
+func TestFaultHandlerWithoutPaging(t *testing.T) {
+	dev, err := sgx.NewDevice(sgx.Config{EPCPages: 8, Version: sgx.V2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := NewDriver(dev)
+	if drv.PagingEnabled() {
+		t.Fatal("paging should default off")
+	}
+	e, err := drv.CreateEnclave(NewProcess(), 0x100000, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.HandleEPCFault(e, 0x100000); !errors.Is(err, ErrPagingDisabled) {
+		t.Errorf("HandleEPCFault = %v, want ErrPagingDisabled", err)
+	}
+}
+
+func TestPagingWritesSurviveEviction(t *testing.T) {
+	drv, p, e := pagingSetup(t, 4)
+	for i := 0; i < 6; i++ {
+		va := 0x100000 + uint64(i)*PageSize
+		if err := drv.AddMeasuredPage(p, e, va, sgx.PermR|sgx.PermW, PermR|PermW, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := drv.InitEnclave(e); err != nil {
+		t.Fatal(err)
+	}
+	// Write page 0 (faulting it in), then thrash pages 1-5 to evict it,
+	// then read it back.
+	if err := p.EnclaveWrite(e, 0x100000, []byte("persistent")); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 1; i < 6; i++ {
+			va := 0x100000 + uint64(i)*PageSize
+			if err := p.EnclaveWrite(e, va, []byte{byte(round)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := make([]byte, 10)
+	if err := p.EnclaveRead(e, 0x100000, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "persistent" {
+		t.Errorf("page 0 = %q after eviction cycles", got)
+	}
+}

@@ -1,0 +1,387 @@
+package interp
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"engarde/internal/x86"
+)
+
+// flatMem is an unchecked flat memory for unit tests.
+type flatMem struct {
+	base uint64
+	data []byte
+	// noExec marks a page (by index from base) as non-executable, to test
+	// fetch faulting.
+	noExec map[uint64]bool
+}
+
+var errPerm = errors.New("flatmem: permission")
+
+func (m *flatMem) at(addr uint64, n int) ([]byte, error) {
+	off := addr - m.base
+	if off+uint64(n) > uint64(len(m.data)) {
+		return nil, errors.New("flatmem: out of range")
+	}
+	return m.data[off : off+uint64(n)], nil
+}
+
+func (m *flatMem) Fetch(addr uint64, b []byte) error {
+	if m.noExec[(addr-m.base)/4096] {
+		return errPerm
+	}
+	src, err := m.at(addr, len(b))
+	if err != nil {
+		return err
+	}
+	copy(b, src)
+	return nil
+}
+
+func (m *flatMem) Read(addr uint64, b []byte) error {
+	src, err := m.at(addr, len(b))
+	if err != nil {
+		return err
+	}
+	copy(b, src)
+	return nil
+}
+
+func (m *flatMem) Write(addr uint64, b []byte) error {
+	dst, err := m.at(addr, len(b))
+	if err != nil {
+		return err
+	}
+	copy(dst, b)
+	return nil
+}
+
+// assemble builds code with the x86 assembler; fails on unresolved fixups.
+func assemble(t *testing.T, build func(a *x86.Assembler)) []byte {
+	t.Helper()
+	var a x86.Assembler
+	build(&a)
+	code, fixups, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixups) != 0 {
+		t.Fatalf("unresolved fixups: %v", fixups)
+	}
+	return code
+}
+
+// run executes code at base 0x1000 with a stack at the top of a 64 KiB
+// arena and returns the CPU.
+func run(t *testing.T, code []byte, maxSteps uint64) (*CPU, StopReason) {
+	t.Helper()
+	mem := &flatMem{base: 0x1000, data: make([]byte, 64*1024)}
+	copy(mem.data, code)
+	cpu := New(mem, 0x1000, 0x1000+60*1024)
+	reason, err := cpu.Run(maxSteps)
+	if err != nil {
+		t.Fatalf("Run: %v (RIP %#x, steps %d)", err, cpu.RIP, cpu.Steps)
+	}
+	return cpu, reason
+}
+
+func TestBasicArithmetic(t *testing.T) {
+	code := assemble(t, func(a *x86.Assembler) {
+		a.MovRegImm32(x86.RegAX, 10)
+		a.MovRegImm32(x86.RegBX, 32)
+		a.AddRegReg(x86.RegAX, x86.RegBX)  // rax = 42
+		a.SubRegImm8(x86.RegBX, 2)         // rbx = 30
+		a.ImulRegReg(x86.RegAX, x86.RegBX) // rax = 1260
+		a.Ud2()
+	})
+	cpu, reason := run(t, code, 100)
+	if reason != StopTrap {
+		t.Fatalf("reason = %v", reason)
+	}
+	if cpu.Regs[x86.RegAX] != 1260 {
+		t.Errorf("rax = %d, want 1260", cpu.Regs[x86.RegAX])
+	}
+	if cpu.Regs[x86.RegBX] != 30 {
+		t.Errorf("rbx = %d, want 30", cpu.Regs[x86.RegBX])
+	}
+}
+
+func TestMov64And32ZeroExtension(t *testing.T) {
+	code := assemble(t, func(a *x86.Assembler) {
+		a.MovRegImm64(x86.RegAX, -1) // rax = 0xFFFF...
+		a.MovRegReg32(x86.RegCX, x86.RegAX)
+		a.Ud2()
+	})
+	cpu, _ := run(t, code, 10)
+	if cpu.Regs[x86.RegCX] != 0xFFFF_FFFF {
+		t.Errorf("32-bit mov must zero-extend: rcx = %#x", cpu.Regs[x86.RegCX])
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	code := assemble(t, func(a *x86.Assembler) {
+		a.MovRegImm32(x86.RegAX, 7)
+		a.PushReg(x86.RegAX)
+		a.MovRegImm32(x86.RegAX, 9)
+		a.PopReg(x86.RegDX)
+		a.Ud2()
+	})
+	cpu, _ := run(t, code, 10)
+	if cpu.Regs[x86.RegDX] != 7 {
+		t.Errorf("rdx = %d, want 7", cpu.Regs[x86.RegDX])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	code := assemble(t, func(a *x86.Assembler) {
+		a.CallSym("fn")
+		a.Ud2()
+		a.Label("fn")
+		a.MovRegImm32(x86.RegAX, 99)
+		a.Ret()
+	})
+	cpu, reason := run(t, code, 20)
+	if reason != StopTrap || cpu.Regs[x86.RegAX] != 99 {
+		t.Errorf("reason=%v rax=%d", reason, cpu.Regs[x86.RegAX])
+	}
+}
+
+func TestIndirectCallThroughRegister(t *testing.T) {
+	code := assemble(t, func(a *x86.Assembler) {
+		a.LeaRIP(x86.RegCX, "fn")
+		a.CallReg(x86.RegCX)
+		a.Ud2()
+		a.Label("fn")
+		a.MovRegImm32(x86.RegAX, 123)
+		a.Ret()
+	})
+	cpu, _ := run(t, code, 20)
+	if cpu.Regs[x86.RegAX] != 123 {
+		t.Errorf("rax = %d", cpu.Regs[x86.RegAX])
+	}
+}
+
+func TestConditionalBranches(t *testing.T) {
+	// if (5 < 7) rax = 1 else rax = 2
+	code := assemble(t, func(a *x86.Assembler) {
+		a.MovRegImm32(x86.RegBX, 5)
+		a.CmpRegImm8(x86.RegBX, 7)
+		a.JccLabel(x86.CondL, "less")
+		a.MovRegImm32(x86.RegAX, 2)
+		a.JmpLabel("end")
+		a.Label("less")
+		a.MovRegImm32(x86.RegAX, 1)
+		a.Label("end")
+		a.Ud2()
+	})
+	cpu, _ := run(t, code, 20)
+	if cpu.Regs[x86.RegAX] != 1 {
+		t.Errorf("rax = %d, want 1 (signed less)", cpu.Regs[x86.RegAX])
+	}
+}
+
+func TestAllConditionCodes(t *testing.T) {
+	// For a handful of (a, b) pairs, each Jcc must agree with the
+	// mathematical predicate after cmp a, b.
+	type pair struct{ a, b int32 }
+	pairs := []pair{{5, 7}, {7, 5}, {5, 5}, {-3, 2}, {2, -3}, {-3, -3}, {0, 0}}
+	for _, p := range pairs {
+		preds := map[x86.Cond]bool{
+			x86.CondE:  p.a == p.b,
+			x86.CondNE: p.a != p.b,
+			x86.CondL:  p.a < p.b,
+			x86.CondGE: p.a >= p.b,
+			x86.CondLE: p.a <= p.b,
+			x86.CondG:  p.a > p.b,
+			x86.CondB:  uint32(p.a) < uint32(p.b),
+			x86.CondAE: uint32(p.a) >= uint32(p.b),
+			x86.CondBE: uint32(p.a) <= uint32(p.b),
+			x86.CondA:  uint32(p.a) > uint32(p.b),
+			x86.CondS:  p.a-p.b < 0,
+			x86.CondNS: p.a-p.b >= 0,
+		}
+		for cond, want := range preds {
+			code := assemble(t, func(a *x86.Assembler) {
+				a.MovRegImm32(x86.RegBX, p.a)
+				a.MovRegImm32(x86.RegCX, p.b)
+				// 64-bit cmp of sign-extended 32-bit values keeps the
+				// signed relations intact.
+				a.MovRegImm64(x86.RegBX, int64(p.a))
+				a.MovRegImm64(x86.RegCX, int64(p.b))
+				a.CmpRegReg(x86.RegBX, x86.RegCX)
+				a.JccLabel(cond, "taken")
+				a.MovRegImm32(x86.RegAX, 0)
+				a.Ud2()
+				a.Label("taken")
+				a.MovRegImm32(x86.RegAX, 1)
+				a.Ud2()
+			})
+			cpu, _ := run(t, code, 20)
+			got := cpu.Regs[x86.RegAX] == 1
+			if got != want {
+				t.Errorf("cmp(%d,%d) j%v = %v, want %v", p.a, p.b, cond, got, want)
+			}
+		}
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	code := assemble(t, func(a *x86.Assembler) {
+		a.SubRegImm8(x86.RegSP, 0x20)
+		a.MovRegImm32(x86.RegAX, 0x1234)
+		a.MovMemReg(x86.Mem{Base: x86.RegSP, Index: x86.RegNone, Disp: 8}, x86.RegAX)
+		a.MovRegMem(x86.RegDX, x86.Mem{Base: x86.RegSP, Index: x86.RegNone, Disp: 8})
+		a.AddRegImm8(x86.RegSP, 0x20)
+		a.Ud2()
+	})
+	cpu, _ := run(t, code, 20)
+	if cpu.Regs[x86.RegDX] != 0x1234 {
+		t.Errorf("rdx = %#x", cpu.Regs[x86.RegDX])
+	}
+}
+
+func TestFSSegmentAccess(t *testing.T) {
+	mem := &flatMem{base: 0x1000, data: make([]byte, 64*1024)}
+	code := assemble(t, func(a *x86.Assembler) {
+		a.MovRegFS(x86.RegAX, 0x28)
+		a.Ud2()
+	})
+	copy(mem.data, code)
+	cpu := New(mem, 0x1000, 0x1000+60*1024)
+	cpu.FSBase = 0x1000 + 32*1024
+	// Plant a canary value at fs:0x28.
+	canary := []byte{0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3}
+	copy(mem.data[32*1024+0x28:], canary)
+	if _, err := cpu.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	want := binary.LittleEndian.Uint64(canary)
+	if cpu.Regs[x86.RegAX] != want {
+		t.Errorf("canary load = %#x, want %#x", cpu.Regs[x86.RegAX], want)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	code := assemble(t, func(a *x86.Assembler) {
+		a.MovRegImm32(x86.RegAX, 3)
+		a.ShlRegImm8(x86.RegAX, 4) // 48
+		a.MovRegImm32(x86.RegBX, 0x100)
+		a.ShrRegImm8(x86.RegBX, 4) // 16
+		a.Ud2()
+	})
+	cpu, _ := run(t, code, 10)
+	if cpu.Regs[x86.RegAX] != 48 || cpu.Regs[x86.RegBX] != 16 {
+		t.Errorf("rax=%d rbx=%d", cpu.Regs[x86.RegAX], cpu.Regs[x86.RegBX])
+	}
+}
+
+func TestIFCCGuardSemantics(t *testing.T) {
+	// The full IFCC dispatch: a jump table of two slots, a pointer to
+	// slot 1, and the guard sequence; execution must land in fn1.
+	code := assemble(t, func(a *x86.Assembler) {
+		a.LeaRIP(x86.RegCX, "slot1")
+		a.LeaRIP(x86.RegAX, "table")
+		a.SubRegReg32(x86.RegCX, x86.RegAX)
+		a.AndRegImm32(x86.RegCX, 8) // 2 slots → mask = size-8 = 8
+		a.AddRegReg(x86.RegCX, x86.RegAX)
+		a.CallReg(x86.RegCX)
+		a.Ud2()
+		a.Label("fn0")
+		a.MovRegImm32(x86.RegDX, 100)
+		a.Ret()
+		a.Label("fn1")
+		a.MovRegImm32(x86.RegDX, 200)
+		a.Ret()
+		// Table must be 16-aligned for the mask to be exact; pad.
+		a.Nop(16 - a.Len()%16)
+		a.Label("table")
+		a.JmpSym("fn0")
+		a.NopModRM()
+		a.Label("slot1")
+		a.JmpSym("fn1")
+		a.NopModRM()
+	})
+	// Align the code base so the table lands 16-aligned in memory space:
+	// base 0x1000 is 16-aligned and Len-relative padding handles the rest.
+	cpu, reason := run(t, code, 50)
+	if reason != StopTrap {
+		t.Fatalf("reason = %v", reason)
+	}
+	if cpu.Regs[x86.RegDX] != 200 {
+		t.Errorf("rdx = %d, want 200 (dispatch through slot 1)", cpu.Regs[x86.RegDX])
+	}
+}
+
+func TestBreakpoint(t *testing.T) {
+	var secondInst int
+	code := assemble(t, func(a *x86.Assembler) {
+		a.MovRegImm32(x86.RegAX, 1)
+		secondInst = a.Len()
+		a.MovRegImm32(x86.RegAX, 2)
+		a.Ud2()
+	})
+	mem := &flatMem{base: 0x1000, data: make([]byte, 4096*4)}
+	copy(mem.data, code)
+	cpu := New(mem, 0x1000, 0x1000+3*4096)
+	bp := 0x1000 + uint64(secondInst)
+	cpu.Breakpoints = map[uint64]bool{bp: true}
+	reason, err := cpu.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != StopBreakpoint || cpu.RIP != bp {
+		t.Errorf("reason=%v rip=%#x want %#x", reason, cpu.RIP, bp)
+	}
+}
+
+func TestMaxSteps(t *testing.T) {
+	code := assemble(t, func(a *x86.Assembler) {
+		a.Label("loop")
+		a.Nop(1)
+		a.JmpLabel("loop")
+	})
+	_, reason := run(t, code, 50)
+	if reason != StopMaxSteps {
+		t.Errorf("reason = %v", reason)
+	}
+}
+
+func TestFetchPermissionFault(t *testing.T) {
+	mem := &flatMem{base: 0x1000, data: make([]byte, 4*4096), noExec: map[uint64]bool{1: true}}
+	// jmp to the non-executable page.
+	code := assemble(t, func(a *x86.Assembler) {
+		a.JmpSym("target")
+		a.Label("target")
+	})
+	_ = code
+	var a x86.Assembler
+	a.Raw(0xE9) // jmp rel32 to 0x2000
+	rel := int32(0x2000 - (0x1000 + 5))
+	a.Raw(byte(rel), byte(rel>>8), byte(rel>>16), byte(rel>>24))
+	jmp, _, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(mem.data, jmp)
+	cpu := New(mem, 0x1000, 0x1000+3*4096)
+	reason, err := cpu.Run(10)
+	if err == nil || reason == StopTrap {
+		t.Errorf("expected fetch fault, got reason=%v err=%v", reason, err)
+	}
+}
+
+func TestUnsupportedInstruction(t *testing.T) {
+	var a x86.Assembler
+	a.Syscall()
+	code, _, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := &flatMem{base: 0x1000, data: make([]byte, 4096)}
+	copy(mem.data, code)
+	cpu := New(mem, 0x1000, 0x1800)
+	if _, err := cpu.Run(5); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("Run = %v, want ErrUnsupported", err)
+	}
+}

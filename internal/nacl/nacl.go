@@ -1,0 +1,180 @@
+// Package nacl implements the Native-Client-style disassembly validation
+// EnGarde performs before any policy runs (paper §3): "NaCl makes a number
+// of assumptions to ensure clean, unambiguous disassembly. For example, it
+// requires no instructions to overlap a 32-byte boundary, that all
+// control-transfers target valid instructions, and that all valid
+// instructions are reachable from the start address."
+//
+// Validate decodes an entire text region and enforces those three
+// constraints. The reachability rule is applied from the entry point plus
+// every function symbol (functions are entered via calls whose targets the
+// second rule already validates); NOP padding between functions is exempt,
+// since bundle alignment necessarily produces unreachable NOPs.
+package nacl
+
+import (
+	"errors"
+	"fmt"
+
+	"engarde/internal/cycles"
+	"engarde/internal/symtab"
+	"engarde/internal/x86"
+)
+
+// BundleSize is the NaCl bundle granularity.
+const BundleSize = 32
+
+// Validation errors.
+var (
+	// ErrBundleCrossing is returned when an instruction overlaps a 32-byte
+	// boundary.
+	ErrBundleCrossing = errors.New("nacl: instruction crosses bundle boundary")
+	// ErrBadBranchTarget is returned when a direct control transfer does
+	// not target a valid instruction start.
+	ErrBadBranchTarget = errors.New("nacl: control transfer to invalid target")
+	// ErrUnreachable is returned when a non-padding instruction is not
+	// reachable from the entry point or any function start.
+	ErrUnreachable = errors.New("nacl: unreachable instruction")
+	// ErrUndecodable wraps decode failures — the symptom of mixed
+	// code/data pages, which EnGarde rejects.
+	ErrUndecodable = errors.New("nacl: undecodable byte sequence")
+)
+
+// Program is a validated instruction buffer. Unlike NaCl's sliding window,
+// EnGarde retains every decoded instruction so policy modules can random-
+// access the buffer (paper §4).
+type Program struct {
+	// Insts is the full decoded instruction sequence in address order.
+	Insts []x86.Inst
+	// Base and End delimit the validated text region.
+	Base, End uint64
+
+	index map[uint64]int
+}
+
+// InstAt returns the index of the instruction starting exactly at addr.
+func (p *Program) InstAt(addr uint64) (int, bool) {
+	i, ok := p.index[addr]
+	return i, ok
+}
+
+// IsInstStart reports whether addr is a decoded instruction boundary.
+func (p *Program) IsInstStart(addr uint64) bool {
+	_, ok := p.index[addr]
+	return ok
+}
+
+// Contains reports whether addr falls inside the validated region.
+func (p *Program) Contains(addr uint64) bool {
+	return addr >= p.Base && addr < p.End
+}
+
+// Validate decodes and validates the text region starting at base. entry
+// is the program entry point; tab supplies function starts for the
+// reachability rule (it may be nil, in which case only entry seeds the
+// reachability walk). Decoding work is charged to the disassembly phase of
+// counter when non-nil.
+func Validate(code []byte, base, entry uint64, tab *symtab.Table, counter *cycles.Counter) (*Program, error) {
+	p, err := DecodeProgram(code, base, counter)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.CheckReachability(entry, tab); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeProgram performs the first three validation rules (full decode,
+// bundle discipline, branch-target validity) without the reachability
+// walk. Callers recovering function boundaries from stripped binaries
+// (internal/funcid) decode first, recover, then run CheckReachability with
+// the recovered table.
+func DecodeProgram(code []byte, base uint64, counter *cycles.Counter) (*Program, error) {
+	p := &Program{
+		Base:  base,
+		End:   base + uint64(len(code)),
+		index: make(map[uint64]int, len(code)/4),
+	}
+
+	// Pass 1: full decode (rejects mixed code/data).
+	off := 0
+	for off < len(code) {
+		addr := base + uint64(off)
+		in, err := x86.Decode(code[off:], addr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: at %#x: %v", ErrUndecodable, addr, err)
+		}
+		p.index[addr] = len(p.Insts)
+		p.Insts = append(p.Insts, in)
+		off += in.Len
+	}
+	if counter != nil {
+		counter.Charge(cycles.PhaseDisasm, cycles.UnitDecodedInst, uint64(len(p.Insts)))
+	}
+
+	// Pass 2: bundle rule.
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if in.Addr/BundleSize != (in.Addr+uint64(in.Len)-1)/BundleSize {
+			return nil, fmt.Errorf("%w: %s at %#x (%d bytes)", ErrBundleCrossing, in.String(), in.Addr, in.Len)
+		}
+	}
+
+	// Pass 3: control-transfer targets. Targets outside the region (e.g.
+	// into a runtime the enclave doesn't have) are invalid too.
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		tgt, ok := in.BranchTarget()
+		if !ok {
+			continue
+		}
+		if !p.Contains(tgt) || !p.IsInstStart(tgt) {
+			return nil, fmt.Errorf("%w: %s at %#x targets %#x", ErrBadBranchTarget, in.String(), in.Addr, tgt)
+		}
+	}
+
+	return p, nil
+}
+
+// CheckReachability enforces the fourth rule: every non-padding
+// instruction must be reachable from the entry point or a function start.
+func (p *Program) CheckReachability(entry uint64, tab *symtab.Table) error {
+	reached := make([]bool, len(p.Insts))
+	var stack []int
+	push := func(addr uint64) {
+		if i, ok := p.index[addr]; ok && !reached[i] {
+			reached[i] = true
+			stack = append(stack, i)
+		}
+	}
+	push(entry)
+	if tab != nil {
+		for _, fn := range tab.Functions() {
+			push(fn.Addr)
+		}
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		in := &p.Insts[i]
+		// Branch edge.
+		if tgt, ok := in.BranchTarget(); ok {
+			push(tgt)
+		}
+		// Fall-through edge; ret and unconditional jmp do not fall
+		// through. Indirect jumps don't either, but their targets are
+		// function starts already seeded.
+		switch in.Op {
+		case x86.OpRet, x86.OpJmp, x86.OpJmpInd, x86.OpUd2, x86.OpHlt:
+		default:
+			push(in.Addr + uint64(in.Len))
+		}
+	}
+	for i := range p.Insts {
+		if !reached[i] && p.Insts[i].Op != x86.OpNop {
+			return fmt.Errorf("%w: %s at %#x", ErrUnreachable, p.Insts[i].String(), p.Insts[i].Addr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+// Package asan implements an AddressSanitizer-compliance policy module.
+// The paper notes that its stack-protection check "can easily be
+// customized to check stack protection instrumentation inserted by other
+// tools, such as Google's AddressSanitizer, LLVM SoftBound, etc." (§5) —
+// this module is that customization for the simplified ASan scheme the
+// synthetic toolchain emits: every store to a stack frame slot must be
+// preceded by a shadow-byte check,
+//
+//	lea   slot(%rsp), R       ; the address being stored to
+//	shr   $3, R               ; shadow index
+//	and   $(shadowSize-1), R  ; masked into the shadow region
+//	lea   <shadow>(%rip), S
+//	add   S, R
+//	cmpb  $0, (R)
+//	je    <the store>
+//	call  __asan_report
+//
+// with data dependence between the registers, the je landing exactly on
+// the guarded store, and the call targeting the sanitizer's report
+// function. The canary slot at (%rsp) is exempt (compiler-generated, as in
+// real ASan).
+package asan
+
+import (
+	"fmt"
+
+	"engarde/internal/policy"
+	"engarde/internal/x86"
+)
+
+// ReportFunc is the sanitizer runtime entry the guard must call.
+const ReportFunc = "__asan_report"
+
+// Module is the sanitizer-compliance policy module.
+type Module struct {
+	// ExemptFuncs names functions whose instrumentation this module does
+	// not demand — typically the approved library's functions, whose
+	// exact bytes the library-linking policy already pins, plus the
+	// sanitizer runtime itself.
+	ExemptFuncs map[string]bool
+}
+
+// New returns the module with the given exempt function names.
+func New(exempt ...string) *Module {
+	m := &Module{ExemptFuncs: make(map[string]bool, len(exempt)+1)}
+	m.ExemptFuncs[ReportFunc] = true
+	for _, name := range exempt {
+		m.ExemptFuncs[name] = true
+	}
+	return m
+}
+
+// Name implements policy.Module.
+func (m *Module) Name() string { return "address-sanitizer" }
+
+// Check implements policy.Module.
+func (m *Module) Check(ctx *policy.Context) error {
+	p := ctx.Program
+	for _, fn := range ctx.Symbols.Functions() {
+		ctx.ChargeLookup(1)
+		if m.ExemptFuncs[fn.Name] {
+			continue
+		}
+		start, ok := p.InstAt(fn.Addr)
+		if !ok {
+			continue
+		}
+		end := len(p.Insts)
+		if next, ok := ctx.Symbols.NextFuncAfter(fn.Addr); ok {
+			if ni, ok := p.InstAt(next); ok {
+				end = ni
+			}
+		}
+		for i := start; i < end; i++ {
+			ctx.ChargeScan(1)
+			in := &p.Insts[i]
+			slot, ok := frameStore(in)
+			if !ok || slot == 0 {
+				// Not a frame store, or the canary slot (exempt).
+				continue
+			}
+			ctx.ChargePattern(2)
+			if err := m.checkGuard(ctx, i, slot); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkGuard validates the shadow-check chain preceding the store at
+// index si.
+func (m *Module) checkGuard(ctx *policy.Context, si int, slot int64) error {
+	p := ctx.Program
+	store := &p.Insts[si]
+	prev := func(i int) int {
+		i--
+		for i >= 0 && p.Insts[i].Op == x86.OpNop {
+			ctx.ChargeScan(1)
+			i--
+		}
+		return i
+	}
+	fail := func(step string) error {
+		return &policy.Violation{
+			Module: m.Name(), Addr: store.Addr,
+			Reason: fmt.Sprintf("store to %d(%%rsp) lacks sanitizer guard (%s)", slot, step),
+		}
+	}
+
+	// call __asan_report (the poisoned path, jumped over by je).
+	ci := prev(si)
+	ctx.ChargePattern(2)
+	if ci < 0 || !p.Insts[ci].IsDirectCall() {
+		return fail("missing report call")
+	}
+	tgt, _ := p.Insts[ci].BranchTarget()
+	ctx.ChargeLookup(1)
+	if name, ok := ctx.Symbols.NameAt(tgt); !ok || name != ReportFunc {
+		return fail("report call targets the wrong function")
+	}
+
+	// je <store>.
+	ji := prev(ci)
+	ctx.ChargePattern(2)
+	if ji < 0 || p.Insts[ji].Op != x86.OpJcc || p.Insts[ji].Cond != x86.CondE {
+		return fail("missing je")
+	}
+	if jt, ok := p.Insts[ji].BranchTarget(); !ok || jt != store.Addr {
+		return fail("je does not guard the store")
+	}
+
+	// cmpb $0, (R).
+	cmpi := prev(ji)
+	ctx.ChargePattern(2)
+	if cmpi < 0 {
+		return fail("missing shadow compare")
+	}
+	cmp := &p.Insts[cmpi]
+	if cmp.Op != x86.OpCmp || cmp.NArgs != 2 ||
+		cmp.Args[0].Kind != x86.KindMem || cmp.Args[0].Width != 1 ||
+		cmp.Args[1].Kind != x86.KindImm || cmp.Args[1].Imm != 0 {
+		return fail("shadow compare malformed")
+	}
+	shadowReg := cmp.Args[0].Mem.Base
+
+	// add S, R.
+	ai := prev(cmpi)
+	ctx.ChargePattern(2)
+	if ai < 0 || p.Insts[ai].Op != x86.OpAdd || !p.Insts[ai].Args[0].IsReg(shadowReg) ||
+		p.Insts[ai].Args[1].Kind != x86.KindReg {
+		return fail("missing shadow rebase")
+	}
+	baseReg := p.Insts[ai].Args[1].Reg
+
+	// lea <shadow>(%rip), S.
+	li := prev(ai)
+	ctx.ChargePattern(2)
+	if li < 0 || p.Insts[li].Op != x86.OpLea || !p.Insts[li].Args[0].IsReg(baseReg) {
+		return fail("missing shadow base load")
+	}
+	if _, ok := p.Insts[li].RIPTarget(); !ok {
+		return fail("shadow base is not RIP-relative")
+	}
+
+	// and $(size-1), R — the mask keeping the index inside the shadow.
+	ni := prev(li)
+	ctx.ChargePattern(2)
+	if ni < 0 || p.Insts[ni].Op != x86.OpAnd || !p.Insts[ni].Args[0].IsReg(shadowReg) {
+		return fail("missing index mask")
+	}
+	mask := uint64(p.Insts[ni].Imm)
+	if mask == 0 || (mask+1)&mask != 0 {
+		return fail("mask is not 2^n-1")
+	}
+
+	// shr $3, R — ASan's 8-bytes-per-shadow-byte scaling.
+	sh := prev(ni)
+	ctx.ChargePattern(2)
+	if sh < 0 || p.Insts[sh].Op != x86.OpShr || !p.Insts[sh].Args[0].IsReg(shadowReg) ||
+		p.Insts[sh].Imm != 3 {
+		return fail("missing shadow scaling")
+	}
+
+	// lea slot(%rsp), R — the guarded address must be the stored one.
+	le := prev(sh)
+	ctx.ChargePattern(2)
+	if le < 0 || p.Insts[le].Op != x86.OpLea || !p.Insts[le].Args[0].IsReg(shadowReg) {
+		return fail("missing address computation")
+	}
+	leaMem := p.Insts[le].Args[1].Mem
+	if leaMem.Base != x86.RegSP || leaMem.Disp != slot {
+		return fail("guard checks a different address than the store")
+	}
+	return nil
+}
+
+// frameStore matches "mov REG, disp(%rsp)" and returns the slot.
+func frameStore(in *x86.Inst) (int64, bool) {
+	if in.Op != x86.OpMov || in.NArgs != 2 {
+		return 0, false
+	}
+	dst, src := in.Args[0], in.Args[1]
+	if src.Kind != x86.KindReg || dst.Kind != x86.KindMem {
+		return 0, false
+	}
+	mem := dst.Mem
+	if mem.Base != x86.RegSP || mem.Index != x86.RegNone || mem.Seg != x86.SegNone {
+		return 0, false
+	}
+	return mem.Disp, true
+}

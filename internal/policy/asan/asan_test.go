@@ -1,0 +1,74 @@
+package asan
+
+import (
+	"strings"
+	"testing"
+
+	"engarde/internal/policy"
+	"engarde/internal/policy/policytest"
+	"engarde/internal/toolchain"
+)
+
+func cfg(instrumented bool) toolchain.Config {
+	return toolchain.Config{
+		Name: "as", Seed: 71,
+		NumFuncs: 8, AvgFuncInsts: 60,
+		LibcCallRate: 0.04,
+		ASan:         instrumented,
+	}
+}
+
+func TestInstrumentedBinaryPasses(t *testing.T) {
+	bin := policytest.Build(t, cfg(true))
+	ctx := policytest.Context(t, bin)
+	if err := New(toolchain.MuslFunctionNames()...).Check(ctx); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestUninstrumentedBinaryRejected(t *testing.T) {
+	bin := policytest.Build(t, cfg(false))
+	ctx := policytest.Context(t, bin)
+	err := New(toolchain.MuslFunctionNames()...).Check(ctx)
+	v, ok := policy.AsViolation(err)
+	if !ok {
+		t.Fatalf("Check = %v, want violation", err)
+	}
+	if !strings.Contains(v.Reason, "sanitizer") {
+		t.Errorf("reason = %q", v.Reason)
+	}
+}
+
+func TestASanPlusStackProtector(t *testing.T) {
+	// The two hardening schemes coexist; the canary store is exempt from
+	// the sanitizer check, as in real ASan.
+	c := cfg(true)
+	c.StackProtector = true
+	bin := policytest.Build(t, c)
+	ctx := policytest.Context(t, bin)
+	if err := New(toolchain.MuslFunctionNames()...).Check(ctx); err != nil {
+		t.Errorf("Check with canaries: %v", err)
+	}
+}
+
+func TestTamperedGuardRejected(t *testing.T) {
+	// Neutralize one shadow scale step (shr $3 → shr $0... patch imm):
+	// 49 C1 EB 03 is shr $3, %r11.
+	bin := policytest.Build(t, cfg(true))
+	img := bin.Image
+	patched := false
+	for i := 0; i+4 <= len(img); i++ {
+		if img[i] == 0x49 && img[i+1] == 0xC1 && img[i+2] == 0xEB && img[i+3] == 0x03 {
+			img[i+3] = 0x02
+			patched = true
+			break
+		}
+	}
+	if !patched {
+		t.Skip("no shr $3, %%r11 found (register allocation changed)")
+	}
+	ctx := policytest.Context(t, bin)
+	if err := New(toolchain.MuslFunctionNames()...).Check(ctx); err == nil {
+		t.Error("tampered shadow scaling must be rejected")
+	}
+}

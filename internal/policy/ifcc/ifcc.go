@@ -1,0 +1,227 @@
+// Package ifcc implements the indirect function-call compliance policy of
+// the paper's evaluation (§5, Figure 5): it verifies that the executable
+// was compiled with LLVM's indirect function-call checks (IFCC, Tice et
+// al.), i.e. that every indirect call site carries the guard sequence
+//
+//	lea   <jump-table>(%rip), %rax
+//	sub   %eax, %ecx
+//	and   $<mask>, %rcx
+//	add   %rax, %rcx
+//	callq *%rcx
+//
+// with data dependence between the registers, and that the masked target
+// necessarily lands inside the jump table, whose entries all have the form
+//
+//	jmpq <function> ; nopl (%rax)
+//
+// Following the paper's algorithm: the module first figures out the range
+// of the jump table (via the __llvm_jump_instr_table symbols and the
+// entry-format invariant), then iterates through the instruction buffer
+// looking for indirect calls and pattern-matching the guard before each.
+package ifcc
+
+import (
+	"fmt"
+	"strings"
+
+	"engarde/internal/policy"
+	"engarde/internal/symtab"
+	"engarde/internal/x86"
+)
+
+// TableSymbolPrefix is the LLVM jump-table symbol prefix.
+const TableSymbolPrefix = "__llvm_jump_instr_table_"
+
+// slotSize is the jump-table entry stride (jmpq rel32 + nopl = 8 bytes).
+const slotSize = 8
+
+// Module is the IFCC policy module.
+type Module struct{}
+
+// New returns the module.
+func New() *Module { return &Module{} }
+
+// Name implements policy.Module.
+func (m *Module) Name() string { return "ifcc" }
+
+// table describes a discovered jump table.
+type table struct {
+	base uint64
+	size uint64 // bytes; power of two × slotSize
+}
+
+// Check implements policy.Module.
+func (m *Module) Check(ctx *policy.Context) error {
+	tbl, err := m.findJumpTable(ctx)
+	if err != nil {
+		return err
+	}
+
+	p := ctx.Program
+	for i := range p.Insts {
+		// Visiting an instruction means inspecting its opcode and both
+		// operand slots for the indirect-call shape.
+		ctx.ChargeScan(1)
+		ctx.ChargePattern(3)
+		in := &p.Insts[i]
+		if !in.IsIndirectCall() {
+			continue
+		}
+		if tbl == nil {
+			return &policy.Violation{
+				Module: m.Name(), Addr: in.Addr,
+				Reason: "indirect call present but the binary has no IFCC jump table",
+			}
+		}
+		if err := m.checkCallSite(ctx, i, tbl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// findJumpTable locates the jump table via its symbols and verifies the
+// entry format invariant the paper relies on. Returns nil (no error) when
+// the binary simply has no table.
+func (m *Module) findJumpTable(ctx *policy.Context) (*table, error) {
+	var entries []symtab.Entry
+	for _, fn := range ctx.Symbols.Functions() {
+		ctx.ChargeLookup(1)
+		if strings.HasPrefix(fn.Name, TableSymbolPrefix) {
+			entries = append(entries, fn)
+		}
+	}
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	// Functions() is address-sorted, so entries are in table order.
+	base := entries[0].Addr
+	size := uint64(len(entries)) * slotSize
+	p := ctx.Program
+
+	// Verify contiguity and the jmpq/nopl format of every slot.
+	for k, ent := range entries {
+		ctx.ChargePattern(3)
+		want := base + uint64(k)*slotSize
+		if ent.Addr != want {
+			return nil, &policy.Violation{
+				Module: m.Name(), Addr: ent.Addr,
+				Reason: fmt.Sprintf("jump table not contiguous at slot %d", k),
+			}
+		}
+		ji, ok := p.InstAt(ent.Addr)
+		if !ok || p.Insts[ji].Op != x86.OpJmp {
+			return nil, &policy.Violation{
+				Module: m.Name(), Addr: ent.Addr,
+				Reason: fmt.Sprintf("jump table slot %d is not a jmpq", k),
+			}
+		}
+		if ji+1 >= len(p.Insts) || p.Insts[ji+1].Op != x86.OpNop || p.Insts[ji+1].Len != 3 {
+			return nil, &policy.Violation{
+				Module: m.Name(), Addr: ent.Addr,
+				Reason: fmt.Sprintf("jump table slot %d is not jmpq+nopl", k),
+			}
+		}
+		// Slot targets must be valid function starts outside the table.
+		tgt, _ := p.Insts[ji].BranchTarget()
+		ctx.ChargeLookup(1)
+		if name, ok := ctx.Symbols.NameAt(tgt); !ok || strings.HasPrefix(name, TableSymbolPrefix) {
+			return nil, &policy.Violation{
+				Module: m.Name(), Addr: ent.Addr,
+				Reason: fmt.Sprintf("jump table slot %d targets a non-function", k),
+			}
+		}
+	}
+	// The and-mask argument requires a power-of-two table size and
+	// size-aligned base.
+	if size&(size-1) != 0 {
+		return nil, &policy.Violation{
+			Module: m.Name(), Addr: base,
+			Reason: fmt.Sprintf("jump table size %d is not a power of two", size),
+		}
+	}
+	if base%size != 0 {
+		return nil, &policy.Violation{
+			Module: m.Name(), Addr: base,
+			Reason: "jump table is not aligned to its size",
+		}
+	}
+	return &table{base: base, size: size}, nil
+}
+
+// checkCallSite verifies the guard sequence ending in the indirect call at
+// instruction index ci. Alignment NOPs may be interleaved.
+func (m *Module) checkCallSite(ctx *policy.Context, ci int, tbl *table) error {
+	p := ctx.Program
+	call := &p.Insts[ci]
+	if call.NArgs != 1 || call.Args[0].Kind != x86.KindReg {
+		return m.siteViolation(call, "indirect call through memory cannot carry an IFCC guard")
+	}
+	ptrReg := call.Args[0].Reg
+
+	// Walk backwards over the guard, skipping NOPs.
+	prev := func(i int) int {
+		i--
+		for i >= 0 && p.Insts[i].Op == x86.OpNop {
+			ctx.ChargeScan(1)
+			i--
+		}
+		return i
+	}
+
+	// add %rax, %rcx (dst = ptrReg, src = base register).
+	ai := prev(ci)
+	ctx.ChargePattern(2)
+	if ai < 0 || p.Insts[ai].Op != x86.OpAdd || p.Insts[ai].NArgs != 2 ||
+		!p.Insts[ai].Args[0].IsReg(ptrReg) || p.Insts[ai].Args[1].Kind != x86.KindReg {
+		return m.siteViolation(call, "missing add step of IFCC guard")
+	}
+	baseReg := p.Insts[ai].Args[1].Reg
+
+	// and $mask, %rcx.
+	ni := prev(ai)
+	ctx.ChargePattern(2)
+	if ni < 0 || p.Insts[ni].Op != x86.OpAnd || p.Insts[ni].NArgs != 2 ||
+		!p.Insts[ni].Args[0].IsReg(ptrReg) {
+		return m.siteViolation(call, "missing and-mask step of IFCC guard")
+	}
+	mask := uint64(p.Insts[ni].Imm)
+	if mask != tbl.size-slotSize {
+		return m.siteViolation(call, fmt.Sprintf(
+			"IFCC mask %#x does not match jump table size %#x", mask, tbl.size))
+	}
+	if mask%slotSize != 0 {
+		return m.siteViolation(call, "IFCC mask does not preserve slot alignment")
+	}
+
+	// sub %eax, %ecx (32-bit, dst = ptrReg, src = baseReg).
+	si := prev(ni)
+	ctx.ChargePattern(2)
+	if si < 0 || p.Insts[si].Op != x86.OpSub || p.Insts[si].NArgs != 2 ||
+		!p.Insts[si].Args[0].IsReg(ptrReg) || !p.Insts[si].Args[1].IsReg(baseReg) {
+		return m.siteViolation(call, "missing sub step of IFCC guard")
+	}
+
+	// lea table(%rip), %rax.
+	li := prev(si)
+	ctx.ChargePattern(2)
+	if li < 0 || p.Insts[li].Op != x86.OpLea || !p.Insts[li].Args[0].IsReg(baseReg) {
+		return m.siteViolation(call, "missing lea step of IFCC guard")
+	}
+	leaTgt, ok := p.Insts[li].RIPTarget()
+	if !ok || leaTgt != tbl.base {
+		return m.siteViolation(call, fmt.Sprintf(
+			"IFCC guard base %#x is not the jump table %#x", leaTgt, tbl.base))
+	}
+
+	// With base == table, mask == size-8 and slot-aligned masking, the
+	// computed target base + (ptr-base)&mask necessarily lands on a slot
+	// inside [table, table+size) — the "target is within the range of the
+	// jump table" conclusion of the paper's check.
+	ctx.ChargePattern(1)
+	return nil
+}
+
+func (m *Module) siteViolation(call *x86.Inst, reason string) error {
+	return &policy.Violation{Module: m.Name(), Addr: call.Addr, Reason: reason}
+}

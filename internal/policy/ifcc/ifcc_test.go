@@ -1,0 +1,144 @@
+package ifcc
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"engarde/internal/cycles"
+	"engarde/internal/policy"
+	"engarde/internal/policy/policytest"
+	"engarde/internal/toolchain"
+)
+
+func cfg(ifcc bool) toolchain.Config {
+	return toolchain.Config{
+		Name: "ic", Seed: 41,
+		NumFuncs: 10, AvgFuncInsts: 80,
+		IndirectRate:       0.03,
+		NumIndirectTargets: 5,
+		IFCC:               ifcc,
+	}
+}
+
+func TestInstrumentedBinaryPasses(t *testing.T) {
+	bin := policytest.Build(t, cfg(true))
+	ctx := policytest.Context(t, bin)
+	if err := New().Check(ctx); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestUninstrumentedBinaryRejected(t *testing.T) {
+	bin := policytest.Build(t, cfg(false))
+	ctx := policytest.Context(t, bin)
+	err := New().Check(ctx)
+	v, ok := policy.AsViolation(err)
+	if !ok {
+		t.Fatalf("Check = %v, want violation", err)
+	}
+	if v.Addr == 0 {
+		t.Error("violation should carry the indirect-call address")
+	}
+}
+
+func TestNoIndirectCallsPasses(t *testing.T) {
+	// A program without indirect calls trivially complies even without a
+	// jump table.
+	c := cfg(false)
+	c.IndirectRate = 0
+	bin := policytest.Build(t, c)
+	ctx := policytest.Context(t, bin)
+	if err := New().Check(ctx); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestTamperedMaskRejected(t *testing.T) {
+	// Widen one guard's and-mask: the masked target could then escape the
+	// jump table, so the policy must reject it.
+	bin := policytest.Build(t, cfg(true))
+	// The guard's and is 48 81 E1 <imm32> with imm = tableSize-8.
+	mask := uint32(bin.JumpTableSize - 8)
+	img := bin.Image
+	patched := false
+	for i := 0; i+7 <= len(img); i++ {
+		if img[i] == 0x48 && img[i+1] == 0x81 && img[i+2] == 0xE1 &&
+			binary.LittleEndian.Uint32(img[i+3:]) == mask {
+			binary.LittleEndian.PutUint32(img[i+3:], 0xFFF8)
+			patched = true
+			break
+		}
+	}
+	if !patched {
+		t.Fatal("no IFCC and-mask found to patch")
+	}
+	ctx := policytest.Context(t, bin)
+	if err := New().Check(ctx); err == nil {
+		t.Error("widened mask must be rejected")
+	}
+}
+
+func TestMissingGuardStepRejected(t *testing.T) {
+	// Replace the sub step (29 C1: sub %eax,%ecx) preceding a guard with
+	// NOPs: data dependence is broken.
+	bin := policytest.Build(t, cfg(true))
+	img := bin.Image
+	patched := false
+	for i := 0; i+2 <= len(img); i++ {
+		if img[i] == 0x29 && img[i+1] == 0xC1 {
+			img[i], img[i+1] = 0x90, 0x90
+			patched = true
+			break
+		}
+	}
+	if !patched {
+		t.Skip("no sub eax,ecx sequence found (register allocation changed)")
+	}
+	ctx := policytest.Context(t, bin)
+	if err := New().Check(ctx); err == nil {
+		t.Error("guard with missing sub step must be rejected")
+	}
+}
+
+func TestJumpTableDiscovery(t *testing.T) {
+	bin := policytest.Build(t, cfg(true))
+	ctx := policytest.Context(t, bin)
+	m := New()
+	tbl, err := m.findJumpTable(ctx)
+	if err != nil {
+		t.Fatalf("findJumpTable: %v", err)
+	}
+	if tbl == nil {
+		t.Fatal("no table found")
+	}
+	if tbl.base != bin.JumpTableAddr || tbl.size != bin.JumpTableSize {
+		t.Errorf("table = %#x+%#x, want %#x+%#x", tbl.base, tbl.size,
+			bin.JumpTableAddr, bin.JumpTableSize)
+	}
+}
+
+func TestCheckCostRoughlyLinear(t *testing.T) {
+	// Figure 5's checking cost is almost uniform per instruction across
+	// benchmarks — the scan dominates. Verify our per-instruction cost
+	// stays in a narrow band across very different shapes.
+	a := policytest.Build(t, toolchain.Config{
+		Name: "lin-a", Seed: 42, NumFuncs: 40, AvgFuncInsts: 60,
+		IFCC: true, IndirectRate: 0.01, NumIndirectTargets: 4})
+	b := policytest.Build(t, toolchain.Config{
+		Name: "lin-b", Seed: 43, NumFuncs: 4, AvgFuncInsts: 900,
+		IFCC: true, IndirectRate: 0.01, NumIndirectTargets: 4})
+	ctxA := policytest.Context(t, a)
+	ctxB := policytest.Context(t, b)
+	if err := New().Check(ctxA); err != nil {
+		t.Fatal(err)
+	}
+	if err := New().Check(ctxB); err != nil {
+		t.Fatal(err)
+	}
+	perA := float64(ctxA.Counter.Cycles(cycles.PhasePolicy)) / float64(a.NumInsts)
+	perB := float64(ctxB.Counter.Cycles(cycles.PhasePolicy)) / float64(b.NumInsts)
+	ratio := perA / perB
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("per-instruction cost ratio %.2f outside [0.5, 2.0] (%.1f vs %.1f)", ratio, perA, perB)
+	}
+}

@@ -1,0 +1,103 @@
+package liblink
+
+import (
+	"testing"
+
+	"engarde/internal/cycles"
+	"engarde/internal/policy"
+	"engarde/internal/policy/policytest"
+	"engarde/internal/toolchain"
+)
+
+func cfg() toolchain.Config {
+	return toolchain.Config{
+		Name: "ll", Seed: 21,
+		NumFuncs: 10, AvgFuncInsts: 70,
+		LibcCallRate: 0.08, AppCallRate: 0.02,
+	}
+}
+
+func TestCompliantBinaryPasses(t *testing.T) {
+	bin := policytest.Build(t, cfg())
+	ctx := policytest.Context(t, bin)
+	db, err := toolchain.MuslHashDB(toolchain.MuslV105, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New("musl-libc v1.0.5", db)
+	m.RequireUse = true
+	if err := m.Check(ctx); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestWrongLibraryVersionRejected(t *testing.T) {
+	// The binary links musl 1.0.5, but the provider's database comes from
+	// 1.1.0: every hashed function differs.
+	bin := policytest.Build(t, cfg())
+	ctx := policytest.Context(t, bin)
+	db, err := toolchain.MuslHashDB(toolchain.MuslV110, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = New("musl-libc v1.1.0", db).Check(ctx)
+	if err == nil {
+		t.Fatal("expected violation for wrong library version")
+	}
+	if _, ok := policy.AsViolation(err); !ok {
+		t.Errorf("error is not a Violation: %v", err)
+	}
+}
+
+func TestBinaryLinkingOtherVersionRejected(t *testing.T) {
+	// Conversely: binary built against 1.1.0, provider requires 1.0.5.
+	c := cfg()
+	c.MuslVersion = toolchain.MuslV110
+	bin := policytest.Build(t, c)
+	ctx := policytest.Context(t, bin)
+	db, err := toolchain.MuslHashDB(toolchain.MuslV105, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := New("musl-libc v1.0.5", db).Check(ctx); err == nil {
+		t.Fatal("expected violation")
+	}
+}
+
+func TestRequireUse(t *testing.T) {
+	bin := policytest.Build(t, cfg())
+	ctx := policytest.Context(t, bin)
+	// An empty database means no call ever matches a library function.
+	m := New("musl-libc v1.0.5", map[string][32]byte{})
+	m.RequireUse = true
+	err := m.Check(ctx)
+	v, ok := policy.AsViolation(err)
+	if !ok {
+		t.Fatalf("Check = %v, want require-use violation", err)
+	}
+	if v.Addr != 0 {
+		t.Errorf("require-use violation should not carry an address")
+	}
+}
+
+func TestChargesAccounted(t *testing.T) {
+	bin := policytest.Build(t, cfg())
+	ctx := policytest.Context(t, bin)
+	db, err := toolchain.MuslHashDB(toolchain.MuslV105, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := New("musl", db).Check(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The scan must have visited every instruction, and hashing must have
+	// processed a multiple of the text (hot functions re-hashed per call).
+	scans := ctx.Counter.Units(cycles.PhasePolicy, cycles.UnitScanInst)
+	if scans < uint64(bin.NumInsts) {
+		t.Errorf("scanned %d < %d instructions", scans, bin.NumInsts)
+	}
+	hashed := ctx.Counter.Units(cycles.PhasePolicy, cycles.UnitHashedByte)
+	if hashed == 0 {
+		t.Error("no bytes hashed; the library check did not run")
+	}
+}

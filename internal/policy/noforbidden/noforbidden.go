@@ -1,0 +1,67 @@
+// Package noforbidden implements a forbidden-instruction policy module.
+// SGX enclaves cannot invoke OS services: SYSCALL, INT and privileged
+// instructions fault inside an enclave (paper §2: "An enclave can only
+// execute user-mode code and cannot invoke any OS services"). A provider
+// therefore gains nothing from allowing them — but code that *carries*
+// them is at best broken and at worst probing for emulator gaps or
+// preparing detection-proof behaviour outside the enclave. This module
+// rejects executables containing any instruction from a configurable deny
+// list.
+//
+// This is a fourth policy module beyond the paper's three, demonstrating
+// the pluggable-module architecture of §3 on a fresh policy.
+package noforbidden
+
+import (
+	"fmt"
+
+	"engarde/internal/policy"
+	"engarde/internal/x86"
+)
+
+// Module is the forbidden-instruction policy module.
+type Module struct {
+	deny map[x86.Op]bool
+}
+
+// DefaultDenied returns the default deny list: OS-service and privileged
+// control instructions that cannot legally execute inside an enclave.
+func DefaultDenied() []x86.Op {
+	return []x86.Op{
+		x86.OpSyscall, x86.OpInt, x86.OpHlt,
+		x86.OpIn, x86.OpOut,
+		x86.OpCli, x86.OpSti,
+	}
+}
+
+// New builds the module; with no arguments it uses DefaultDenied.
+func New(denied ...x86.Op) *Module {
+	if len(denied) == 0 {
+		denied = DefaultDenied()
+	}
+	m := &Module{deny: make(map[x86.Op]bool, len(denied))}
+	for _, op := range denied {
+		m.deny[op] = true
+	}
+	return m
+}
+
+// Name implements policy.Module.
+func (m *Module) Name() string { return "no-forbidden-instructions" }
+
+// Check implements policy.Module.
+func (m *Module) Check(ctx *policy.Context) error {
+	p := ctx.Program
+	for i := range p.Insts {
+		ctx.ChargeScan(1)
+		ctx.ChargePattern(1)
+		in := &p.Insts[i]
+		if m.deny[in.Op] {
+			return &policy.Violation{
+				Module: m.Name(), Addr: in.Addr,
+				Reason: fmt.Sprintf("forbidden instruction %s (enclaves cannot invoke OS services)", in.String()),
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package noforbidden
+
+import (
+	"strings"
+	"testing"
+
+	"engarde/internal/cycles"
+	"engarde/internal/policy"
+	"engarde/internal/policy/policytest"
+	"engarde/internal/toolchain"
+	"engarde/internal/x86"
+)
+
+func cfg(withSyscall bool) toolchain.Config {
+	return toolchain.Config{
+		Name: "nf", Seed: 51,
+		NumFuncs: 6, AvgFuncInsts: 50,
+		EmitSyscall: withSyscall,
+	}
+}
+
+func TestCleanBinaryPasses(t *testing.T) {
+	bin := policytest.Build(t, cfg(false))
+	ctx := policytest.Context(t, bin)
+	if err := New().Check(ctx); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestSyscallRejected(t *testing.T) {
+	bin := policytest.Build(t, cfg(true))
+	ctx := policytest.Context(t, bin)
+	err := New().Check(ctx)
+	v, ok := policy.AsViolation(err)
+	if !ok {
+		t.Fatalf("Check = %v, want violation", err)
+	}
+	if !strings.Contains(v.Reason, "syscall") {
+		t.Errorf("reason %q does not name the instruction", v.Reason)
+	}
+	if v.Addr == 0 {
+		t.Error("violation should carry the address")
+	}
+}
+
+func TestCustomDenyList(t *testing.T) {
+	// A deny list without OpSyscall lets the syscall binary through.
+	bin := policytest.Build(t, cfg(true))
+	ctx := policytest.Context(t, bin)
+	m := New(x86.OpHlt, x86.OpIn, x86.OpOut)
+	if err := m.Check(ctx); err != nil {
+		t.Errorf("Check with custom list: %v", err)
+	}
+}
+
+func TestDefaultListContents(t *testing.T) {
+	denied := DefaultDenied()
+	want := map[x86.Op]bool{x86.OpSyscall: true, x86.OpInt: true, x86.OpHlt: true}
+	found := 0
+	for _, op := range denied {
+		if want[op] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Errorf("default deny list missing core entries: %v", denied)
+	}
+}
+
+func TestChargesWork(t *testing.T) {
+	bin := policytest.Build(t, cfg(false))
+	ctx := policytest.Context(t, bin)
+	if err := New().Check(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The scan must visit every instruction exactly once.
+	scans := ctx.Counter.Units(cycles.PhasePolicy, cycles.UnitScanInst)
+	if scans < uint64(bin.NumInsts) {
+		t.Errorf("scanned %d < %d", scans, bin.NumInsts)
+	}
+}

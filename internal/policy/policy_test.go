@@ -1,0 +1,121 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"engarde/internal/cycles"
+)
+
+// fakeModule is a scriptable policy module.
+type fakeModule struct {
+	name   string
+	err    error
+	called *int
+}
+
+func (m *fakeModule) Name() string { return m.name }
+func (m *fakeModule) Check(*Context) error {
+	if m.called != nil {
+		*m.called++
+	}
+	return m.err
+}
+
+func TestSetRunsInOrderAndStopsAtViolation(t *testing.T) {
+	var aCalls, bCalls, cCalls int
+	v := &Violation{Module: "b", Addr: 0x40, Reason: "nope"}
+	s := NewSet(
+		&fakeModule{name: "a", called: &aCalls},
+		&fakeModule{name: "b", called: &bCalls, err: v},
+		&fakeModule{name: "c", called: &cCalls},
+	)
+	err := s.Check(&Context{})
+	if err == nil {
+		t.Fatal("expected violation")
+	}
+	if aCalls != 1 || bCalls != 1 || cCalls != 0 {
+		t.Errorf("calls = %d/%d/%d, want 1/1/0", aCalls, bCalls, cCalls)
+	}
+	got, ok := AsViolation(err)
+	if !ok || got != v {
+		t.Errorf("AsViolation = %v, %v", got, ok)
+	}
+}
+
+func TestSetAllPass(t *testing.T) {
+	s := NewSet(&fakeModule{name: "a"}, &fakeModule{name: "b"})
+	if err := s.Check(&Context{}); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestSetAdd(t *testing.T) {
+	s := NewSet()
+	s.Add(&fakeModule{name: "x"})
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestNonViolationErrorPropagates(t *testing.T) {
+	boom := errors.New("machinery broke")
+	s := NewSet(&fakeModule{name: "a", err: boom})
+	err := s.Check(&Context{})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if _, ok := AsViolation(err); ok {
+		t.Error("plain error must not be a Violation")
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Module: "m", Addr: 0x1234, Reason: "bad"}
+	if msg := v.Error(); msg != "policy m: violation at 0x1234: bad" {
+		t.Errorf("Error() = %q", msg)
+	}
+	v2 := &Violation{Module: "m", Reason: "global"}
+	if msg := v2.Error(); msg != "policy m: violation: global" {
+		t.Errorf("Error() = %q", msg)
+	}
+	// Wrapped violations still extract.
+	wrapped := fmt.Errorf("module m: %w", v)
+	if got, ok := AsViolation(wrapped); !ok || got != v {
+		t.Error("wrapped violation not extracted")
+	}
+}
+
+func TestContextChargesNilCounterSafe(t *testing.T) {
+	ctx := &Context{} // no counter
+	ctx.ChargeScan(5)
+	ctx.ChargeLookup(5)
+	ctx.ChargePattern(5)
+	ctx.ChargeHash(100)
+}
+
+func TestContextCharges(t *testing.T) {
+	ctr := cycles.NewCounter(cycles.DefaultModel())
+	ctx := &Context{Counter: ctr}
+	ctx.ChargeScan(3)
+	ctx.ChargeLookup(2)
+	ctx.ChargePattern(4)
+	ctx.ChargeHash(64)
+	if got := ctr.Units(cycles.PhasePolicy, cycles.UnitScanInst); got != 3 {
+		t.Errorf("scan units = %d", got)
+	}
+	if got := ctr.Units(cycles.PhasePolicy, cycles.UnitHashedByte); got != 64 {
+		t.Errorf("hashed bytes = %d", got)
+	}
+	if got := ctr.Units(cycles.PhasePolicy, cycles.UnitHashInit); got != 1 {
+		t.Errorf("hash inits = %d", got)
+	}
+}

@@ -1,0 +1,46 @@
+// Package policytest provides shared helpers for policy-module tests: it
+// runs a built binary through the same parse → symtab → validate pipeline
+// EnGarde's core uses and hands back a ready policy.Context.
+package policytest
+
+import (
+	"testing"
+
+	"engarde/internal/cycles"
+	"engarde/internal/elf64"
+	"engarde/internal/nacl"
+	"engarde/internal/policy"
+	"engarde/internal/symtab"
+	"engarde/internal/toolchain"
+)
+
+// Context disassembles and validates bin and returns a policy context over
+// it, with a fresh default-model counter attached.
+func Context(t *testing.T, bin *toolchain.Binary) *policy.Context {
+	t.Helper()
+	f, err := elf64.Parse(bin.Image)
+	if err != nil {
+		t.Fatalf("policytest: parse: %v", err)
+	}
+	tab, err := symtab.FromELF(f)
+	if err != nil {
+		t.Fatalf("policytest: symtab: %v", err)
+	}
+	text := f.Section(".text")
+	ctr := cycles.NewCounter(cycles.DefaultModel())
+	prog, err := nacl.Validate(text.Data, text.Addr, f.Header.Entry, tab, ctr)
+	if err != nil {
+		t.Fatalf("policytest: validate: %v", err)
+	}
+	return &policy.Context{Program: prog, Symbols: tab, Counter: ctr}
+}
+
+// Build builds a toolchain config or fails the test.
+func Build(t *testing.T, cfg toolchain.Config) *toolchain.Binary {
+	t.Helper()
+	bin, err := toolchain.Build(cfg)
+	if err != nil {
+		t.Fatalf("policytest: build: %v", err)
+	}
+	return bin
+}

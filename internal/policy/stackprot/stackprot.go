@@ -1,0 +1,253 @@
+// Package stackprot implements the stack-protection compliance policy of
+// the paper's evaluation (§5, Figure 4): it verifies that every function of
+// the executable carries Clang's -fstack-protector(-all) canary
+// instrumentation:
+//
+//	mov %fs:0x28, %rax        ; prologue: load canary
+//	mov %rax, (%rsp)          ; prologue: store canary
+//	...
+//	mov %fs:0x28, %rax        ; epilogue: reload canary
+//	cmp (%rsp), %rax          ; epilogue: compare
+//	jne <fail>                ;
+//	<fail>: callq __stack_chk_fail
+//
+// Following the paper's algorithm: within each function the module looks
+// for instructions that affect the stack's variables (stores through %rsp);
+// for each candidate it identifies the source operand, checks that the
+// preceding instruction computes it from %fs:0x28, then searches the
+// function for a cmp against the same stack slot whose own source was
+// freshly reloaded from %fs:0x28, followed by a jne whose target is a call
+// to __stack_chk_fail. Every stack-affecting store triggers a fresh search,
+// so the check is superlinear in function size — which is why 401.bzip2
+// (few gigantic functions) costs more than Nginx (thousands of small ones)
+// despite having an order of magnitude fewer instructions.
+package stackprot
+
+import (
+	"fmt"
+
+	"engarde/internal/policy"
+	"engarde/internal/x86"
+)
+
+// CanaryTLSOffset is the %fs-relative canary location Clang uses on
+// x86-64 Linux.
+const CanaryTLSOffset = 0x28
+
+// FailFunc is the runtime helper invoked on canary mismatch.
+const FailFunc = "__stack_chk_fail"
+
+// Module is the stack-protection policy module.
+type Module struct {
+	// EarlyExit stops scanning a function at the first complete canary
+	// chain. The paper's implementation visits every stack-affecting
+	// instruction ("continues with the next iteration until it reaches the
+	// end of the instruction buffer"), which is what makes the check
+	// superlinear in function size — the mechanism behind Figure 4's
+	// bzip2-costs-more-than-Nginx inversion. EarlyExit is the obvious
+	// optimization; BenchmarkAblationStackprotEarlyExit quantifies it.
+	EarlyExit bool
+}
+
+// New returns the module in its paper-faithful (exhaustive) configuration.
+func New() *Module { return &Module{} }
+
+// Name implements policy.Module.
+func (m *Module) Name() string { return "stack-protector" }
+
+// Check implements policy.Module.
+func (m *Module) Check(ctx *policy.Context) error {
+	funcs := ctx.Symbols.Functions()
+	p := ctx.Program
+	for _, fn := range funcs {
+		startIdx, ok := p.InstAt(fn.Addr)
+		if !ok {
+			return &policy.Violation{
+				Module: m.Name(), Addr: fn.Addr,
+				Reason: fmt.Sprintf("function %s does not start at an instruction", fn.Name),
+			}
+		}
+		ctx.ChargeLookup(1)
+		endIdx := len(p.Insts)
+		if next, ok := ctx.Symbols.NextFuncAfter(fn.Addr); ok {
+			if i, ok := p.InstAt(next); ok {
+				endIdx = i
+			}
+		}
+		if m.isTrivialThunk(p.Insts[startIdx:endIdx]) {
+			// Jump-table entries and pure-padding spans have no stack
+			// frame to protect; Clang does not instrument them either.
+			continue
+		}
+		if err := m.checkFunction(ctx, fn.Name, startIdx, endIdx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// isTrivialThunk reports whether the body is only jumps/nops (IFCC
+// jump-table slots).
+func (m *Module) isTrivialThunk(insts []x86.Inst) bool {
+	for i := range insts {
+		switch insts[i].Op {
+		case x86.OpJmp, x86.OpNop, x86.OpUd2:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// prevNonNop steps backwards over NaCl alignment NOPs, which are
+// transparent to the instrumentation pattern.
+func prevNonNop(insts []x86.Inst, i int) int {
+	i--
+	for i >= 0 && insts[i].Op == x86.OpNop {
+		i--
+	}
+	return i
+}
+
+// nextNonNop steps forward over alignment NOPs.
+func nextNonNop(insts []x86.Inst, i int) int {
+	i++
+	for i < len(insts) && insts[i].Op == x86.OpNop {
+		i++
+	}
+	return i
+}
+
+// checkFunction verifies the canary chain within one function.
+func (m *Module) checkFunction(ctx *policy.Context, name string, start, end int) error {
+	p := ctx.Program
+	insts := p.Insts[start:end]
+	protected := false
+
+	for i := range insts {
+		ctx.ChargeScan(1)
+		in := &insts[i]
+		// Candidate: a store that affects the stack's variables.
+		slot, srcReg, ok := stackStore(in)
+		if !ok {
+			continue
+		}
+		ctx.ChargePattern(2)
+		// Search the function for a cmp against the same stack slot; the
+		// paper performs this containment search for every candidate.
+		j, cmpReg, found := m.findCanaryCompare(ctx, insts, slot)
+		if !found {
+			continue
+		}
+		// Provenance of the stored value: the instruction preceding the
+		// store must compute it from %fs:0x28 ...
+		pi := prevNonNop(insts, i)
+		if pi < 0 || !canaryLoad(&insts[pi], srcReg) {
+			continue
+		}
+		ctx.ChargePattern(1)
+		// ... and the rest of the verification chain must hang off the cmp.
+		if m.verifyChain(ctx, insts, j, cmpReg) {
+			protected = true
+			if m.EarlyExit {
+				break
+			}
+		}
+	}
+	if !protected {
+		return &policy.Violation{
+			Module: m.Name(), Addr: insts[0].Addr,
+			Reason: fmt.Sprintf("function %s lacks -fstack-protector instrumentation", name),
+		}
+	}
+	return nil
+}
+
+// findCanaryCompare scans the whole function for "cmp slot(%rsp), REG",
+// charging per instruction visited — the containment search the paper
+// performs per candidate store.
+func (m *Module) findCanaryCompare(ctx *policy.Context, insts []x86.Inst, slot int64) (int, x86.Reg, bool) {
+	for j := range insts {
+		ctx.ChargeScan(1)
+		ctx.ChargePattern(2) // opcode + both operands inspected per visit
+		if reg, ok := canaryCompare(&insts[j], slot); ok {
+			return j, reg, true
+		}
+	}
+	return 0, 0, false
+}
+
+// verifyChain checks the epilogue chain hanging off the cmp at index j:
+// a canary reload just before it, a jne just after, and a jne target that
+// is (or falls through NOPs to) callq __stack_chk_fail.
+func (m *Module) verifyChain(ctx *policy.Context, insts []x86.Inst, j int, cmpReg x86.Reg) bool {
+	p := ctx.Program
+	ctx.ChargePattern(3)
+	pj := prevNonNop(insts, j)
+	if pj < 0 || !canaryLoad(&insts[pj], cmpReg) {
+		return false
+	}
+	nj := nextNonNop(insts, j)
+	if nj >= len(insts) {
+		return false
+	}
+	jne := &insts[nj]
+	if jne.Op != x86.OpJcc || jne.Cond != x86.CondNE {
+		return false
+	}
+	target, ok := jne.BranchTarget()
+	if !ok {
+		return false
+	}
+	ti, ok := p.InstAt(target)
+	if !ok {
+		return false
+	}
+	for ti < len(p.Insts) && p.Insts[ti].Op == x86.OpNop {
+		ti++
+	}
+	if ti >= len(p.Insts) || !p.Insts[ti].IsDirectCall() {
+		return false
+	}
+	callTgt, ok := p.Insts[ti].BranchTarget()
+	if !ok {
+		return false
+	}
+	ctx.ChargeLookup(1)
+	fname, ok := ctx.Symbols.NameAt(callTgt)
+	return ok && fname == FailFunc
+}
+
+// stackStore matches "mov REG, disp(%rsp)" and returns the slot and source
+// register.
+func stackStore(in *x86.Inst) (slot int64, src x86.Reg, ok bool) {
+	if in.Op != x86.OpMov || in.NArgs != 2 {
+		return 0, 0, false
+	}
+	dst, s := in.Args[0], in.Args[1]
+	if s.Kind != x86.KindReg || dst.Kind != x86.KindMem {
+		return 0, 0, false
+	}
+	mem := dst.Mem
+	if mem.Base != x86.RegSP || mem.Index != x86.RegNone || mem.Seg != x86.SegNone {
+		return 0, 0, false
+	}
+	return mem.Disp, s.Reg, true
+}
+
+// canaryLoad matches "mov %fs:0x28, REG".
+func canaryLoad(in *x86.Inst, reg x86.Reg) bool {
+	return in.Op == x86.OpMov && in.NArgs == 2 &&
+		in.Args[0].IsReg(reg) && in.Args[1].IsSegDisp(x86.SegFS, CanaryTLSOffset)
+}
+
+// canaryCompare matches "cmp slot(%rsp), REG" and returns REG.
+func canaryCompare(in *x86.Inst, slot int64) (x86.Reg, bool) {
+	if in.Op != x86.OpCmp || in.NArgs != 2 {
+		return 0, false
+	}
+	if in.Args[0].Kind != x86.KindReg || !in.Args[1].IsMemBaseDisp(x86.RegSP, slot) {
+		return 0, false
+	}
+	return in.Args[0].Reg, true
+}

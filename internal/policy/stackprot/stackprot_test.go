@@ -1,0 +1,108 @@
+package stackprot
+
+import (
+	"testing"
+
+	"engarde/internal/cycles"
+	"engarde/internal/policy"
+	"engarde/internal/policy/policytest"
+	"engarde/internal/toolchain"
+)
+
+func cfg(protected bool) toolchain.Config {
+	return toolchain.Config{
+		Name: "sp", Seed: 31,
+		NumFuncs: 8, AvgFuncInsts: 90,
+		LibcCallRate:   0.04,
+		StackProtector: protected,
+	}
+}
+
+func TestProtectedBinaryPasses(t *testing.T) {
+	bin := policytest.Build(t, cfg(true))
+	ctx := policytest.Context(t, bin)
+	if err := New().Check(ctx); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestUnprotectedBinaryRejected(t *testing.T) {
+	bin := policytest.Build(t, cfg(false))
+	ctx := policytest.Context(t, bin)
+	err := New().Check(ctx)
+	v, ok := policy.AsViolation(err)
+	if !ok {
+		t.Fatalf("Check = %v, want violation", err)
+	}
+	if v.Addr == 0 {
+		t.Error("violation should name the unprotected function's address")
+	}
+}
+
+func TestProtectedIFCCBinaryPasses(t *testing.T) {
+	// Jump-table thunks carry no frames; the module must not flag them.
+	c := cfg(true)
+	c.IFCC = true
+	c.IndirectRate = 0.02
+	bin := policytest.Build(t, c)
+	ctx := policytest.Context(t, bin)
+	if err := New().Check(ctx); err != nil {
+		t.Errorf("Check with IFCC thunks: %v", err)
+	}
+}
+
+func TestTamperedCanaryRejected(t *testing.T) {
+	// Patch one canary TLS offset (0x28 → 0x30) in a protected binary:
+	// the function no longer matches Clang's instrumentation.
+	bin := policytest.Build(t, cfg(true))
+	patched := 0
+	img := bin.Image
+	// The canary load is 64 48 8B 04 25 28 00 00 00; flip its
+	// displacement once.
+	for i := 0; i+9 <= len(img); i++ {
+		if img[i] == 0x64 && img[i+1] == 0x48 && img[i+2] == 0x8B &&
+			img[i+3] == 0x04 && img[i+4] == 0x25 && img[i+5] == 0x28 {
+			img[i+5] = 0x30
+			patched++
+			break
+		}
+	}
+	if patched == 0 {
+		t.Fatal("no canary load found to patch")
+	}
+	ctx := policytest.Context(t, bin)
+	if err := New().Check(ctx); err == nil {
+		t.Error("tampered canary offset should be rejected")
+	}
+}
+
+func TestCostSuperlinearInFunctionSize(t *testing.T) {
+	// The Figure-4 inversion mechanism: the same total instruction count
+	// arranged as few huge functions must cost more pattern work than
+	// many small functions.
+	small := policytest.Build(t, toolchain.Config{
+		Name: "many", Seed: 32, NumFuncs: 64, AvgFuncInsts: 50,
+		StackProtector: true,
+	})
+	big := policytest.Build(t, toolchain.Config{
+		Name: "few", Seed: 32, NumFuncs: 4, AvgFuncInsts: 800,
+		StackProtector: true,
+	})
+	ctxSmall := policytest.Context(t, small)
+	ctxBig := policytest.Context(t, big)
+	if err := New().Check(ctxSmall); err != nil {
+		t.Fatal(err)
+	}
+	if err := New().Check(ctxBig); err != nil {
+		t.Fatal(err)
+	}
+	costSmall := ctxSmall.Counter.Cycles(cycles.PhasePolicy)
+	costBig := ctxBig.Counter.Cycles(cycles.PhasePolicy)
+	// Normalize by app instruction counts (musl is identical in both).
+	perInstSmall := float64(costSmall) / float64(small.NumInsts)
+	perInstBig := float64(costBig) / float64(big.NumInsts)
+	if perInstBig <= perInstSmall {
+		t.Errorf("per-instruction cost: big funcs %.1f ≤ small funcs %.1f; expected superlinear growth",
+			perInstBig, perInstSmall)
+	}
+}

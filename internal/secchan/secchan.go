@@ -1,0 +1,281 @@
+// Package secchan implements the end-to-end encrypted provisioning channel
+// of the EnGarde protocol (paper §3): the bootstrap code in a fresh enclave
+// generates a 2048-bit RSA key pair and sends the public key to the client;
+// the client generates a 256-bit AES key, encrypts it under the enclave's
+// public key, and sends it back; all subsequent content flows in encrypted
+// blocks under that AES key.
+//
+// The enclave side is Endpoint with role RoleEnclave; the client side is
+// Endpoint with role RoleClient. Framing is length-prefixed blocks suitable
+// for any io.ReadWriter (net.Conn in the examples and cmd tools).
+package secchan
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"engarde/internal/cycles"
+)
+
+// RSABits is the enclave key size mandated by the paper.
+const RSABits = 2048
+
+// AESKeySize is the 256-bit session key size mandated by the paper.
+const AESKeySize = 32
+
+// MaxBlock bounds a single framed block (plaintext size).
+const MaxBlock = 1 << 20
+
+// Channel errors.
+var (
+	// ErrBlockTooLarge is returned when a frame exceeds MaxBlock.
+	ErrBlockTooLarge = errors.New("secchan: block too large")
+	// ErrNoSessionKey is returned when encryption is attempted before the
+	// AES key exchange completed.
+	ErrNoSessionKey = errors.New("secchan: session key not established")
+)
+
+// EnclaveKey is the enclave-resident RSA key pair generated at bootstrap.
+type EnclaveKey struct {
+	priv *rsa.PrivateKey
+}
+
+// GenerateEnclaveKey generates the enclave's ephemeral 2048-bit RSA pair.
+// counter, if non-nil, is charged one RSA operation.
+func GenerateEnclaveKey(counter *cycles.Counter) (*EnclaveKey, error) {
+	priv, err := rsa.GenerateKey(rand.Reader, RSABits)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: generating RSA key: %w", err)
+	}
+	if counter != nil {
+		counter.Charge(cycles.PhaseProvision, cycles.UnitRSAOp, 1)
+	}
+	return &EnclaveKey{priv: priv}, nil
+}
+
+// PublicDER returns the PKIX DER encoding of the public key, the form sent
+// to the client and bound into the attestation quote.
+func (k *EnclaveKey) PublicDER() ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(&k.priv.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: marshaling public key: %w", err)
+	}
+	return der, nil
+}
+
+// UnwrapSessionKey decrypts the client's wrapped AES key.
+func (k *EnclaveKey) UnwrapSessionKey(wrapped []byte, counter *cycles.Counter) (*Session, error) {
+	key, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, k.priv, wrapped, []byte("engarde-session"))
+	if err != nil {
+		return nil, fmt.Errorf("secchan: unwrapping session key: %w", err)
+	}
+	if counter != nil {
+		counter.Charge(cycles.PhaseProvision, cycles.UnitRSAOp, 1)
+	}
+	return newSession(key, counter)
+}
+
+// WrapSessionKey is the client side: generate a fresh 256-bit AES key and
+// encrypt it under the enclave's public key.
+func WrapSessionKey(enclavePubDER []byte, counter *cycles.Counter) (*Session, []byte, error) {
+	pubAny, err := x509.ParsePKIXPublicKey(enclavePubDER)
+	if err != nil {
+		return nil, nil, fmt.Errorf("secchan: parsing enclave public key: %w", err)
+	}
+	pub, ok := pubAny.(*rsa.PublicKey)
+	if !ok {
+		return nil, nil, errors.New("secchan: enclave key is not RSA")
+	}
+	key := make([]byte, AESKeySize)
+	if _, err := rand.Read(key); err != nil {
+		return nil, nil, fmt.Errorf("secchan: generating AES key: %w", err)
+	}
+	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, pub, key, []byte("engarde-session"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("secchan: wrapping session key: %w", err)
+	}
+	if counter != nil {
+		counter.Charge(cycles.PhaseProvision, cycles.UnitRSAOp, 1)
+	}
+	sess, err := newSession(key, counter)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, wrapped, nil
+}
+
+// Session is an established AES-256-GCM channel state. Each direction uses
+// a monotone nonce counter; Session is not safe for concurrent use.
+type Session struct {
+	aead    cipher.AEAD
+	sendSeq uint64
+	recvSeq uint64
+	counter *cycles.Counter
+}
+
+func newSession(key []byte, counter *cycles.Counter) (*Session, error) {
+	if len(key) != AESKeySize {
+		return nil, fmt.Errorf("secchan: AES key must be %d bytes, got %d", AESKeySize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: AES init: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: GCM init: %w", err)
+	}
+	return &Session{aead: aead, counter: counter}, nil
+}
+
+func nonceFor(seq uint64) []byte {
+	nonce := make([]byte, 12)
+	binary.LittleEndian.PutUint64(nonce, seq)
+	return nonce
+}
+
+// Seal encrypts one block.
+func (s *Session) Seal(plain []byte) ([]byte, error) {
+	if s == nil || s.aead == nil {
+		return nil, ErrNoSessionKey
+	}
+	ct := s.aead.Seal(nil, nonceFor(s.sendSeq), plain, nil)
+	s.sendSeq++
+	if s.counter != nil {
+		s.counter.Charge(cycles.PhaseProvision, cycles.UnitAESByte, uint64(len(plain)))
+	}
+	return ct, nil
+}
+
+// Open decrypts one block, enforcing in-order delivery via the nonce
+// counter.
+func (s *Session) Open(ct []byte) ([]byte, error) {
+	if s == nil || s.aead == nil {
+		return nil, ErrNoSessionKey
+	}
+	plain, err := s.aead.Open(nil, nonceFor(s.recvSeq), ct, nil)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: decrypting block %d: %w", s.recvSeq, err)
+	}
+	s.recvSeq++
+	if s.counter != nil {
+		s.counter.Charge(cycles.PhaseProvision, cycles.UnitAESByte, uint64(len(plain)))
+	}
+	return plain, nil
+}
+
+//
+// Framing.
+//
+
+// WriteBlock writes one length-prefixed block.
+func WriteBlock(w io.Writer, data []byte) error {
+	if len(data) > MaxBlock+64 { // allow GCM overhead over MaxBlock
+		return ErrBlockTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("secchan: writing frame header: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("secchan: writing frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadBlock reads one length-prefixed block.
+func ReadBlock(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("secchan: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxBlock+64 {
+		return nil, ErrBlockTooLarge
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, fmt.Errorf("secchan: reading frame body: %w", err)
+	}
+	return data, nil
+}
+
+// SendSealed seals data and writes it as one frame.
+func (s *Session) SendSealed(w io.Writer, data []byte) error {
+	ct, err := s.Seal(data)
+	if err != nil {
+		return err
+	}
+	return WriteBlock(w, ct)
+}
+
+// RecvSealed reads one frame and opens it.
+func (s *Session) RecvSealed(r io.Reader) ([]byte, error) {
+	ct, err := ReadBlock(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.Open(ct)
+}
+
+// SendStream transfers an arbitrarily large payload as a sequence of
+// encrypted blocks of at most blockSize bytes, preceded by an encrypted
+// 8-byte length header — "the client sends the content in encrypted
+// blocks" (paper §3).
+func (s *Session) SendStream(w io.Writer, payload []byte, blockSize int) error {
+	if blockSize <= 0 || blockSize > MaxBlock {
+		blockSize = 64 * 1024
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(len(payload)))
+	if err := s.SendSealed(w, hdr[:]); err != nil {
+		return err
+	}
+	for off := 0; off < len(payload); off += blockSize {
+		end := off + blockSize
+		if end > len(payload) {
+			end = len(payload)
+		}
+		if err := s.SendSealed(w, payload[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecvStream receives a payload sent with SendStream.
+func (s *Session) RecvStream(r io.Reader) ([]byte, error) {
+	hdr, err := s.RecvSealed(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(hdr) != 8 {
+		return nil, fmt.Errorf("secchan: bad stream header length %d", len(hdr))
+	}
+	total := binary.BigEndian.Uint64(hdr)
+	const maxPayload = 1 << 30
+	if total > maxPayload {
+		return nil, ErrBlockTooLarge
+	}
+	out := make([]byte, 0, total)
+	for uint64(len(out)) < total {
+		blk, err := s.RecvSealed(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blk...)
+	}
+	if uint64(len(out)) != total {
+		return nil, fmt.Errorf("secchan: stream length %d != header %d", len(out), total)
+	}
+	return out, nil
+}

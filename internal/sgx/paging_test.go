@@ -1,0 +1,165 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestEvictReloadRoundTrip(t *testing.T) {
+	d := newTestDevice(t, V2)
+	content := bytes.Repeat([]byte("page-data"), PageSize/9+1)[:PageSize]
+	e := buildEnclave(t, d, 0x10000, [][]byte{content, nil})
+
+	before := d.EPCFree()
+	ep, err := d.EWB(e, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.EPCFree() != before+1 {
+		t.Error("EWB did not free the EPC slot")
+	}
+	// The evicted blob must not leak plaintext.
+	if bytes.Contains(ep.Data[:], []byte("page-data")) {
+		t.Error("evicted page leaks plaintext")
+	}
+	// Access while evicted faults.
+	if err := e.Read(0x10000, make([]byte, 8)); !errors.Is(err, ErrPageNotMapped) {
+		t.Errorf("read of evicted page = %v", err)
+	}
+	// Reload restores the exact content.
+	if err := d.ELDU(e, ep); err != nil {
+		t.Fatalf("ELDU: %v", err)
+	}
+	got := make([]byte, PageSize)
+	if err := e.Read(0x10000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestEvictTamperDetected(t *testing.T) {
+	d := newTestDevice(t, V2)
+	e := buildEnclave(t, d, 0x10000, [][]byte{nil})
+	ep, err := d.EWB(e, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Data[100] ^= 1
+	if err := d.ELDU(e, ep); !errors.Is(err, ErrEvictBroken) {
+		t.Errorf("tampered reload = %v, want ErrEvictBroken", err)
+	}
+}
+
+func TestEvictRollbackDetected(t *testing.T) {
+	// The classic rollback attack: evict, reload, evict again (newer
+	// version), then try to reload the FIRST (stale) blob.
+	d := newTestDevice(t, V2)
+	e := buildEnclave(t, d, 0x10000, [][]byte{nil})
+
+	old, err := d.EWB(e, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ELDU(e, old); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the page, then evict the new state.
+	if err := e.Write(0x10000, []byte("new state")); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := d.EWB(e, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the stale blob must fail.
+	if err := d.ELDU(e, old); !errors.Is(err, ErrEvictReplay) {
+		t.Errorf("stale reload = %v, want ErrEvictReplay", err)
+	}
+	// The fresh blob still loads.
+	if err := d.ELDU(e, fresh); err != nil {
+		t.Fatalf("fresh reload: %v", err)
+	}
+	got := make([]byte, 9)
+	if err := e.Read(0x10000, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new state" {
+		t.Errorf("content = %q", got)
+	}
+}
+
+func TestEvictWrongEnclaveRejected(t *testing.T) {
+	d := newTestDevice(t, V2)
+	e1 := buildEnclave(t, d, 0x10000, [][]byte{nil})
+	e2 := buildEnclave(t, d, 0x40000, [][]byte{nil})
+	ep, err := d.EWB(e1, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ELDU(e2, ep); !errors.Is(err, ErrEvictBroken) {
+		t.Errorf("cross-enclave reload = %v, want ErrEvictBroken", err)
+	}
+}
+
+func TestEvictNotEvictedRejected(t *testing.T) {
+	d := newTestDevice(t, V2)
+	e := buildEnclave(t, d, 0x10000, [][]byte{nil, nil})
+	ep, err := d.EWB(e, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ELDU(e, ep); err != nil {
+		t.Fatal(err)
+	}
+	// Reloading again (page is resident, no longer evicted) must fail.
+	if err := d.ELDU(e, ep); !errors.Is(err, ErrNotEvicted) {
+		t.Errorf("double reload = %v, want ErrNotEvicted", err)
+	}
+}
+
+func TestPagingRelievesEPCPressure(t *testing.T) {
+	// An enclave larger than the EPC can run by paging: evict a cold page
+	// to make room, add a new page, reload later.
+	d, err := NewDevice(Config{EPCPages: 4, Version: V2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := d.ECreate(0, 8*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := d.EAdd(e, uint64(i)*PageSize, PermR|PermW, PageREG, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// EPC full: the fifth EADD fails ...
+	if err := d.EAdd(e, 4*PageSize, PermR|PermW, PageREG, nil); !errors.Is(err, ErrEPCFull) {
+		t.Fatalf("expected EPC exhaustion, got %v", err)
+	}
+	// ... so the OS evicts page 0 and retries.
+	ep, err := d.EWB(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EAdd(e, 4*PageSize, PermR|PermW, PageREG, []byte{4}); err != nil {
+		t.Fatalf("EADD after eviction: %v", err)
+	}
+	// Touching page 0 requires reloading it; evict page 4 to make room.
+	if _, err := d.EWB(e, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ELDU(e, ep); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if err := e.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Errorf("page 0 content = %d", got[0])
+	}
+}

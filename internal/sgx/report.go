@@ -1,0 +1,148 @@
+package sgx
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// ReportDataSize is the size of the user-data field of a report; EnGarde
+// binds the enclave's ephemeral RSA public key to the quote through it
+// (paper §2, "Attesting and Provisioning Enclaves").
+const ReportDataSize = 64
+
+// Report is the output of EREPORT: a locally-verifiable statement, keyed to
+// this device, that an enclave with the given measurement is running here.
+type Report struct {
+	MREnclave  Measurement
+	EnclaveID  EnclaveID
+	Version    Version
+	ReportData [ReportDataSize]byte
+	MAC        [sha256.Size]byte
+}
+
+func (r *Report) macInput() []byte {
+	buf := make([]byte, 0, len(r.MREnclave)+8+8+len(r.ReportData))
+	buf = append(buf, r.MREnclave[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.EnclaveID))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Version))
+	buf = append(buf, r.ReportData[:]...)
+	return buf
+}
+
+// reportKey derives the device's report-MAC key.
+func (d *Device) reportKey() []byte {
+	mac := hmac.New(sha256.New, d.sealKey[:])
+	mac.Write([]byte("REPORT-KEY"))
+	return mac.Sum(nil)
+}
+
+// EReport produces a report over the enclave's measurement with the given
+// user data, MACed with the device's report key. Only code on the same
+// device (in practice: the quoting enclave) can verify it.
+func (d *Device) EReport(e *Enclave, reportData [ReportDataSize]byte) (Report, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.chargeLocked(1)
+	if !e.initialized {
+		return Report{}, ErrNotInitialized
+	}
+	r := Report{
+		MREnclave:  e.mrEnclave,
+		EnclaveID:  e.id,
+		Version:    d.version,
+		ReportData: reportData,
+	}
+	mac := hmac.New(sha256.New, d.reportKey())
+	mac.Write(r.macInput())
+	copy(r.MAC[:], mac.Sum(nil))
+	return r, nil
+}
+
+// VerifyReport checks a report's MAC against this device's report key —
+// the local-attestation step the quoting enclave performs before signing.
+func (d *Device) VerifyReport(r Report) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.chargeLocked(1) // EGETKEY for the report key
+	mac := hmac.New(sha256.New, d.reportKey())
+	mac.Write(r.macInput())
+	if !hmac.Equal(mac.Sum(nil), r.MAC[:]) {
+		return fmt.Errorf("sgx: report MAC verification failed")
+	}
+	return nil
+}
+
+// KeyType selects an EGETKEY derivation.
+type KeyType int
+
+// Key types.
+const (
+	// KeySeal derives a sealing key bound to the enclave's measurement.
+	KeySeal KeyType = iota + 1
+	// KeyProvision derives a provisioning key.
+	KeyProvision
+)
+
+// EGetKey derives a key bound to the device and the enclave's measurement,
+// as real SGX does for sealing. Two enclaves with the same measurement on
+// the same device derive the same key; any other combination differs.
+func (d *Device) EGetKey(e *Enclave, kt KeyType) ([32]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.chargeLocked(1)
+	var out [32]byte
+	if !e.initialized {
+		return out, ErrNotInitialized
+	}
+	mac := hmac.New(sha256.New, d.sealKey[:])
+	mac.Write([]byte{byte(kt)})
+	mac.Write(e.mrEnclave[:])
+	copy(out[:], mac.Sum(nil))
+	return out, nil
+}
+
+//
+// Enclave entry/exit and OpenSGX-style trampolines.
+//
+
+// Context is an execution context inside an enclave, created by EEnter.
+type Context struct {
+	e       *Enclave
+	entered bool
+}
+
+// EEnter enters the enclave, returning an execution context. The enclave
+// must be initialized.
+func (d *Device) EEnter(e *Enclave) (*Context, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.chargeLocked(1)
+	if !e.initialized {
+		return nil, ErrNotInitialized
+	}
+	return &Context{e: e, entered: true}, nil
+}
+
+// EExit leaves the enclave.
+func (c *Context) EExit() {
+	if !c.entered {
+		return
+	}
+	c.e.dev.ChargeSGX(1)
+	c.entered = false
+}
+
+// Enclave returns the enclave this context executes in.
+func (c *Context) Enclave() *Enclave { return c.e }
+
+// HostCall performs an OpenSGX-style trampoline: enclave state is saved,
+// execution exits the enclave, fn runs in the untrusted host, and execution
+// re-enters. It costs one EEXIT plus one EENTER (2 SGX instructions =
+// 20K cycles), which is why EnGarde batches in-enclave malloc to a page at
+// a time (paper §4).
+func (c *Context) HostCall(fn func() error) error {
+	c.e.dev.ChargeSGX(2)
+	return fn()
+}

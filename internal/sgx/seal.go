@@ -1,0 +1,68 @@
+package sgx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+)
+
+// Sealed storage: SGX lets an enclave encrypt state under a key derived
+// from the device and its own measurement (EGETKEY with the seal-key
+// type), so the state can survive outside the enclave — on disk, in host
+// memory — but can only be recovered by the same enclave code on the same
+// machine (paper §2: "SGX offers various data structures to save enclave
+// state in an encrypted fashion").
+
+// ErrSealBroken is returned when sealed data fails authentication — it was
+// tampered with, or the unsealing enclave/measurement/device differs.
+var ErrSealBroken = errors.New("sgx: sealed data authentication failed")
+
+// Seal encrypts data under the enclave's seal key. The blob can be stored
+// anywhere outside the enclave.
+func (d *Device) Seal(e *Enclave, data []byte) ([]byte, error) {
+	aead, err := d.sealAEAD(e)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("sgx: sealing nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, data, nil), nil
+}
+
+// Unseal recovers data sealed by an enclave with the same measurement on
+// this device.
+func (d *Device) Unseal(e *Enclave, blob []byte) ([]byte, error) {
+	aead, err := d.sealAEAD(e)
+	if err != nil {
+		return nil, err
+	}
+	ns := aead.NonceSize()
+	if len(blob) < ns {
+		return nil, ErrSealBroken
+	}
+	plain, err := aead.Open(nil, blob[:ns], blob[ns:], nil)
+	if err != nil {
+		return nil, ErrSealBroken
+	}
+	return plain, nil
+}
+
+func (d *Device) sealAEAD(e *Enclave) (cipher.AEAD, error) {
+	key, err := d.EGetKey(e, KeySeal)
+	if err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal GCM: %w", err)
+	}
+	return aead, nil
+}

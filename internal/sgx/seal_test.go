@@ -1,0 +1,109 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	d := newTestDevice(t, V2)
+	e := buildEnclave(t, d, 0x10000, [][]byte{nil})
+	secret := []byte("policy verdict: compliant; exec pages: 7")
+	blob, err := d.Seal(e, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, []byte("compliant")) {
+		t.Error("sealed blob leaks plaintext")
+	}
+	got, err := d.Unseal(e, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestSealBindsToMeasurement(t *testing.T) {
+	d := newTestDevice(t, V2)
+	e1 := buildEnclave(t, d, 0x10000, [][]byte{bytes.Repeat([]byte{1}, PageSize)})
+	e2 := buildEnclave(t, d, 0x10000, [][]byte{bytes.Repeat([]byte{2}, PageSize)})
+	blob, err := d.Seal(e1, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Unseal(e2, blob); !errors.Is(err, ErrSealBroken) {
+		t.Errorf("different-measurement unseal = %v, want ErrSealBroken", err)
+	}
+	// But an enclave with the SAME measurement unseals fine.
+	e3 := buildEnclave(t, d, 0x10000, [][]byte{bytes.Repeat([]byte{1}, PageSize)})
+	if _, err := d.Unseal(e3, blob); err != nil {
+		t.Errorf("same-measurement unseal: %v", err)
+	}
+}
+
+func TestSealBindsToDevice(t *testing.T) {
+	content := bytes.Repeat([]byte{9}, PageSize)
+	d1 := newTestDevice(t, V2)
+	e1 := buildEnclave(t, d1, 0x10000, [][]byte{content})
+	d2 := newTestDevice(t, V2)
+	e2 := buildEnclave(t, d2, 0x10000, [][]byte{content})
+	blob, err := d1.Seal(e1, []byte("device-bound"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Unseal(e2, blob); !errors.Is(err, ErrSealBroken) {
+		t.Errorf("cross-device unseal = %v, want ErrSealBroken", err)
+	}
+}
+
+func TestSealTamperDetected(t *testing.T) {
+	d := newTestDevice(t, V2)
+	e := buildEnclave(t, d, 0x10000, [][]byte{nil})
+	blob, err := d.Seal(e, []byte("integrity matters"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 1
+	if _, err := d.Unseal(e, blob); !errors.Is(err, ErrSealBroken) {
+		t.Errorf("tampered unseal = %v, want ErrSealBroken", err)
+	}
+	if _, err := d.Unseal(e, blob[:4]); !errors.Is(err, ErrSealBroken) {
+		t.Errorf("truncated unseal = %v, want ErrSealBroken", err)
+	}
+}
+
+func TestQuickSealIdentity(t *testing.T) {
+	d := newTestDevice(t, V2)
+	e := buildEnclave(t, d, 0x10000, [][]byte{nil})
+	f := func(data []byte) bool {
+		blob, err := d.Seal(e, data)
+		if err != nil {
+			t.Errorf("Seal: %v", err)
+			return false
+		}
+		got, err := d.Unseal(e, blob)
+		if err != nil {
+			t.Errorf("Unseal: %v", err)
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSealRequiresInit(t *testing.T) {
+	d := newTestDevice(t, V2)
+	e, err := d.ECreate(0x10000, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Seal(e, []byte("x")); !errors.Is(err, ErrNotInitialized) {
+		t.Errorf("Seal before EINIT = %v", err)
+	}
+}

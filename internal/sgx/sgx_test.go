@@ -1,0 +1,442 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"engarde/internal/cycles"
+)
+
+func newTestDevice(t *testing.T, v Version) *Device {
+	t.Helper()
+	d, err := NewDevice(Config{EPCPages: 64, Version: v})
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	return d
+}
+
+// buildEnclave creates, populates and initializes a small enclave.
+func buildEnclave(t *testing.T, d *Device, base uint64, pages [][]byte) *Enclave {
+	t.Helper()
+	e, err := d.ECreate(base, uint64(len(pages)*PageSize))
+	if err != nil {
+		t.Fatalf("ECreate: %v", err)
+	}
+	for i, pg := range pages {
+		va := base + uint64(i*PageSize)
+		if err := d.EAdd(e, va, PermR|PermW|PermX, PageREG, pg); err != nil {
+			t.Fatalf("EAdd(%#x): %v", va, err)
+		}
+		if err := d.EExtendPage(e, va); err != nil {
+			t.Fatalf("EExtendPage(%#x): %v", va, err)
+		}
+	}
+	if err := d.EInit(e); err != nil {
+		t.Fatalf("EInit: %v", err)
+	}
+	return e
+}
+
+func TestEnclaveLifecycle(t *testing.T) {
+	d := newTestDevice(t, V1)
+	content := bytes.Repeat([]byte{0xAB}, PageSize)
+	e := buildEnclave(t, d, 0x10000, [][]byte{content})
+
+	if !e.Initialized() {
+		t.Fatal("enclave not initialized")
+	}
+	got := make([]byte, PageSize)
+	if err := e.Read(0x10000, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("in-enclave read does not return plaintext")
+	}
+}
+
+func TestEPCContentIsEncrypted(t *testing.T) {
+	// The confidentiality property EnGarde builds on: outside the enclave
+	// the EPC holds only ciphertext.
+	d := newTestDevice(t, V1)
+	secret := bytes.Repeat([]byte("SECRET--"), PageSize/8)
+	buildEnclave(t, d, 0x10000, [][]byte{secret})
+
+	found := false
+	for slot := 0; slot < d.EPCCapacity(); slot++ {
+		raw, ok := d.RawEPCPage(slot)
+		if !ok {
+			continue
+		}
+		found = true
+		if bytes.Contains(raw, []byte("SECRET--")) {
+			t.Fatal("plaintext visible in raw EPC")
+		}
+		if bytes.Equal(raw, secret) {
+			t.Fatal("EPC page stored unencrypted")
+		}
+	}
+	if !found {
+		t.Fatal("no valid EPC pages found")
+	}
+}
+
+func TestMeasurementDeterministic(t *testing.T) {
+	content := bytes.Repeat([]byte{7}, PageSize)
+	build := func() Measurement {
+		d := newTestDevice(t, V1)
+		e := buildEnclave(t, d, 0x10000, [][]byte{content})
+		return e.Measurement()
+	}
+	if build() != build() {
+		t.Error("same build steps should give identical MRENCLAVE across devices")
+	}
+}
+
+func TestMeasurementSensitivity(t *testing.T) {
+	// Property: flipping any byte of the measured content changes
+	// MRENCLAVE — the attestation guarantee of §2.
+	base := bytes.Repeat([]byte{0x11}, PageSize)
+	d1 := newTestDevice(t, V1)
+	ref := buildEnclave(t, d1, 0x10000, [][]byte{base}).Measurement()
+
+	f := func(pos uint16, flip byte) bool {
+		if flip == 0 {
+			return true // no-op flip
+		}
+		mut := append([]byte(nil), base...)
+		mut[int(pos)%PageSize] ^= flip
+		d2 := newTestDevice(t, V1)
+		got := buildEnclave(t, d2, 0x10000, [][]byte{mut}).Measurement()
+		return got != ref
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasurementCoversLayout(t *testing.T) {
+	content := bytes.Repeat([]byte{1}, PageSize)
+	d1 := newTestDevice(t, V1)
+	m1 := buildEnclave(t, d1, 0x10000, [][]byte{content}).Measurement()
+	d2 := newTestDevice(t, V1)
+	m2 := buildEnclave(t, d2, 0x20000, [][]byte{content}).Measurement()
+	if m1 == m2 {
+		t.Error("different base addresses must yield different measurements")
+	}
+}
+
+func TestEPCExhaustion(t *testing.T) {
+	d, err := NewDevice(Config{EPCPages: 4, Version: V1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := d.ECreate(0, 16*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adds int
+	for i := 0; i < 16; i++ {
+		err := d.EAdd(e, uint64(i*PageSize), PermR|PermW, PageREG, nil)
+		if err != nil {
+			if !errors.Is(err, ErrEPCFull) {
+				t.Fatalf("EAdd: %v", err)
+			}
+			break
+		}
+		adds++
+	}
+	if adds != 4 {
+		t.Errorf("added %d pages before exhaustion, want 4", adds)
+	}
+	// ERemove frees capacity.
+	if err := d.ERemove(e, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EAdd(e, 5*PageSize, PermR, PageREG, nil); err != nil {
+		t.Errorf("EAdd after ERemove: %v", err)
+	}
+}
+
+func TestPaperEPCSizes(t *testing.T) {
+	if DefaultEPCPages != 2000 || ModifiedEPCPages != 32000 {
+		t.Fatal("EPC constants drifted from the paper")
+	}
+	// 32000 pages × 4 KB = 128,000 KB, the "128 MB" of §4.
+	if ModifiedEPCPages*PageSize/1024 != 128_000 {
+		t.Errorf("modified EPC = %d KB, want 128000 KB", ModifiedEPCPages*PageSize/1024)
+	}
+}
+
+func TestLockPreventsGrowth(t *testing.T) {
+	d := newTestDevice(t, V2)
+	e := buildEnclave(t, d, 0x10000, [][]byte{make([]byte, PageSize), nil})
+	e.Lock()
+	err := d.EAug(e, 0x10000+PageSize, PermR|PermW)
+	if !errors.Is(err, ErrEnclaveLocked) {
+		t.Errorf("EAUG on locked enclave = %v, want ErrEnclaveLocked", err)
+	}
+}
+
+func TestV1ForbidsPostInitEAdd(t *testing.T) {
+	d := newTestDevice(t, V1)
+	e := buildEnclave(t, d, 0x10000, [][]byte{nil, nil})
+	err := d.EAdd(e, 0x10000+2*PageSize, PermR, PageREG, nil)
+	if err == nil {
+		t.Fatal("SGXv1 must reject EADD after EINIT")
+	}
+}
+
+func TestV2DynamicPages(t *testing.T) {
+	d := newTestDevice(t, V2)
+	e, err := d.ECreate(0x10000, 4*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EAdd(e, 0x10000, PermR|PermW, PageREG, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EInit(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EAug(e, 0x11000, PermR|PermW); err != nil {
+		t.Fatalf("EAUG: %v", err)
+	}
+	// Pending page unusable until EACCEPT.
+	if err := e.Write(0x11000, []byte{1}); err == nil {
+		t.Error("write to pending page should fail")
+	}
+	if err := d.EAccept(e, 0x11000); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(0x11000, []byte{1}); err != nil {
+		t.Errorf("write after EACCEPT: %v", err)
+	}
+}
+
+func TestEModPRPermissionSemantics(t *testing.T) {
+	d := newTestDevice(t, V2)
+	e := buildEnclave(t, d, 0x10000, [][]byte{nil})
+
+	// Restrict RWX → RX: allowed.
+	if err := d.EModPR(e, 0x10000, PermR|PermX); err != nil {
+		t.Fatalf("EMODPR restrict: %v", err)
+	}
+	if p, _ := e.PagePerm(0x10000); p != PermR|PermX {
+		t.Errorf("perm = %s", p)
+	}
+	// Writing through the enclave now fails (EPCM enforced on v2).
+	if err := e.Write(0x10000, []byte{1}); !errors.Is(err, ErrPermission) {
+		t.Errorf("write to RX page = %v, want ErrPermission", err)
+	}
+	// EMODPR cannot add permissions.
+	if err := d.EModPR(e, 0x10000, PermR|PermW|PermX); !errors.Is(err, ErrPermission) {
+		t.Errorf("EMODPR widen = %v, want ErrPermission", err)
+	}
+	// EMODPE can.
+	if err := d.EModPE(e, 0x10000, PermW); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(0x10000, []byte{1}); err != nil {
+		t.Errorf("write after EMODPE: %v", err)
+	}
+}
+
+func TestV1HasNoEPCMPermissionEnforcement(t *testing.T) {
+	// On SGXv1 the EPCM records permissions but the hardware does not
+	// enforce them on access — the gap AsyncShock exploits and the reason
+	// EnGarde requires v2 (paper §3).
+	d := newTestDevice(t, V1)
+	e := buildEnclave(t, d, 0x10000, [][]byte{nil})
+	if err := d.EModPR(e, 0x10000, PermR); !errors.Is(err, ErrV2Only) {
+		t.Fatalf("EMODPR on v1 = %v, want ErrV2Only", err)
+	}
+	// Even a nominally read-only page accepts writes on v1.
+	e2, _ := d.ECreate(0x40000, PageSize)
+	if err := d.EAdd(e2, 0x40000, PermR, PageREG, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EInit(e2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Write(0x40000, []byte{1}); err != nil {
+		t.Errorf("v1 write ignoring EPCM perm = %v, want success", err)
+	}
+}
+
+func TestReportVerify(t *testing.T) {
+	d := newTestDevice(t, V2)
+	e := buildEnclave(t, d, 0x10000, [][]byte{nil})
+	var rd [ReportDataSize]byte
+	copy(rd[:], "rsa-pubkey-digest")
+	rep, err := d.EReport(e, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.VerifyReport(rep); err != nil {
+		t.Errorf("VerifyReport: %v", err)
+	}
+	// Tampering with any field breaks the MAC.
+	bad := rep
+	bad.ReportData[0] ^= 1
+	if err := d.VerifyReport(bad); err == nil {
+		t.Error("tampered report data must fail verification")
+	}
+	bad = rep
+	bad.MREnclave[5] ^= 1
+	if err := d.VerifyReport(bad); err == nil {
+		t.Error("tampered measurement must fail verification")
+	}
+	// A different device cannot verify it.
+	d2 := newTestDevice(t, V2)
+	if err := d2.VerifyReport(rep); err == nil {
+		t.Error("cross-device report must fail verification")
+	}
+}
+
+func TestEGetKeyBinding(t *testing.T) {
+	d := newTestDevice(t, V1)
+	content := bytes.Repeat([]byte{3}, PageSize)
+	e1 := buildEnclave(t, d, 0x10000, [][]byte{content})
+	e2 := buildEnclave(t, d, 0x10000, [][]byte{content})
+	k1, err := d.EGetKey(e1, KeySeal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := d.EGetKey(e2, KeySeal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("same measurement on same device must derive the same seal key")
+	}
+	kp, _ := d.EGetKey(e1, KeyProvision)
+	if kp == k1 {
+		t.Error("different key types must derive different keys")
+	}
+}
+
+func TestSGXInstructionAccounting(t *testing.T) {
+	ctr := cycles.NewCounter(cycles.DefaultModel())
+	d, err := NewDevice(Config{EPCPages: 16, Version: V1, Counter: ctr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := d.ECreate(0, PageSize) // 1 SGX instruction
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EAdd(e, 0, PermR|PermW|PermX, PageREG, nil); err != nil { // 1
+		t.Fatal(err)
+	}
+	if err := d.EExtendPage(e, 0); err != nil { // 16
+		t.Fatal(err)
+	}
+	if err := d.EInit(e); err != nil { // 1
+		t.Fatal(err)
+	}
+	want := uint64(1+1+16+1) * 10_000
+	if got := ctr.Cycles(cycles.PhaseProvision); got != want {
+		t.Errorf("provisioning cycles = %d, want %d", got, want)
+	}
+
+	ctx, err := d.EEnter(e) // 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.HostCall(func() error { return nil }); err != nil { // 2
+		t.Fatal(err)
+	}
+	ctx.EExit() // 1
+	want += 4 * 10_000
+	if got := ctr.Cycles(cycles.PhaseProvision); got != want {
+		t.Errorf("after enter/hostcall/exit: %d, want %d", got, want)
+	}
+}
+
+func TestEEnterRequiresInit(t *testing.T) {
+	d := newTestDevice(t, V1)
+	e, _ := d.ECreate(0, PageSize)
+	if _, err := d.EEnter(e); !errors.Is(err, ErrNotInitialized) {
+		t.Errorf("EEnter before EINIT = %v", err)
+	}
+	if _, err := d.EReport(e, [ReportDataSize]byte{}); !errors.Is(err, ErrNotInitialized) {
+		t.Errorf("EReport before EINIT = %v", err)
+	}
+}
+
+func TestAccessBounds(t *testing.T) {
+	d := newTestDevice(t, V1)
+	e := buildEnclave(t, d, 0x10000, [][]byte{nil})
+	if err := e.Read(0x0f000, make([]byte, 8)); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("below-range read = %v", err)
+	}
+	if err := e.Read(0x10000+PageSize-4, make([]byte, 8)); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("straddling read = %v", err)
+	}
+}
+
+func TestCrossPageReadWrite(t *testing.T) {
+	d := newTestDevice(t, V1)
+	e := buildEnclave(t, d, 0x10000, [][]byte{nil, nil})
+	data := make([]byte, 1000)
+	r := rand.New(rand.NewSource(42))
+	r.Read(data)
+	addr := uint64(0x10000 + PageSize - 500) // straddles the page boundary
+	if err := e.Write(addr, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := e.Read(addr, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("cross-page round trip mismatch")
+	}
+}
+
+// TestQuickEnclaveMemoryRoundTrip: writes followed by reads return the same
+// bytes at arbitrary in-range offsets and lengths.
+func TestQuickEnclaveMemoryRoundTrip(t *testing.T) {
+	d := newTestDevice(t, V2)
+	e := buildEnclave(t, d, 0, [][]byte{nil, nil, nil, nil})
+	span := uint64(4 * PageSize)
+	f := func(off uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if uint64(len(data)) > span {
+			data = data[:span]
+		}
+		addr := uint64(off) % (span - uint64(len(data)))
+		if err := e.Write(addr, data); err != nil {
+			t.Errorf("Write(%#x, %d): %v", addr, len(data), err)
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := e.Read(addr, got); err != nil {
+			t.Errorf("Read(%#x): %v", addr, err)
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDestroyEnclaveReclaims(t *testing.T) {
+	d, _ := NewDevice(Config{EPCPages: 8, Version: V1})
+	e := buildEnclave(t, d, 0, [][]byte{nil, nil, nil})
+	free := d.EPCFree()
+	d.DestroyEnclave(e)
+	if got := d.EPCFree(); got != free+3 {
+		t.Errorf("free pages = %d, want %d", got, free+3)
+	}
+	if _, ok := d.Enclave(e.ID()); ok {
+		t.Error("enclave still registered after destroy")
+	}
+}

@@ -1,0 +1,167 @@
+package symtab
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"engarde/internal/elf64"
+)
+
+func table(entries ...Entry) *Table {
+	t := New()
+	for _, e := range entries {
+		t.Add(e)
+	}
+	return t
+}
+
+func TestLookups(t *testing.T) {
+	tab := table(
+		Entry{Name: "memcpy", Addr: 0x1000, Size: 64},
+		Entry{Name: "strlen", Addr: 0x1100, Size: 32},
+		Entry{Name: "main", Addr: 0x2000, Size: 256},
+	)
+	if n, ok := tab.NameAt(0x1100); !ok || n != "strlen" {
+		t.Errorf("NameAt(0x1100) = %q, %v", n, ok)
+	}
+	if _, ok := tab.NameAt(0x1101); ok {
+		t.Error("NameAt inside a body must miss")
+	}
+	if a, ok := tab.AddrOf("main"); !ok || a != 0x2000 {
+		t.Errorf("AddrOf(main) = %#x", a)
+	}
+	if !tab.IsFuncStart(0x1000) || tab.IsFuncStart(0x1001) {
+		t.Error("IsFuncStart misbehaves")
+	}
+}
+
+func TestNextFuncAfter(t *testing.T) {
+	tab := table(
+		Entry{Name: "a", Addr: 0x100},
+		Entry{Name: "b", Addr: 0x200},
+		Entry{Name: "c", Addr: 0x300},
+	)
+	if next, ok := tab.NextFuncAfter(0x100); !ok || next != 0x200 {
+		t.Errorf("NextFuncAfter(0x100) = %#x, %v", next, ok)
+	}
+	if next, ok := tab.NextFuncAfter(0x250); !ok || next != 0x300 {
+		t.Errorf("NextFuncAfter(0x250) = %#x, %v", next, ok)
+	}
+	if _, ok := tab.NextFuncAfter(0x300); ok {
+		t.Error("NextFuncAfter past the last function should miss")
+	}
+}
+
+func TestFuncContaining(t *testing.T) {
+	tab := table(
+		Entry{Name: "a", Addr: 0x100, Size: 0x80},
+		Entry{Name: "b", Addr: 0x200, Size: 0x80},
+	)
+	if e, ok := tab.FuncContaining(0x17f); !ok || e.Name != "a" {
+		t.Errorf("FuncContaining(0x17f) = %+v", e)
+	}
+	if e, ok := tab.FuncContaining(0x200); !ok || e.Name != "b" {
+		t.Errorf("FuncContaining(0x200) = %+v", e)
+	}
+	if _, ok := tab.FuncContaining(0x50); ok {
+		t.Error("address before first function should miss")
+	}
+}
+
+func TestAddReplaces(t *testing.T) {
+	tab := table(Entry{Name: "f", Addr: 0x100, Size: 1})
+	tab.Add(Entry{Name: "f2", Addr: 0x100, Size: 2})
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d after replacing, want 1", tab.Len())
+	}
+	if n, _ := tab.NameAt(0x100); n != "f2" {
+		t.Errorf("NameAt = %q", n)
+	}
+}
+
+func TestFromELF(t *testing.T) {
+	var b elf64.Builder
+	b.Entry = 0x1000
+	b.AddSection(elf64.BuildSection{Name: ".text", Type: elf64.SHTProgbits,
+		Flags: elf64.SHFAlloc | elf64.SHFExecinstr, Addr: 0x1000, Data: make([]byte, 64)})
+	b.AddSymbol(elf64.BuildSymbol{Name: "fn1", Value: 0x1000, Size: 32,
+		Info: elf64.STBGlobal<<4 | elf64.STTFunc, Section: ".text"})
+	b.AddSymbol(elf64.BuildSymbol{Name: "data_obj", Value: 0x1040, Size: 8,
+		Info: elf64.STBGlobal<<4 | elf64.STTObject, Section: ".text"})
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := elf64.Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := FromELF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (objects filtered)", tab.Len())
+	}
+	if _, ok := tab.AddrOf("data_obj"); ok {
+		t.Error("non-function symbol should be filtered")
+	}
+}
+
+func TestFromELFNoFunctions(t *testing.T) {
+	var b elf64.Builder
+	b.Entry = 0x1000
+	b.AddSection(elf64.BuildSection{Name: ".text", Type: elf64.SHTProgbits,
+		Flags: elf64.SHFAlloc | elf64.SHFExecinstr, Addr: 0x1000, Data: make([]byte, 16)})
+	b.AddSymbol(elf64.BuildSymbol{Name: "obj", Value: 0x1000, Size: 8,
+		Info: elf64.STBGlobal<<4 | elf64.STTObject, Section: ".text"})
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := elf64.Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromELF(f); !errors.Is(err, ErrEmpty) {
+		t.Errorf("FromELF = %v, want ErrEmpty", err)
+	}
+}
+
+// TestQuickSortedInvariant: after arbitrary insertions, Functions() is
+// sorted and NextFuncAfter agrees with a linear scan.
+func TestQuickSortedInvariant(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		tab := New()
+		for i, a := range addrs {
+			tab.Add(Entry{Name: string(rune('a' + i%26)), Addr: uint64(a)})
+		}
+		fns := tab.Functions()
+		if !sort.SliceIsSorted(fns, func(i, j int) bool { return fns[i].Addr < fns[j].Addr }) {
+			t.Error("Functions() not sorted")
+			return false
+		}
+		if len(addrs) == 0 {
+			return true
+		}
+		probe := uint64(addrs[0])
+		want := uint64(0)
+		found := false
+		for _, e := range fns {
+			if e.Addr > probe && (!found || e.Addr < want) {
+				want, found = e.Addr, true
+			}
+		}
+		got, ok := tab.NextFuncAfter(probe)
+		if ok != found || (found && got != want) {
+			t.Errorf("NextFuncAfter(%#x) = %#x,%v want %#x,%v", probe, got, ok, want, found)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

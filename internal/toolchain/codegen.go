@@ -1,0 +1,371 @@
+package toolchain
+
+import (
+	"fmt"
+	"math/rand"
+
+	"engarde/internal/x86"
+)
+
+// BundleSize is the NaCl instruction-bundle size: no instruction may cross
+// a 32-byte boundary (paper §3).
+const BundleSize = 32
+
+// emitter wraps an x86.Assembler with NaCl bundle discipline: every
+// instruction that would cross a 32-byte boundary is re-emitted after NOP
+// padding. It also counts emitted instructions (alignment NOPs included) so
+// the toolchain can size binaries to target instruction counts.
+type emitter struct {
+	asm    x86.Assembler
+	nInst  int // instructions emitted, including alignment NOPs
+	labels int // unique-label counter
+}
+
+// emit runs f (which must emit exactly one instruction) under the bundle
+// rule.
+func (e *emitter) emit(f func(a *x86.Assembler)) {
+	start := e.asm.Len()
+	nf, nl := e.asm.Marks()
+	f(&e.asm)
+	end := e.asm.Len()
+	size := end - start
+	if size == 0 {
+		return
+	}
+	if start/BundleSize != (end-1)/BundleSize && size <= BundleSize {
+		// Crossed a bundle boundary: roll back, pad, re-emit.
+		e.asm.Truncate(start, nf, nl)
+		pad := BundleSize - start%BundleSize
+		e.asm.Nop(pad)
+		e.nInst += nopCount(pad)
+		f(&e.asm)
+	}
+	e.nInst++
+}
+
+// nopCount returns how many NOP instructions Assembler.Nop(n) produces.
+func nopCount(n int) int {
+	c := 0
+	for n > 0 {
+		k := n
+		if k > 9 {
+			k = 9
+		}
+		n -= k
+		c++
+	}
+	return c
+}
+
+// padNops emits n bytes of NOP padding without ever letting a single NOP
+// cross a bundle boundary.
+func (e *emitter) padNops(n int) {
+	for n > 0 {
+		room := BundleSize - e.asm.Len()%BundleSize
+		k := n
+		if k > room {
+			k = room
+		}
+		if k > 9 {
+			k = 9
+		}
+		e.asm.Nop(k)
+		e.nInst += nopCount(k)
+		n -= k
+	}
+}
+
+// alignBundle pads to the next bundle boundary (function starts are
+// bundle-aligned).
+func (e *emitter) alignBundle() {
+	if rem := e.asm.Len() % BundleSize; rem != 0 {
+		e.padNops(BundleSize - rem)
+	}
+}
+
+// align pads to an arbitrary power-of-two boundary (IFCC jump tables).
+func (e *emitter) align(n int) {
+	if rem := e.asm.Len() % n; rem != 0 {
+		e.padNops(n - rem)
+	}
+}
+
+func (e *emitter) newLabel(prefix string) string {
+	e.labels++
+	return fmt.Sprintf("%s_%d", prefix, e.labels)
+}
+
+// scratchRegs are the registers the body generator may clobber freely.
+// RCX is reserved for indirect-call pointers, RSP for the frame; RAX also
+// serves the canary sequences.
+var scratchRegs = []x86.Reg{
+	x86.RegAX, x86.RegDX, x86.RegBX, x86.RegSI, x86.RegDI,
+	x86.RegR8, x86.RegR9, x86.RegR10, x86.RegR11,
+}
+
+// scratchRegsASan additionally reserves R10/R11 for the sanitizer's shadow
+// computation.
+var scratchRegsASan = []x86.Reg{
+	x86.RegAX, x86.RegDX, x86.RegBX, x86.RegSI, x86.RegDI,
+	x86.RegR8, x86.RegR9,
+}
+
+// funcSpec describes one function to generate.
+type funcSpec struct {
+	name string
+	// bodyInsts is the approximate number of body instructions to emit
+	// (prologue/epilogue/instrumentation add a few more).
+	bodyInsts int
+	// directCallees are symbols this function calls directly, visited
+	// round-robin at callRate.
+	directCallees []string
+	// indirectTargets are jump-table entry symbols (IFCC mode) or plain
+	// function symbols used at indirect call sites.
+	indirectTargets []string
+	// callRate is the fraction of body slots that become direct calls.
+	callRate float64
+	// indirectRate is the fraction of body slots that become indirect
+	// call sites.
+	indirectRate float64
+	// dataSyms are data-section symbols available for RIP-relative loads.
+	dataSyms []string
+}
+
+// genOptions are whole-binary code-generation switches.
+type genOptions struct {
+	stackProtector bool
+	// ifcc selects IFCC-instrumented indirect call sites; when false,
+	// indirect calls are raw lea+call*.
+	ifcc bool
+	// ifccTableSym and ifccMask parametrize the IFCC guard sequence.
+	ifccTableSym string
+	ifccMask     int32
+	// asan guards every frame-slot store with a shadow-byte check
+	// (simplified AddressSanitizer instrumentation).
+	asan bool
+}
+
+// ASan instrumentation constants: the shadow region symbol, its byte size
+// (a power of two so the index can be masked in range), and the report
+// function called on a poisoned access.
+const (
+	ASanShadowSym   = "g_asan_shadow"
+	ASanShadowBytes = 4096
+	ASanReportSym   = "__asan_report"
+)
+
+// pendingLabel is a forward-branch target awaiting definition.
+type pendingLabel struct {
+	label string
+	after int // define once this many instructions have been emitted
+}
+
+// frameSize is the fixed stack frame of generated functions; slot 0 holds
+// the stack-protector canary, slots 1.. are scratch spill space.
+const frameSize = 0x20
+
+// genFunction emits one complete function. The function is bundle-aligned;
+// its start offset within the emitter is returned.
+func (e *emitter) genFunction(spec funcSpec, opt genOptions, rng *rand.Rand) int {
+	e.alignBundle()
+	start := e.asm.Len()
+	// The function name doubles as a local label so same-blob calls
+	// resolve without the linker.
+	e.asm.Label(spec.name)
+
+	failLabel := e.newLabel("stackfail")
+	// Prologue.
+	e.emit(func(a *x86.Assembler) { a.SubRegImm8(x86.RegSP, frameSize) })
+	if opt.stackProtector {
+		// mov %fs:0x28, %rax ; mov %rax, (%rsp) — the exact Clang canary
+		// prologue from paper §5.
+		e.emit(func(a *x86.Assembler) { a.MovRegFS(x86.RegAX, 0x28) })
+		e.emit(func(a *x86.Assembler) { a.MovMemReg(x86.Mem{Base: x86.RegSP, Index: x86.RegNone}, x86.RegAX) })
+	}
+
+	e.genBody(spec, opt, rng)
+
+	// Epilogue.
+	if opt.stackProtector {
+		// mov %fs:0x28, %rax ; cmp (%rsp), %rax ; jne fail.
+		e.emit(func(a *x86.Assembler) { a.MovRegFS(x86.RegAX, 0x28) })
+		e.emit(func(a *x86.Assembler) { a.CmpRegMem(x86.RegAX, x86.Mem{Base: x86.RegSP, Index: x86.RegNone}) })
+		e.emit(func(a *x86.Assembler) { a.JccLabel(x86.CondNE, failLabel) })
+	}
+	e.emit(func(a *x86.Assembler) { a.AddRegImm8(x86.RegSP, frameSize) })
+	e.emit(func(a *x86.Assembler) { a.Ret() })
+	if opt.stackProtector {
+		e.asm.Label(failLabel)
+		e.emit(func(a *x86.Assembler) { a.CallSym("__stack_chk_fail") })
+		e.emit(func(a *x86.Assembler) { a.Ud2() })
+	}
+	return start
+}
+
+// genBody emits the pseudo-random function body.
+func (e *emitter) genBody(spec funcSpec, opt genOptions, rng *rand.Rand) {
+	var pending []pendingLabel
+	callIdx := 0
+	emitted := 0
+	for emitted < spec.bodyInsts {
+		// Define labels that are due, keeping branch targets valid
+		// instruction starts.
+		for len(pending) > 0 && pending[0].after <= emitted {
+			e.asm.Label(pending[0].label)
+			pending = pending[1:]
+		}
+
+		roll := rng.Float64()
+		switch {
+		case roll < spec.callRate && len(spec.directCallees) > 0:
+			callee := spec.directCallees[callIdx%len(spec.directCallees)]
+			callIdx++
+			e.emit(func(a *x86.Assembler) { a.CallSym(callee) })
+			emitted++
+		case roll < spec.callRate+spec.indirectRate && len(spec.indirectTargets) > 0:
+			target := spec.indirectTargets[rng.Intn(len(spec.indirectTargets))]
+			emitted += e.genIndirectCall(target, opt)
+		default:
+			emitted += e.genALU(spec, opt, rng, emitted, &pending)
+		}
+	}
+	// Flush remaining labels before the epilogue.
+	for _, p := range pending {
+		e.asm.Label(p.label)
+	}
+}
+
+// emitASanGuard emits the simplified AddressSanitizer shadow check before
+// a store to slot(%rsp):
+//
+//	lea   slot(%rsp), %r11
+//	shr   $3, %r11
+//	and   $(shadow-1), %r11
+//	lea   g_asan_shadow(%rip), %r10
+//	add   %r10, %r11
+//	cmpb  $0, (%r11)
+//	je    ok
+//	call  __asan_report
+//	ok:
+//
+// and returns the number of instructions emitted.
+func (e *emitter) emitASanGuard(slot int64) int {
+	ok := e.newLabel("asan_ok")
+	e.emit(func(a *x86.Assembler) {
+		a.LeaMem(x86.RegR11, x86.Mem{Base: x86.RegSP, Index: x86.RegNone, Disp: slot})
+	})
+	e.emit(func(a *x86.Assembler) { a.ShrRegImm8(x86.RegR11, 3) })
+	e.emit(func(a *x86.Assembler) { a.AndRegImm32(x86.RegR11, ASanShadowBytes-1) })
+	e.emit(func(a *x86.Assembler) { a.LeaRIP(x86.RegR10, ASanShadowSym) })
+	e.emit(func(a *x86.Assembler) { a.AddRegReg(x86.RegR11, x86.RegR10) })
+	e.emit(func(a *x86.Assembler) {
+		a.CmpMem8Imm8(x86.Mem{Base: x86.RegR11, Index: x86.RegNone}, 0)
+	})
+	e.emit(func(a *x86.Assembler) { a.JccLabel(x86.CondE, ok) })
+	e.emit(func(a *x86.Assembler) { a.CallSym(ASanReportSym) })
+	e.asm.Label(ok)
+	return 8
+}
+
+// genALU emits one ordinary instruction (or a compare+branch pair) and
+// returns how many instructions it emitted.
+func (e *emitter) genALU(spec funcSpec, opt genOptions, rng *rand.Rand, emitted int, pending *[]pendingLabel) int {
+	pool := scratchRegs
+	if opt.asan {
+		pool = scratchRegsASan
+	}
+	reg := func() x86.Reg { return pool[rng.Intn(len(pool))] }
+	switch rng.Intn(12) {
+	case 0:
+		dst := reg()
+		imm := int32(rng.Intn(1 << 16))
+		e.emit(func(a *x86.Assembler) { a.MovRegImm32(dst, imm) })
+	case 1:
+		dst, src := reg(), reg()
+		e.emit(func(a *x86.Assembler) { a.MovRegReg(dst, src) })
+	case 2:
+		dst, src := reg(), reg()
+		e.emit(func(a *x86.Assembler) { a.AddRegReg(dst, src) })
+	case 3:
+		// Second stack-store case: compilers emit dense stack traffic, and
+		// the stack-protection policy's cost is driven by it.
+		src := reg()
+		slot := int64(8 + 8*rng.Intn(3))
+		n := 1
+		if opt.asan {
+			n += e.emitASanGuard(slot)
+		}
+		e.emit(func(a *x86.Assembler) { a.MovMemReg(x86.Mem{Base: x86.RegSP, Index: x86.RegNone, Disp: slot}, src) })
+		return n
+	case 4:
+		dst, src := reg(), reg()
+		e.emit(func(a *x86.Assembler) { a.XorRegReg(dst, src) })
+	case 5:
+		dst, src := reg(), reg()
+		e.emit(func(a *x86.Assembler) { a.ImulRegReg(dst, src) })
+	case 6:
+		dst, base := reg(), reg()
+		disp := int64(rng.Intn(256))
+		e.emit(func(a *x86.Assembler) { a.LeaMem(dst, x86.Mem{Base: base, Index: x86.RegNone, Disp: disp}) })
+	case 7:
+		// Spill to a frame slot (above the canary at (%rsp)).
+		src := reg()
+		slot := int64(8 + 8*rng.Intn(3))
+		n := 1
+		if opt.asan {
+			n += e.emitASanGuard(slot)
+		}
+		e.emit(func(a *x86.Assembler) { a.MovMemReg(x86.Mem{Base: x86.RegSP, Index: x86.RegNone, Disp: slot}, src) })
+		return n
+	case 8:
+		dst := reg()
+		slot := int64(8 + 8*rng.Intn(3))
+		e.emit(func(a *x86.Assembler) { a.MovRegMem(dst, x86.Mem{Base: x86.RegSP, Index: x86.RegNone, Disp: slot}) })
+	case 9:
+		if len(spec.dataSyms) > 0 {
+			dst := reg()
+			sym := spec.dataSyms[rng.Intn(len(spec.dataSyms))]
+			e.emit(func(a *x86.Assembler) { a.LeaRIP(dst, sym) })
+			break
+		}
+		dst := reg()
+		e.emit(func(a *x86.Assembler) { a.ShlRegImm8(dst, int8(rng.Intn(5))) })
+	case 10:
+		dst := reg()
+		e.emit(func(a *x86.Assembler) { a.AndRegImm32(dst, int32(rng.Intn(1<<12))) })
+	default:
+		// Compare + forward conditional branch to a label defined a few
+		// instructions later.
+		lhs := reg()
+		label := e.newLabel("bb")
+		cond := x86.Cond(rng.Intn(16))
+		e.emit(func(a *x86.Assembler) { a.CmpRegImm8(lhs, int8(rng.Intn(100))) })
+		e.emit(func(a *x86.Assembler) { a.JccLabel(cond, label) })
+		*pending = append(*pending, pendingLabel{label: label, after: emitted + 3 + rng.Intn(8)})
+		return 2
+	}
+	return 1
+}
+
+// genIndirectCall emits an indirect call site, IFCC-instrumented or raw,
+// and returns the number of instructions emitted.
+func (e *emitter) genIndirectCall(targetSym string, opt genOptions) int {
+	// Load a plausible function pointer.
+	e.emit(func(a *x86.Assembler) { a.LeaRIP(x86.RegCX, targetSym) })
+	if !opt.ifcc {
+		e.emit(func(a *x86.Assembler) { a.CallReg(x86.RegCX) })
+		return 2
+	}
+	// The IFCC guard from paper §5:
+	//   lea  table(%rip), %rax
+	//   sub  %eax, %ecx
+	//   and  $mask, %rcx
+	//   add  %rax, %rcx
+	//   callq *%rcx
+	e.emit(func(a *x86.Assembler) { a.LeaRIP(x86.RegAX, opt.ifccTableSym) })
+	e.emit(func(a *x86.Assembler) { a.SubRegReg32(x86.RegCX, x86.RegAX) })
+	e.emit(func(a *x86.Assembler) { a.AndRegImm32(x86.RegCX, opt.ifccMask) })
+	e.emit(func(a *x86.Assembler) { a.AddRegReg(x86.RegCX, x86.RegAX) })
+	e.emit(func(a *x86.Assembler) { a.CallReg(x86.RegCX) })
+	return 6
+}

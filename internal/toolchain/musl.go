@@ -1,0 +1,213 @@
+package toolchain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Musl versions the synthetic toolchain can "link against". The paper's
+// library-linking policy verifies linkage against v1.0.5 specifically; any
+// other version produces different function bodies and therefore different
+// hashes, which the policy must reject.
+const (
+	MuslV105 = "1.0.5" // the approved version (paper §5)
+	MuslV110 = "1.1.0" // a different version, for rejection tests
+)
+
+// muslFunc describes one libc function of the synthetic musl build.
+type muslFunc struct {
+	name      string
+	bodyInsts int
+	callees   []string
+}
+
+// muslFuncs is the synthetic musl-libc function inventory. Sizes are
+// loosely modelled on the real library (vfprintf is the giant, ctype
+// predicates are tiny). Functions only ever call other musl functions, so
+// the whole archive is internally position-independent: linked contiguously
+// at any 32-byte-aligned address its bytes are identical, which is what
+// makes per-function hash databases well-defined.
+var muslFuncs = []muslFunc{
+	{name: "memcpy", bodyInsts: 40},
+	{name: "memset", bodyInsts: 30},
+	{name: "memmove", bodyInsts: 50, callees: []string{"memcpy"}},
+	{name: "memcmp", bodyInsts: 35},
+	{name: "memchr", bodyInsts: 30},
+	{name: "strlen", bodyInsts: 25},
+	{name: "strcmp", bodyInsts: 30},
+	{name: "strncmp", bodyInsts: 35},
+	{name: "strcpy", bodyInsts: 25},
+	{name: "strncpy", bodyInsts: 30},
+	{name: "strcat", bodyInsts: 25, callees: []string{"strlen", "strcpy"}},
+	{name: "strncat", bodyInsts: 30, callees: []string{"strlen"}},
+	{name: "strchr", bodyInsts: 25},
+	{name: "strrchr", bodyInsts: 30},
+	{name: "strstr", bodyInsts: 60, callees: []string{"strlen", "memcmp"}},
+	{name: "strtok", bodyInsts: 50, callees: []string{"strchr"}},
+	{name: "strdup", bodyInsts: 25, callees: []string{"strlen", "malloc", "memcpy"}},
+	{name: "malloc", bodyInsts: 120, callees: []string{"sbrk", "memset"}},
+	{name: "free", bodyInsts: 90},
+	{name: "calloc", bodyInsts: 50, callees: []string{"malloc", "memset"}},
+	{name: "realloc", bodyInsts: 100, callees: []string{"malloc", "memcpy", "free"}},
+	{name: "vfprintf", bodyInsts: 800, callees: []string{"memcpy", "strlen", "memset"}},
+	{name: "printf", bodyInsts: 60, callees: []string{"vfprintf"}},
+	{name: "fprintf", bodyInsts: 55, callees: []string{"vfprintf"}},
+	{name: "sprintf", bodyInsts: 50, callees: []string{"vfprintf"}},
+	{name: "snprintf", bodyInsts: 55, callees: []string{"vfprintf"}},
+	{name: "puts", bodyInsts: 30, callees: []string{"strlen", "write"}},
+	{name: "putchar", bodyInsts: 15, callees: []string{"write"}},
+	{name: "getchar", bodyInsts: 15, callees: []string{"read"}},
+	{name: "fgets", bodyInsts: 60, callees: []string{"read", "memchr", "memcpy"}},
+	{name: "fopen", bodyInsts: 100, callees: []string{"open", "malloc"}},
+	{name: "fclose", bodyInsts: 60, callees: []string{"close", "free"}},
+	{name: "fread", bodyInsts: 80, callees: []string{"read", "memcpy"}},
+	{name: "fwrite", bodyInsts: 80, callees: []string{"write", "memcpy"}},
+	{name: "fseek", bodyInsts: 50, callees: []string{"lseek"}},
+	{name: "qsort", bodyInsts: 150, callees: []string{"memcpy"}},
+	{name: "bsearch", bodyInsts: 40},
+	{name: "atoi", bodyInsts: 30, callees: []string{"strtol"}},
+	{name: "atol", bodyInsts: 30, callees: []string{"strtol"}},
+	{name: "strtol", bodyInsts: 120, callees: []string{"isspace", "isdigit"}},
+	{name: "strtoul", bodyInsts: 110, callees: []string{"isspace", "isdigit"}},
+	{name: "abs", bodyInsts: 10},
+	{name: "labs", bodyInsts: 10},
+	{name: "rand", bodyInsts: 20},
+	{name: "srand", bodyInsts: 10},
+	{name: "time", bodyInsts: 20},
+	{name: "clock", bodyInsts: 15},
+	{name: "isdigit", bodyInsts: 8},
+	{name: "isalpha", bodyInsts: 8},
+	{name: "isspace", bodyInsts: 8},
+	{name: "toupper", bodyInsts: 10},
+	{name: "tolower", bodyInsts: 10},
+	{name: "exit", bodyInsts: 40, callees: []string{"fclose"}},
+	{name: "abort", bodyInsts: 15},
+	{name: "getenv", bodyInsts: 40, callees: []string{"strncmp", "strlen"}},
+	{name: "setenv", bodyInsts: 60, callees: []string{"malloc", "strlen", "memcpy"}},
+	{name: "write", bodyInsts: 25},
+	{name: "read", bodyInsts: 25},
+	{name: "open", bodyInsts: 30},
+	{name: "close", bodyInsts: 20},
+	{name: "lseek", bodyInsts: 25},
+	{name: "mmap", bodyInsts: 45},
+	{name: "munmap", bodyInsts: 25},
+	{name: "sbrk", bodyInsts: 25},
+	{name: "brk", bodyInsts: 20},
+	{name: "pthread_mutex_lock", bodyInsts: 60},
+	{name: "pthread_mutex_unlock", bodyInsts: 40},
+	{name: "pthread_create", bodyInsts: 140, callees: []string{"malloc", "mmap", "memset"}},
+	{name: "pthread_join", bodyInsts: 70},
+	{name: "__errno_location", bodyInsts: 10},
+	{name: "__stack_chk_fail", bodyInsts: 8, callees: []string{"abort"}},
+}
+
+// MuslFunctionNames returns the names of all functions in the synthetic
+// musl build, in link order.
+func MuslFunctionNames() []string {
+	out := make([]string, len(muslFuncs))
+	for i, f := range muslFuncs {
+		out[i] = f.name
+	}
+	return out
+}
+
+// muslSeed derives the per-function RNG seed; the version string is part of
+// the seed so different musl versions have different machine code.
+func muslSeed(version, name string) int64 {
+	h := sha256.Sum256([]byte("musl-" + version + "/" + name))
+	return int64(binary.LittleEndian.Uint64(h[:8]))
+}
+
+// placedFunc records a generated function inside a blob.
+type placedFunc struct {
+	name string
+	off  int // blob-relative start offset, 32-byte aligned
+	end  int // blob-relative end offset (start of next function or blob end)
+}
+
+// muslBuild is a fully linked (blob-internal) musl archive.
+type muslBuild struct {
+	version string
+	blob    []byte
+	funcs   []placedFunc
+}
+
+// muslCache memoizes archive builds; a muslBuild is immutable once
+// constructed, so sharing across goroutines is safe.
+var muslCache sync.Map // key string → *muslBuild
+
+// buildMusl returns the (cached) musl archive for a version/protection
+// pair.
+func buildMusl(version string, opt genOptions) (*muslBuild, error) {
+	key := fmt.Sprintf("%s/sp=%v", version, opt.stackProtector)
+	if v, ok := muslCache.Load(key); ok {
+		return v.(*muslBuild), nil
+	}
+	mb, err := buildMuslUncached(version, opt)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := muslCache.LoadOrStore(key, mb)
+	return v.(*muslBuild), nil
+}
+
+// buildMuslUncached generates the whole musl archive as one contiguous
+// blob with all internal calls resolved blob-relatively. opt.stackProtector
+// controls whether libc itself carries canaries, matching how the
+// benchmark binary as a whole is compiled for each experiment.
+func buildMuslUncached(version string, opt genOptions) (*muslBuild, error) {
+	var e emitter
+	mb := &muslBuild{version: version}
+	starts := make([]int, len(muslFuncs))
+	for i, mf := range muslFuncs {
+		rng := rand.New(rand.NewSource(muslSeed(version, mf.name)))
+		spec := funcSpec{
+			name:          mf.name,
+			bodyInsts:     mf.bodyInsts,
+			directCallees: mf.callees,
+			callRate:      0.05,
+		}
+		// musl's internal calls resolve as local labels, so the blob is
+		// placement-invariant.
+		starts[i] = e.genFunction(spec, genOptions{stackProtector: opt.stackProtector}, rng)
+	}
+	blob, fixups, err := e.asm.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("toolchain: linking musl %s: %w", version, err)
+	}
+	if len(fixups) != 0 {
+		return nil, fmt.Errorf("toolchain: musl %s has %d unresolved externals (must be self-contained)", version, len(fixups))
+	}
+	mb.blob = blob
+	for i, mf := range muslFuncs {
+		end := len(blob)
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		mb.funcs = append(mb.funcs, placedFunc{name: mf.name, off: starts[i], end: end})
+	}
+	return mb, nil
+}
+
+// HashDB is the library-linking policy database: function name → SHA-256
+// of the function's linked bytes (from its start to the start of the next
+// function, the same span the policy hashes in the executable).
+type HashDB map[string][sha256.Size]byte
+
+// MuslHashDB builds the reference hash database for a musl version, as the
+// cloud provider would from its approved libc build (paper §5: "we first
+// generate the SHA-256 hashes of all the functions of musl-libc v1.0.5").
+func MuslHashDB(version string, stackProtector bool) (HashDB, error) {
+	mb, err := buildMusl(version, genOptions{stackProtector: stackProtector})
+	if err != nil {
+		return nil, err
+	}
+	db := make(HashDB, len(mb.funcs))
+	for _, f := range mb.funcs {
+		db[f.name] = sha256.Sum256(mb.blob[f.off:f.end])
+	}
+	return db, nil
+}

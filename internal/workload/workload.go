@@ -1,0 +1,182 @@
+// Package workload defines the seven benchmark programs of the paper's
+// evaluation (§5) — Nginx, 401.bzip2, Graph-500, 429.mcf, Memcached,
+// Netperf and Otp-gen — as synthetic-toolchain build specifications.
+//
+// The knobs per benchmark encode the structural properties that drive
+// EnGarde's costs and that differ between the real programs:
+//
+//   - total instruction count (the "#Inst." column of Figures 3-5);
+//   - function-size profile: Nginx is thousands of small handlers, while
+//     401.bzip2 is a handful of enormous compress/decompress loops — which
+//     is why bzip2's stack-protection check costs MORE than Nginx's despite
+//     being 11× smaller (the per-function pattern scan is superlinear in
+//     function size);
+//   - libc call density (drives the library-linking check, which hashes
+//     the callee per call site);
+//   - indirect-call density (drives the IFCC check);
+//   - data-relocation count (drives loading: Nginx's large module/command
+//     pointer tables explain its 30× larger loading column).
+package workload
+
+import (
+	"fmt"
+
+	"engarde/internal/toolchain"
+)
+
+// Spec is one benchmark program.
+type Spec struct {
+	// Name as it appears in the paper's tables.
+	Name string
+	// Base is the uninstrumented toolchain configuration; instrumentation
+	// flags are layered on per experiment.
+	Base toolchain.Config
+}
+
+// Specs returns the seven paper benchmarks in table order.
+func Specs() []Spec {
+	return []Spec{
+		{
+			// An HTTP server: ~1200 small-to-medium handler functions,
+			// heavy libc use, very large initialized pointer tables
+			// (modules, commands, MIME types).
+			Name: "Nginx",
+			Base: toolchain.Config{
+				Name: "nginx", Seed: 101,
+				NumFuncs: 680, AvgFuncInsts: 320, FuncSizeVariance: 0.6,
+				LibcCallRate: 0.115, AppCallRate: 0.045, IndirectRate: 0.004,
+				NumIndirectTargets: 64,
+				NumDataRelocs:      2460, DataBytes: 16384, BssBytes: 65536,
+			},
+		},
+		{
+			// SPEC CPU2006 bzip2: a few gigantic block-sort/huffman
+			// functions, almost no libc calls in the hot code.
+			Name: "401.bzip2",
+			Base: toolchain.Config{
+				Name: "bzip2", Seed: 102,
+				NumFuncs: 3, AvgFuncInsts: 4840, FuncSizeVariance: 0.25,
+				LibcCallRate: 0.019, AppCallRate: 0.0085, IndirectRate: 0.001,
+				NumIndirectTargets: 2,
+				NumDataRelocs:      4, DataBytes: 8192, BssBytes: 1 << 20,
+			},
+		},
+		{
+			// Graph-500: medium count of medium kernels (BFS, generators).
+			Name: "Graph-500",
+			Base: toolchain.Config{
+				Name: "graph500", Seed: 103,
+				NumFuncs: 420, AvgFuncInsts: 205, FuncSizeVariance: 0.5,
+				LibcCallRate: 0.035, AppCallRate: 0.04, IndirectRate: 0.002,
+				NumIndirectTargets: 8,
+				NumDataRelocs:      8, DataBytes: 4096, BssBytes: 1 << 20,
+			},
+		},
+		{
+			// SPEC CPU2006 mcf: small solver with a few medium functions
+			// and (relative to its size) high libc traffic.
+			Name: "429.mcf",
+			Base: toolchain.Config{
+				Name: "mcf", Seed: 104,
+				NumFuncs: 18, AvgFuncInsts: 420, FuncSizeVariance: 0.4,
+				LibcCallRate: 0.22, AppCallRate: 0.04, IndirectRate: 0.001,
+				NumIndirectTargets: 2,
+				NumDataRelocs:      5, DataBytes: 2048, BssBytes: 1 << 18,
+			},
+		},
+		{
+			// Memcached: mid-size event-driven server, libc-heavy, with
+			// sizeable dispatch functions.
+			Name: "Memcached",
+			Base: toolchain.Config{
+				Name: "memcached", Seed: 105,
+				NumFuncs: 115, AvgFuncInsts: 515, FuncSizeVariance: 0.6,
+				LibcCallRate: 0.12, AppCallRate: 0.03, IndirectRate: 0.003,
+				NumIndirectTargets: 16,
+				NumDataRelocs:      78, DataBytes: 8192, BssBytes: 1 << 19,
+			},
+		},
+		{
+			// Netperf: network benchmark with chunky test-driver
+			// functions and large option tables.
+			Name: "Netperf",
+			Base: toolchain.Config{
+				Name: "netperf", Seed: 106,
+				NumFuncs: 97, AvgFuncInsts: 460, FuncSizeVariance: 0.5,
+				LibcCallRate: 0.14, AppCallRate: 0.03, IndirectRate: 0.002,
+				NumIndirectTargets: 8,
+				NumDataRelocs:      276, DataBytes: 8192, BssBytes: 65536,
+			},
+		},
+		{
+			// otp-gen: a password generator: few functions, several large
+			// (crypto rounds), frequent libc formatting calls.
+			Name: "Otp-gen",
+			Base: toolchain.Config{
+				Name: "otpgen", Seed: 107,
+				NumFuncs: 19, AvgFuncInsts: 980, FuncSizeVariance: 0.5,
+				LibcCallRate: 0.072, AppCallRate: 0.015, IndirectRate: 0.002,
+				NumIndirectTargets: 4,
+				NumDataRelocs:      22, DataBytes: 2048, BssBytes: 32768,
+			},
+		},
+	}
+}
+
+// ByName returns the spec with the given table name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Variant describes which instrumentation a build carries; each of the
+// paper's three policy experiments uses one.
+type Variant int
+
+// Build variants.
+const (
+	// Plain is the baseline build (musl-linked, no extra instrumentation)
+	// used for the library-linking experiment (Figure 3).
+	Plain Variant = iota + 1
+	// StackProtected is compiled with -fstack-protector-all (Figure 4).
+	StackProtected
+	// IFCCProtected carries LLVM indirect function-call checks (Figure 5).
+	IFCCProtected
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Plain:
+		return "plain"
+	case StackProtected:
+		return "stackprot"
+	case IFCCProtected:
+		return "ifcc"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Build builds the benchmark in the given variant.
+func (s Spec) Build(v Variant) (*toolchain.Binary, error) {
+	cfg := s.Base
+	switch v {
+	case StackProtected:
+		cfg.StackProtector = true
+	case IFCCProtected:
+		cfg.IFCC = true
+	case Plain:
+		// no instrumentation
+	default:
+		return nil, fmt.Errorf("workload: unknown variant %d", int(v))
+	}
+	bin, err := toolchain.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("workload: building %s (%s): %w", s.Name, v, err)
+	}
+	return bin, nil
+}

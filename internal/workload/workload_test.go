@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+
+	"engarde/internal/elf64"
+	"engarde/internal/x86"
+)
+
+// paperInsts is the "#Inst." column of Figure 3 (the plain builds).
+var paperInsts = map[string]int{
+	"Nginx":     262_228,
+	"401.bzip2": 24_112,
+	"Graph-500": 100_411,
+	"429.mcf":   12_903,
+	"Memcached": 71_437,
+	"Netperf":   51_403,
+	"Otp-gen":   28_125,
+}
+
+func TestSpecsMatchPaperSizes(t *testing.T) {
+	for _, s := range Specs() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			bin, err := s.Build(Plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := paperInsts[s.Name]
+			ratio := float64(bin.NumInsts) / float64(want)
+			if ratio < 0.85 || ratio > 1.15 {
+				t.Errorf("#Inst = %d, paper reports %d (ratio %.2f outside ±15%%)",
+					bin.NumInsts, want, ratio)
+			}
+		})
+	}
+}
+
+func TestVariantsAddInstructions(t *testing.T) {
+	s, err := ByName("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := s.Build(Plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := s.Build(StackProtected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := s.Build(IFCCProtected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NumInsts <= plain.NumInsts {
+		t.Errorf("stackprot %d ≤ plain %d", sp.NumInsts, plain.NumInsts)
+	}
+	if ic.NumInsts <= plain.NumInsts {
+		t.Errorf("ifcc %d ≤ plain %d", ic.NumInsts, plain.NumInsts)
+	}
+	if ic.JumpTableAddr == 0 {
+		t.Error("IFCC build missing jump table")
+	}
+	if plain.JumpTableAddr != 0 {
+		t.Error("plain build should not have a jump table")
+	}
+}
+
+func TestAllBenchmarksParseAndDecode(t *testing.T) {
+	for _, s := range Specs() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			bin, err := s.Build(Plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := elf64.Parse(bin.Image)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.VerifyPIE(); err != nil {
+				t.Fatal(err)
+			}
+			text := f.Section(".text")
+			insts, err := x86.DecodeAll(text.Data, text.Addr)
+			if err != nil {
+				t.Fatalf("disassembly failed: %v", err)
+			}
+			if len(insts) != bin.NumInsts {
+				t.Errorf("decoded %d != reported %d", len(insts), bin.NumInsts)
+			}
+		})
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("Redis"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestFunctionProfileShapes(t *testing.T) {
+	// The structural premise of the Figure-4 inversion: bzip2's average
+	// function is far larger than Nginx's.
+	nginx, err := ByName("Nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bzip2, err := ByName("401.bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bzip2.Base.AvgFuncInsts < 8*nginx.Base.AvgFuncInsts {
+		t.Errorf("bzip2 avg function (%d) should dwarf nginx's (%d)",
+			bzip2.Base.AvgFuncInsts, nginx.Base.AvgFuncInsts)
+	}
+}

@@ -1,0 +1,166 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Inst is a single decoded x86-64 instruction. Besides the mnemonic and
+// operands it records the byte-level layout metadata that NaCl's
+// disassembler tracks (number of prefix, opcode, displacement and immediate
+// bytes), which EnGarde exposes to its policy modules (paper §4).
+type Inst struct {
+	Addr uint64 // virtual address of the first byte
+	Len  int    // total encoded length in bytes
+
+	Op   Op
+	Cond Cond // condition code for Jcc/SETcc/CMOVcc
+
+	// Byte-layout metadata (NaCl-style).
+	NumPrefix int // legacy + REX prefix bytes
+	NumOpcode int // opcode bytes (1-3)
+	NumDisp   int // displacement bytes
+	NumImm    int // immediate bytes
+
+	REX      byte // REX prefix value, 0 if absent
+	HasModRM bool
+	ModRM    byte
+	HasSIB   bool
+	SIB      byte
+
+	Seg      Seg  // segment-override prefix, SegNone if absent
+	Lock     bool // F0 prefix
+	RepF2    bool // F2 prefix
+	RepF3    bool // F3 prefix
+	OpSize16 bool // 66 prefix
+	Addr32   bool // 67 prefix
+
+	Disp int64 // sign-extended ModRM/SIB displacement
+	Imm  int64 // sign-extended primary immediate (also branch displacement)
+	Imm2 int64 // second immediate (ENTER only)
+
+	// Operands in AT&T order would be src,dst; we store dst-first because
+	// that is the order the policy matchers reason in. NArgs says how many
+	// entries of Args are valid.
+	Args  [2]Operand
+	NArgs int
+
+	// Raw is a view of the encoded bytes (aliasing the decode input).
+	Raw []byte
+}
+
+// Width returns the operand width in bytes implied by the instruction's
+// prefixes for a non-byte instruction form.
+func (in *Inst) width(defaultTo64 bool) uint8 {
+	switch {
+	case in.REX&0x08 != 0:
+		return 8
+	case in.OpSize16:
+		return 2
+	case defaultTo64:
+		return 8
+	default:
+		return 4
+	}
+}
+
+// BranchTarget returns the absolute target of a direct (relative) control
+// transfer, and whether the instruction has one.
+func (in *Inst) BranchTarget() (uint64, bool) {
+	switch in.Op {
+	case OpCall, OpJmp, OpJcc, OpLoop, OpJrcxz:
+		if in.NumImm > 0 {
+			return in.Addr + uint64(in.Len) + uint64(in.Imm), true
+		}
+	}
+	return 0, false
+}
+
+// IsDirectCall reports whether the instruction is a near direct call.
+func (in *Inst) IsDirectCall() bool { return in.Op == OpCall }
+
+// IsIndirectCall reports whether the instruction is an indirect call
+// through a register or memory operand (FF /2).
+func (in *Inst) IsIndirectCall() bool { return in.Op == OpCallInd }
+
+// RIPTarget returns the absolute address referenced by a RIP-relative
+// memory operand, and whether the instruction has one.
+func (in *Inst) RIPTarget() (uint64, bool) {
+	for i := 0; i < in.NArgs; i++ {
+		a := in.Args[i]
+		if a.Kind == KindMem && a.Mem.IsRIPRel() {
+			return in.Addr + uint64(in.Len) + uint64(a.Mem.Disp), true
+		}
+	}
+	return 0, false
+}
+
+// String renders the instruction in a compact AT&T-flavoured syntax,
+// operands printed src,dst like GNU as.
+func (in *Inst) String() string {
+	var b strings.Builder
+	b.WriteString(in.mnemonic())
+	if in.NArgs > 0 {
+		b.WriteByte(' ')
+		// AT&T prints source first: reverse our dst-first storage.
+		for i := in.NArgs - 1; i >= 0; i-- {
+			b.WriteString(formatOperand(in, in.Args[i]))
+			if i > 0 {
+				b.WriteString(", ")
+			}
+		}
+	} else if in.NumImm > 0 {
+		if t, ok := in.BranchTarget(); ok {
+			fmt.Fprintf(&b, " 0x%x", t)
+		} else {
+			fmt.Fprintf(&b, " $0x%x", in.Imm)
+		}
+	}
+	return b.String()
+}
+
+func (in *Inst) mnemonic() string {
+	switch in.Op {
+	case OpJcc:
+		return "j" + in.Cond.String()
+	case OpSetcc:
+		return "set" + in.Cond.String()
+	case OpCmovcc:
+		return "cmov" + in.Cond.String()
+	default:
+		return in.Op.String()
+	}
+}
+
+func formatOperand(in *Inst, o Operand) string {
+	switch o.Kind {
+	case KindReg:
+		if o.High8 {
+			return "%" + [4]string{"ah", "ch", "dh", "bh"}[o.Reg-4]
+		}
+		return "%" + o.Reg.Name(int(o.Width))
+	case KindImm:
+		return fmt.Sprintf("$0x%x", o.Imm)
+	case KindMem:
+		var b strings.Builder
+		if o.Mem.Seg != SegNone {
+			fmt.Fprintf(&b, "%%%s:", o.Mem.Seg)
+		}
+		if o.Mem.Disp != 0 || (o.Mem.Base == RegNone && o.Mem.Index == RegNone) {
+			fmt.Fprintf(&b, "0x%x", o.Mem.Disp)
+		}
+		if o.Mem.Base != RegNone || o.Mem.Index != RegNone {
+			b.WriteByte('(')
+			if o.Mem.Base != RegNone {
+				b.WriteString("%" + o.Mem.Base.Name(8))
+			}
+			if o.Mem.Index != RegNone {
+				fmt.Fprintf(&b, ",%%%s,%d", o.Mem.Index.Name(8), o.Mem.Scale)
+			}
+			b.WriteByte(')')
+		}
+		return b.String()
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,362 @@
+package x86
+
+// This file defines the opcode tables that drive both the decoder and the
+// assembler. The tables follow the layout of the Intel SDM volume 2 opcode
+// maps (one-byte map, two-byte 0F map, and the ModRM.reg-selected groups),
+// restricted to 64-bit mode: opcodes that #UD in 64-bit mode are marked
+// invalid, exactly as in NaCl's x86-64 disassembler tables.
+
+// immKind says how many immediate bytes follow the displacement.
+type immKind uint8
+
+const (
+	immNone  immKind = iota
+	imm8             // ib
+	imm16            // iw
+	immZ             // iz: 2 bytes with 0x66 prefix, else 4
+	immV             // iv: 2/4/8 by operand size (only B8+r MOV)
+	immEnter         // iw + ib (ENTER)
+	immRel8          // one-byte branch displacement
+	immRelZ          // 4-byte branch displacement (2 with 0x66; rejected)
+	immMoffs         // 8-byte direct address (A0-A3)
+	imm16i8          // iw then ib is only ENTER; imm16i8 unused alias
+)
+
+// argsKind is the operand-decoding recipe for an opcode.
+type argsKind uint8
+
+const (
+	argsNone     argsKind = iota
+	argsRMtoR             // reg ← r/m   (operands: dst=reg, src=rm)
+	argsRtoRM             // r/m ← reg   (operands: dst=rm, src=reg)
+	argsAccImm            // accumulator ← imm
+	argsRMImm             // r/m ← imm
+	argsRM                // single r/m operand
+	argsOpReg             // register encoded in opcode low 3 bits (+REX.B)
+	argsOpRegImm          // register from opcode + immediate (B0-BF)
+	argsRel               // branch with relative displacement
+	argsRRMImm            // reg ← r/m, imm (IMUL 69/6B)
+	argsRMOne             // shift r/m by 1
+	argsRMCl              // shift r/m by CL
+	argsMoffs             // direct-address MOV (A0-A3)
+	argsXchgAcc           // XCHG acc, reg-from-opcode (90-97)
+	argsImmOnly           // PUSH imm, INT imm, RET imm16...
+)
+
+// group identifies a ModRM.reg-selected opcode group.
+type group uint8
+
+const (
+	groupNone group = iota
+	group1          // 80/81/83: add/or/adc/sbb/and/sub/xor/cmp
+	group1A         // 8F: pop r/m
+	group2          // C0/C1/D0-D3: rol/ror/rcl/rcr/shl/shr/sal/sar
+	group3          // F6/F7: test/not/neg/mul/imul/div/idiv
+	group4          // FE: inc/dec r/m8
+	group5          // FF: inc/dec/call/callf/jmp/jmpf/push
+	group8          // 0F BA: bt/bts/btr/btc with imm8
+	group9          // 0F C7: cmpxchg8b/16b
+	group15         // 0F AE: fences and friends
+)
+
+// entry describes one opcode cell.
+type entry struct {
+	valid  bool
+	op     Op
+	args   argsKind
+	imm    immKind
+	modrm  bool
+	width8 bool  // byte-sized operand form
+	grp    group // non-zero for group opcodes
+}
+
+func e(op Op, args argsKind, imm immKind, modrm bool) entry {
+	return entry{valid: true, op: op, args: args, imm: imm, modrm: modrm}
+}
+
+func e8(op Op, args argsKind, imm immKind, modrm bool) entry {
+	en := e(op, args, imm, modrm)
+	en.width8 = true
+	return en
+}
+
+func grpEntry(g group, imm immKind, width8 bool) entry {
+	return entry{valid: true, args: argsRM, imm: imm, modrm: true, grp: g, width8: width8}
+}
+
+// arith fills the classic 6-opcode arithmetic row base..base+5
+// (rm8←r8, rm←r, r8←rm8, r←rm, al←ib, eax←iz).
+func arith(t *[256]entry, base int, op Op) {
+	t[base+0] = e8(op, argsRtoRM, immNone, true)
+	t[base+1] = e(op, argsRtoRM, immNone, true)
+	t[base+2] = e8(op, argsRMtoR, immNone, true)
+	t[base+3] = e(op, argsRMtoR, immNone, true)
+	t[base+4] = e8(op, argsAccImm, imm8, false)
+	t[base+5] = e(op, argsAccImm, immZ, false)
+}
+
+// oneByte is the primary opcode map for 64-bit mode.
+var oneByte = buildOneByte()
+
+func buildOneByte() [256]entry {
+	var t [256]entry
+
+	arith(&t, 0x00, OpAdd)
+	arith(&t, 0x08, OpOr)
+	arith(&t, 0x10, OpAdc)
+	arith(&t, 0x18, OpSbb)
+	arith(&t, 0x20, OpAnd)
+	arith(&t, 0x28, OpSub)
+	arith(&t, 0x30, OpXor)
+	arith(&t, 0x38, OpCmp)
+
+	// 0x40-0x4F are REX prefixes in 64-bit mode (handled by the prefix
+	// scanner, never looked up here).
+
+	for i := 0x50; i <= 0x57; i++ {
+		t[i] = e(OpPush, argsOpReg, immNone, false)
+	}
+	for i := 0x58; i <= 0x5F; i++ {
+		t[i] = e(OpPop, argsOpReg, immNone, false)
+	}
+
+	t[0x63] = e(OpMovsxd, argsRMtoR, immNone, true)
+	t[0x68] = e(OpPush, argsImmOnly, immZ, false)
+	t[0x69] = e(OpImul, argsRRMImm, immZ, true)
+	t[0x6A] = e(OpPush, argsImmOnly, imm8, false)
+	t[0x6B] = e(OpImul, argsRRMImm, imm8, true)
+
+	for i := 0x70; i <= 0x7F; i++ { // Jcc rel8
+		t[i] = e(OpJcc, argsRel, immRel8, false)
+	}
+
+	t[0x80] = grpEntry(group1, imm8, true)
+	t[0x81] = grpEntry(group1, immZ, false)
+	t[0x83] = grpEntry(group1, imm8, false)
+	t[0x84] = e8(OpTest, argsRtoRM, immNone, true)
+	t[0x85] = e(OpTest, argsRtoRM, immNone, true)
+	t[0x86] = e8(OpXchg, argsRtoRM, immNone, true)
+	t[0x87] = e(OpXchg, argsRtoRM, immNone, true)
+	t[0x88] = e8(OpMov, argsRtoRM, immNone, true)
+	t[0x89] = e(OpMov, argsRtoRM, immNone, true)
+	t[0x8A] = e8(OpMov, argsRMtoR, immNone, true)
+	t[0x8B] = e(OpMov, argsRMtoR, immNone, true)
+	t[0x8C] = e(OpOther, argsRM, immNone, true) // mov r/m, sreg
+	t[0x8D] = e(OpLea, argsRMtoR, immNone, true)
+	t[0x8E] = e(OpOther, argsRM, immNone, true) // mov sreg, r/m
+	t[0x8F] = grpEntry(group1A, immNone, false)
+
+	t[0x90] = e(OpNop, argsNone, immNone, false)
+	for i := 0x91; i <= 0x97; i++ {
+		t[i] = e(OpXchg, argsXchgAcc, immNone, false)
+	}
+	t[0x98] = e(OpCwde, argsNone, immNone, false)
+	t[0x99] = e(OpCdq, argsNone, immNone, false)
+	t[0x9B] = e(OpOther, argsNone, immNone, false) // fwait
+	t[0x9C] = e(OpPushf, argsNone, immNone, false)
+	t[0x9D] = e(OpPopf, argsNone, immNone, false)
+	t[0x9E] = e(OpOther, argsNone, immNone, false) // sahf
+	t[0x9F] = e(OpOther, argsNone, immNone, false) // lahf
+
+	t[0xA0] = e8(OpMov, argsMoffs, immMoffs, false)
+	t[0xA1] = e(OpMov, argsMoffs, immMoffs, false)
+	t[0xA2] = e8(OpMov, argsMoffs, immMoffs, false)
+	t[0xA3] = e(OpMov, argsMoffs, immMoffs, false)
+	t[0xA4] = e8(OpMovs, argsNone, immNone, false)
+	t[0xA5] = e(OpMovs, argsNone, immNone, false)
+	t[0xA6] = e8(OpCmps, argsNone, immNone, false)
+	t[0xA7] = e(OpCmps, argsNone, immNone, false)
+	t[0xA8] = e8(OpTest, argsAccImm, imm8, false)
+	t[0xA9] = e(OpTest, argsAccImm, immZ, false)
+	t[0xAA] = e8(OpStos, argsNone, immNone, false)
+	t[0xAB] = e(OpStos, argsNone, immNone, false)
+	t[0xAC] = e8(OpLods, argsNone, immNone, false)
+	t[0xAD] = e(OpLods, argsNone, immNone, false)
+	t[0xAE] = e8(OpScas, argsNone, immNone, false)
+	t[0xAF] = e(OpScas, argsNone, immNone, false)
+
+	for i := 0xB0; i <= 0xB7; i++ {
+		t[i] = e8(OpMov, argsOpRegImm, imm8, false)
+	}
+	for i := 0xB8; i <= 0xBF; i++ {
+		t[i] = e(OpMov, argsOpRegImm, immV, false)
+	}
+
+	t[0xC0] = grpEntry(group2, imm8, true)
+	t[0xC1] = grpEntry(group2, imm8, false)
+	t[0xC2] = e(OpRet, argsImmOnly, imm16, false)
+	t[0xC3] = e(OpRet, argsNone, immNone, false)
+	t[0xC6] = e8(OpMov, argsRMImm, imm8, true)
+	t[0xC7] = e(OpMov, argsRMImm, immZ, true)
+	t[0xC8] = e(OpEnter, argsImmOnly, immEnter, false)
+	t[0xC9] = e(OpLeave, argsNone, immNone, false)
+	t[0xCC] = e(OpInt3, argsNone, immNone, false)
+	t[0xCD] = e(OpInt, argsImmOnly, imm8, false)
+	t[0xCF] = e(OpOther, argsNone, immNone, false) // iret
+
+	t[0xD0] = grpEntry(group2, immNone, true)
+	t[0xD0].args = argsRMOne
+	t[0xD1] = grpEntry(group2, immNone, false)
+	t[0xD1].args = argsRMOne
+	t[0xD2] = grpEntry(group2, immNone, true)
+	t[0xD2].args = argsRMCl
+	t[0xD3] = grpEntry(group2, immNone, false)
+	t[0xD3].args = argsRMCl
+	t[0xD7] = e(OpOther, argsNone, immNone, false) // xlat
+	for i := 0xD8; i <= 0xDF; i++ {                // x87 escape: length is ModRM-determined
+		t[i] = e(OpOther, argsRM, immNone, true)
+	}
+
+	t[0xE0] = e(OpLoop, argsRel, immRel8, false) // loopne
+	t[0xE1] = e(OpLoop, argsRel, immRel8, false) // loope
+	t[0xE2] = e(OpLoop, argsRel, immRel8, false)
+	t[0xE3] = e(OpJrcxz, argsRel, immRel8, false)
+	t[0xE4] = e8(OpIn, argsImmOnly, imm8, false)
+	t[0xE5] = e(OpIn, argsImmOnly, imm8, false)
+	t[0xE6] = e8(OpOut, argsImmOnly, imm8, false)
+	t[0xE7] = e(OpOut, argsImmOnly, imm8, false)
+	t[0xE8] = e(OpCall, argsRel, immRelZ, false)
+	t[0xE9] = e(OpJmp, argsRel, immRelZ, false)
+	t[0xEB] = e(OpJmp, argsRel, immRel8, false)
+	t[0xEC] = e8(OpIn, argsNone, immNone, false)
+	t[0xED] = e(OpIn, argsNone, immNone, false)
+	t[0xEE] = e8(OpOut, argsNone, immNone, false)
+	t[0xEF] = e(OpOut, argsNone, immNone, false)
+
+	t[0xF1] = e(OpOther, argsNone, immNone, false) // int1
+	t[0xF4] = e(OpHlt, argsNone, immNone, false)
+	t[0xF5] = e(OpCmc, argsNone, immNone, false)
+	t[0xF6] = grpEntry(group3, immNone, true) // imm decided by /reg
+	t[0xF7] = grpEntry(group3, immNone, false)
+	t[0xF8] = e(OpClc, argsNone, immNone, false)
+	t[0xF9] = e(OpStc, argsNone, immNone, false)
+	t[0xFA] = e(OpCli, argsNone, immNone, false)
+	t[0xFB] = e(OpSti, argsNone, immNone, false)
+	t[0xFC] = e(OpCld, argsNone, immNone, false)
+	t[0xFD] = e(OpStd, argsNone, immNone, false)
+	t[0xFE] = grpEntry(group4, immNone, true)
+	t[0xFF] = grpEntry(group5, immNone, false)
+
+	return t
+}
+
+// twoByte is the 0F-escape opcode map.
+var twoByte = buildTwoByte()
+
+func buildTwoByte() [256]entry {
+	var t [256]entry
+
+	t[0x05] = e(OpSyscall, argsNone, immNone, false)
+	t[0x0B] = e(OpUd2, argsNone, immNone, false)
+	t[0x0D] = e(OpNop, argsRM, immNone, true) // prefetch hint
+
+	// 0F 10-17: SSE moves (modrm, no immediate).
+	for i := 0x10; i <= 0x17; i++ {
+		t[i] = e(OpSSE, argsRM, immNone, true)
+	}
+	// 0F 18-1F: hint NOPs and prefetches. 0F 1F is the canonical multi-byte
+	// NOP used for NaCl-style bundle padding.
+	for i := 0x18; i <= 0x1E; i++ {
+		t[i] = e(OpNop, argsRM, immNone, true)
+	}
+	t[0x1F] = e(OpNop, argsRM, immNone, true)
+
+	// 0F 28-2F: SSE moves/converts/compares.
+	for i := 0x28; i <= 0x2F; i++ {
+		t[i] = e(OpSSE, argsRM, immNone, true)
+	}
+
+	t[0x31] = e(OpRdtsc, argsNone, immNone, false)
+
+	// 0F 40-4F: CMOVcc.
+	for i := 0x40; i <= 0x4F; i++ {
+		t[i] = e(OpCmovcc, argsRMtoR, immNone, true)
+	}
+
+	// 0F 50-6F: SSE arithmetic and packing (modrm, no immediate).
+	for i := 0x50; i <= 0x6F; i++ {
+		t[i] = e(OpSSE, argsRM, immNone, true)
+	}
+	t[0x70] = e(OpSSE, argsRM, imm8, true) // pshuf*
+	// 0F 71-73: SSE shift groups with imm8.
+	for i := 0x71; i <= 0x73; i++ {
+		t[i] = e(OpSSE, argsRM, imm8, true)
+	}
+	for i := 0x74; i <= 0x76; i++ {
+		t[i] = e(OpSSE, argsRM, immNone, true)
+	}
+	t[0x77] = e(OpOther, argsNone, immNone, false) // emms
+	for i := 0x7C; i <= 0x7F; i++ {
+		t[i] = e(OpSSE, argsRM, immNone, true)
+	}
+
+	// 0F 80-8F: Jcc rel32.
+	for i := 0x80; i <= 0x8F; i++ {
+		t[i] = e(OpJcc, argsRel, immRelZ, false)
+	}
+	// 0F 90-9F: SETcc r/m8.
+	for i := 0x90; i <= 0x9F; i++ {
+		t[i] = e8(OpSetcc, argsRM, immNone, true)
+	}
+
+	t[0xA0] = e(OpPush, argsNone, immNone, false) // push fs
+	t[0xA1] = e(OpPop, argsNone, immNone, false)  // pop fs
+	t[0xA2] = e(OpCpuid, argsNone, immNone, false)
+	t[0xA3] = e(OpBt, argsRtoRM, immNone, true)
+	t[0xA4] = e(OpOther, argsRM, imm8, true) // shld ib
+	t[0xA5] = e(OpOther, argsRM, immNone, true)
+	t[0xA8] = e(OpPush, argsNone, immNone, false) // push gs
+	t[0xA9] = e(OpPop, argsNone, immNone, false)  // pop gs
+	t[0xAB] = e(OpBts, argsRtoRM, immNone, true)
+	t[0xAC] = e(OpOther, argsRM, imm8, true) // shrd ib
+	t[0xAD] = e(OpOther, argsRM, immNone, true)
+	t[0xAE] = grpEntry(group15, immNone, false)
+	t[0xAF] = e(OpImul, argsRMtoR, immNone, true)
+
+	t[0xB0] = e8(OpCmpxchg, argsRtoRM, immNone, true)
+	t[0xB1] = e(OpCmpxchg, argsRtoRM, immNone, true)
+	t[0xB3] = e(OpBtr, argsRtoRM, immNone, true)
+	t[0xB6] = e(OpMovzx, argsRMtoR, immNone, true)
+	t[0xB7] = e(OpMovzx, argsRMtoR, immNone, true)
+	t[0xBA] = grpEntry(group8, imm8, false)
+	t[0xBB] = e(OpBtc, argsRtoRM, immNone, true)
+	t[0xBC] = e(OpBsf, argsRMtoR, immNone, true)
+	t[0xBD] = e(OpBsr, argsRMtoR, immNone, true)
+	t[0xBE] = e(OpMovsx, argsRMtoR, immNone, true)
+	t[0xBF] = e(OpMovsx, argsRMtoR, immNone, true)
+
+	t[0xC0] = e8(OpXadd, argsRtoRM, immNone, true)
+	t[0xC1] = e(OpXadd, argsRtoRM, immNone, true)
+	t[0xC2] = e(OpSSE, argsRM, imm8, true) // cmpps ib
+	t[0xC3] = e(OpOther, argsRtoRM, immNone, true)
+	t[0xC4] = e(OpSSE, argsRM, imm8, true)
+	t[0xC5] = e(OpSSE, argsRM, imm8, true)
+	t[0xC6] = e(OpSSE, argsRM, imm8, true) // shufps ib
+	t[0xC7] = grpEntry(group9, immNone, false)
+	for i := 0xC8; i <= 0xCF; i++ {
+		t[i] = e(OpBswap, argsOpReg, immNone, false)
+	}
+
+	// 0F D0-FE: the MMX/SSE arithmetic block (modrm, no immediate).
+	for i := 0xD0; i <= 0xFE; i++ {
+		t[i] = e(OpSSE, argsRM, immNone, true)
+	}
+
+	return t
+}
+
+// Opcode groups, indexed by the ModRM.reg field.
+
+var group1Ops = [8]Op{OpAdd, OpOr, OpAdc, OpSbb, OpAnd, OpSub, OpXor, OpCmp}
+
+var group2Ops = [8]Op{OpRol, OpRor, OpRcl, OpRcr, OpShl, OpShr, OpShl, OpSar}
+
+var group3Ops = [8]Op{OpTest, OpTest, OpNot, OpNeg, OpMul, OpImul, OpDiv, OpIdiv}
+
+var group8Ops = [8]Op{OpInvalid, OpInvalid, OpInvalid, OpInvalid, OpBt, OpBts, OpBtr, OpBtc}
+
+// group5 layout: /0 inc, /1 dec, /2 call r/m, /3 callf, /4 jmp r/m,
+// /5 jmpf, /6 push r/m, /7 invalid.
+var group5Ops = [8]Op{OpInc, OpDec, OpCallInd, OpOther, OpJmpInd, OpOther, OpPush, OpInvalid}
+
+var group4Ops = [8]Op{OpInc, OpDec, OpInvalid, OpInvalid, OpInvalid, OpInvalid, OpInvalid, OpInvalid}

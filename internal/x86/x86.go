@@ -1,0 +1,194 @@
+// Package x86 implements a table-driven x86-64 instruction encoder and
+// decoder in the style of Google Native Client's 64-bit disassembler, which
+// the EnGarde paper uses for reliable in-enclave disassembly (ICDCS'17, §4).
+//
+// The decoder parses raw byte sequences into Inst values carrying the same
+// metadata NaCl tracks: the number of prefix bytes, opcode bytes,
+// displacement bytes and immediate bytes, plus fully decoded operands for
+// the instruction forms that EnGarde's policy modules inspect (direct and
+// indirect calls, mov/cmp/lea/sub/and/add, conditional jumps, and the
+// %fs-segment canary loads emitted by Clang's -fstack-protector).
+//
+// The encoder (Assembler) is the code-generation backend of the synthetic
+// toolchain in internal/toolchain; encoder and decoder share the same opcode
+// tables so that every instruction the toolchain can emit is by construction
+// decodable by EnGarde.
+package x86
+
+import "fmt"
+
+// Reg identifies an x86-64 register by its hardware number. General-purpose
+// registers use numbers 0-15; width is carried by the Operand that mentions
+// the register, so RAX/EAX/AX/AL all decode to RegAX.
+type Reg int8
+
+// General-purpose register numbers (hardware encoding order).
+const (
+	RegAX Reg = iota // rax / eax / ax / al
+	RegCX            // rcx
+	RegDX            // rdx
+	RegBX            // rbx
+	RegSP            // rsp
+	RegBP            // rbp
+	RegSI            // rsi
+	RegDI            // rdi
+	RegR8
+	RegR9
+	RegR10
+	RegR11
+	RegR12
+	RegR13
+	RegR14
+	RegR15
+
+	// RegRIP is a pseudo-register used as the base of RIP-relative memory
+	// operands.
+	RegRIP Reg = 0x20
+	// RegNone marks an absent base or index register.
+	RegNone Reg = -1
+)
+
+// Segment override registers.
+type Seg int8
+
+// Segment registers. SegNone means no segment-override prefix was present.
+const (
+	SegNone Seg = iota
+	SegES
+	SegCS
+	SegSS
+	SegDS
+	SegFS
+	SegGS
+)
+
+var regNames = [16]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+var reg32Names = [16]string{
+	"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+	"r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+}
+
+var reg16Names = [16]string{
+	"ax", "cx", "dx", "bx", "sp", "bp", "si", "di",
+	"r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w", "r15w",
+}
+
+var reg8Names = [16]string{
+	"al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil",
+	"r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b",
+}
+
+var segNames = [7]string{"", "es", "cs", "ss", "ds", "fs", "gs"}
+
+// Name returns the AT&T-style name of the register at the given operand
+// width in bytes (1, 2, 4 or 8).
+func (r Reg) Name(width int) string {
+	if r == RegRIP {
+		return "rip"
+	}
+	if r < 0 || int(r) > 15 {
+		return fmt.Sprintf("reg(%d)", int(r))
+	}
+	switch width {
+	case 1:
+		return reg8Names[r]
+	case 2:
+		return reg16Names[r]
+	case 4:
+		return reg32Names[r]
+	default:
+		return regNames[r]
+	}
+}
+
+func (s Seg) String() string {
+	if s < 0 || int(s) >= len(segNames) {
+		return "?"
+	}
+	return segNames[s]
+}
+
+// OperandKind discriminates the payload of an Operand.
+type OperandKind int8
+
+// Operand kinds.
+const (
+	KindNone OperandKind = iota
+	KindReg              // a register operand
+	KindMem              // a memory operand
+	KindImm              // an immediate operand
+)
+
+// Mem describes a memory operand in base+index*scale+disp form.
+type Mem struct {
+	Seg    Seg   // segment override, SegNone if absent
+	Base   Reg   // base register, RegNone if absent, RegRIP when RIP-relative
+	Index  Reg   // index register, RegNone if absent
+	Scale  uint8 // 1, 2, 4 or 8 (meaningful only when Index != RegNone)
+	Disp   int64 // sign-extended displacement
+	Direct bool  // true for moffs-style direct addressing (no ModRM)
+}
+
+// IsRIPRel reports whether the operand is RIP-relative.
+func (m Mem) IsRIPRel() bool { return m.Base == RegRIP }
+
+// Operand is a single decoded instruction operand.
+type Operand struct {
+	Kind  OperandKind
+	Reg   Reg   // valid when Kind == KindReg
+	Width uint8 // operand width in bytes (register and memory operands)
+	High8 bool  // true for the legacy AH/CH/DH/BH encodings
+	Mem   Mem   // valid when Kind == KindMem
+	Imm   int64 // valid when Kind == KindImm (sign-extended)
+}
+
+// IsReg reports whether the operand is the given register (any width).
+func (o Operand) IsReg(r Reg) bool { return o.Kind == KindReg && !o.High8 && o.Reg == r }
+
+// IsMemBaseDisp reports whether the operand is a memory reference
+// [base+disp] with no index and no segment override.
+func (o Operand) IsMemBaseDisp(base Reg, disp int64) bool {
+	return o.Kind == KindMem && o.Mem.Seg == SegNone && o.Mem.Base == base &&
+		o.Mem.Index == RegNone && o.Mem.Disp == disp
+}
+
+// IsSegDisp reports whether the operand is a segment-relative absolute
+// reference seg:disp, e.g. %fs:0x28 used by stack-protector canaries.
+func (o Operand) IsSegDisp(seg Seg, disp int64) bool {
+	return o.Kind == KindMem && o.Mem.Seg == seg && o.Mem.Base == RegNone &&
+		o.Mem.Index == RegNone && o.Mem.Disp == disp
+}
+
+// Cond is a condition code (the tttn field of Jcc/SETcc/CMOVcc opcodes).
+type Cond uint8
+
+// Condition codes in hardware encoding order.
+const (
+	CondO  Cond = iota // overflow
+	CondNO             // not overflow
+	CondB              // below
+	CondAE             // above or equal
+	CondE              // equal / zero
+	CondNE             // not equal / not zero
+	CondBE             // below or equal
+	CondA              // above
+	CondS              // sign
+	CondNS             // not sign
+	CondP              // parity
+	CondNP             // not parity
+	CondL              // less
+	CondGE             // greater or equal
+	CondLE             // less or equal
+	CondG              // greater
+)
+
+var condNames = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+func (c Cond) String() string { return condNames[c&0xf] }

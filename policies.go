@@ -1,0 +1,52 @@
+package engarde
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParsePolicies builds a policy set from a comma-separated list of policy
+// names, as the cmd tools accept on their -policies flag:
+//
+//	musl            — library-linking against the approved musl build
+//	musl-sp         — same, against the stack-protected musl build
+//	stack-protector — Clang -fstack-protector-all compliance
+//	ifcc            — LLVM indirect function-call check compliance
+//	no-forbidden    — no SYSCALL/INT/privileged instructions
+//
+// An empty list yields an empty set (attestation and encrypted
+// provisioning still apply; no code policy is enforced).
+func ParsePolicies(list string) (*PolicySet, error) {
+	set := NewPolicySet()
+	if strings.TrimSpace(list) == "" {
+		return set, nil
+	}
+	for _, name := range strings.Split(list, ",") {
+		switch strings.TrimSpace(name) {
+		case "musl":
+			p, err := MuslLinkingPolicy(MuslApprovedVersion, false)
+			if err != nil {
+				return nil, err
+			}
+			set.Add(p)
+		case "musl-sp":
+			p, err := MuslLinkingPolicy(MuslApprovedVersion, true)
+			if err != nil {
+				return nil, err
+			}
+			set.Add(p)
+		case "stack-protector":
+			set.Add(StackProtectorPolicy())
+		case "ifcc":
+			set.Add(IFCCPolicy())
+		case "no-forbidden":
+			set.Add(NoForbiddenInstructionsPolicy())
+		case "asan":
+			set.Add(ASanPolicy())
+		case "":
+		default:
+			return nil, fmt.Errorf("engarde: unknown policy %q (want musl, musl-sp, stack-protector, ifcc, no-forbidden)", name)
+		}
+	}
+	return set, nil
+}

@@ -1,0 +1,177 @@
+package engarde
+
+import (
+	"crypto/rsa"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"engarde/internal/attest"
+	"engarde/internal/secchan"
+	"engarde/internal/sgx"
+)
+
+// This file implements the wire protocol of §3 over any io.ReadWriter
+// (net.Conn in the cmd tools and examples):
+//
+//	enclave → client : hello      {quote, enclave public key DER}
+//	client  → enclave: key        {AES-256 key wrapped under the RSA key}
+//	client  → enclave: content    length header + encrypted blocks
+//	enclave → client : verdict    {compliant, reason}
+//
+// The verdict (and the executable-page list, which stays host-side) is all
+// the provider ever learns about the client's code.
+
+// hello is the first protocol message.
+type hello struct {
+	Quote     quoteWire `json:"quote"`
+	PublicKey []byte    `json:"public_key_der"`
+}
+
+// quoteWire is the JSON encoding of an attestation quote.
+type quoteWire struct {
+	MREnclave  []byte `json:"mrenclave"`
+	EnclaveID  uint64 `json:"enclave_id"`
+	SGXVersion int    `json:"sgx_version"`
+	ReportData []byte `json:"report_data"`
+	MAC        []byte `json:"mac"`
+	Signature  []byte `json:"signature"`
+}
+
+func quoteToWire(q Quote) quoteWire {
+	return quoteWire{
+		MREnclave:  q.Report.MREnclave[:],
+		EnclaveID:  uint64(q.Report.EnclaveID),
+		SGXVersion: int(q.Report.Version),
+		ReportData: q.Report.ReportData[:],
+		MAC:        q.Report.MAC[:],
+		Signature:  q.Signature,
+	}
+}
+
+func quoteFromWire(w quoteWire) (Quote, error) {
+	var q Quote
+	if len(w.MREnclave) != len(q.Report.MREnclave) ||
+		len(w.ReportData) != len(q.Report.ReportData) ||
+		len(w.MAC) != len(q.Report.MAC) {
+		return q, fmt.Errorf("engarde: malformed quote encoding")
+	}
+	copy(q.Report.MREnclave[:], w.MREnclave)
+	q.Report.EnclaveID = sgx.EnclaveID(w.EnclaveID)
+	q.Report.Version = sgx.Version(w.SGXVersion)
+	copy(q.Report.ReportData[:], w.ReportData)
+	copy(q.Report.MAC[:], w.MAC)
+	q.Signature = w.Signature
+	return q, nil
+}
+
+// Verdict is the provider-visible outcome sent back to the client.
+type Verdict struct {
+	Compliant bool   `json:"compliant"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+func sendJSON(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("engarde: encoding message: %w", err)
+	}
+	return secchan.WriteBlock(w, data)
+}
+
+func recvJSON(r io.Reader, v any) error {
+	data, err := secchan.ReadBlock(r)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("engarde: decoding message: %w", err)
+	}
+	return nil
+}
+
+// ServeProvision runs the enclave side of the provisioning protocol over
+// conn: send hello, receive the wrapped session key, receive the encrypted
+// content, provision it, and reply with the verdict. The full Report stays
+// with the provider.
+func (e *Enclave) ServeProvision(conn io.ReadWriter) (*Report, error) {
+	q, err := e.Quote()
+	if err != nil {
+		return nil, fmt.Errorf("engarde: quoting: %w", err)
+	}
+	pub, err := e.PublicKeyDER()
+	if err != nil {
+		return nil, err
+	}
+	if err := sendJSON(conn, hello{Quote: quoteToWire(q), PublicKey: pub}); err != nil {
+		return nil, err
+	}
+
+	wrapped, err := secchan.ReadBlock(conn)
+	if err != nil {
+		return nil, fmt.Errorf("engarde: receiving session key: %w", err)
+	}
+	if err := e.AcceptSessionKey(wrapped); err != nil {
+		// An unreadable key is a protocol failure; tell the peer.
+		_ = sendJSON(conn, Verdict{Compliant: false, Reason: "session key rejected"})
+		return nil, err
+	}
+
+	rep, err := e.core.ProvisionStream(conn)
+	if err != nil {
+		_ = sendJSON(conn, Verdict{Compliant: false, Reason: "transfer failed"})
+		return nil, err
+	}
+	verdict := Verdict{Compliant: rep.Compliant}
+	if !rep.Compliant {
+		verdict.Reason = rep.Reason
+	}
+	if err := sendJSON(conn, verdict); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// Client is the cloud client's side of the protocol.
+type Client struct {
+	// Expected is the EnGarde measurement the client demands (computed
+	// from the inspected EnGarde code via ExpectedMeasurement).
+	Expected Measurement
+	// PlatformKey is the provider platform's attestation public key.
+	PlatformKey *rsa.PublicKey
+}
+
+// Provision runs the client side over conn: verify the quote, wrap a
+// session key, stream the executable, and return the verdict.
+func (c *Client) Provision(conn io.ReadWriter, image []byte) (Verdict, error) {
+	var h hello
+	if err := recvJSON(conn, &h); err != nil {
+		return Verdict{}, fmt.Errorf("engarde: receiving hello: %w", err)
+	}
+	q, err := quoteFromWire(h.Quote)
+	if err != nil {
+		return Verdict{}, err
+	}
+	// Attestation: genuine EnGarde, on a genuine platform, with this exact
+	// public key bound into the quote (§2, §3).
+	if err := attest.VerifyQuote(q, c.PlatformKey, c.Expected, attest.BindPublicKey(h.PublicKey)); err != nil {
+		return Verdict{}, fmt.Errorf("engarde: attestation failed: %w", err)
+	}
+
+	sess, wrapped, err := secchan.WrapSessionKey(h.PublicKey, nil)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if err := secchan.WriteBlock(conn, wrapped); err != nil {
+		return Verdict{}, fmt.Errorf("engarde: sending session key: %w", err)
+	}
+	if err := sess.SendStream(conn, image, 64*1024); err != nil {
+		return Verdict{}, fmt.Errorf("engarde: sending content: %w", err)
+	}
+
+	var v Verdict
+	if err := recvJSON(conn, &v); err != nil {
+		return Verdict{}, fmt.Errorf("engarde: receiving verdict: %w", err)
+	}
+	return v, nil
+}

@@ -1,0 +1,188 @@
+package engarde
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+
+	"engarde/internal/interp"
+	"engarde/internal/secchan"
+	"engarde/internal/toolchain"
+)
+
+func TestServeProvisionGarbageHello(t *testing.T) {
+	// A client that speaks garbage instead of the wrapped key must not
+	// crash the server; the enclave reports an error and stays
+	// unprovisioned.
+	provider, err := NewProvider(ProviderConfig{EPCPages: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := provider.CreateEnclave(smallEnclave())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	done := make(chan error, 1)
+	go func() {
+		defer srv.Close()
+		_, err := encl.ServeProvision(srv)
+		done <- err
+	}()
+	// Drain the hello...
+	if _, err := secchan.ReadBlock(cli); err != nil {
+		t.Fatal(err)
+	}
+	// ...then send a garbage "wrapped key".
+	if err := secchan.WriteBlock(cli, bytes.Repeat([]byte{0x41}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	// net.Pipe is synchronous: drain the server's failure verdict so its
+	// write can complete.
+	if _, err := secchan.ReadBlock(cli); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Error("server should report the bad session key")
+	}
+	if _, err := encl.Enter(); err == nil {
+		t.Error("enclave must not be provisioned after a failed handshake")
+	}
+}
+
+func TestClientRejectsMalformedQuoteEncoding(t *testing.T) {
+	// A server sending a structurally invalid quote is rejected client-
+	// side before any key material is generated.
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	go func() {
+		defer srv.Close()
+		_ = sendJSON(srv, hello{Quote: quoteWire{MREnclave: []byte{1, 2, 3}}, PublicKey: []byte{4}})
+	}()
+	c := &Client{}
+	if _, err := c.Provision(cli, []byte("img")); err == nil {
+		t.Error("malformed quote must be rejected")
+	}
+}
+
+func TestTamperedStreamFailsAuthentication(t *testing.T) {
+	// Flipping one ciphertext bit on the wire kills the transfer.
+	provider, err := NewProvider(ProviderConfig{EPCPages: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := provider.CreateEnclave(smallEnclave())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := encl.PublicKeyDER()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, wrapped, err := secchan.WrapSessionKey(pub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := encl.AcceptSessionKey(wrapped); err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := sess.SendStream(&wire, []byte("payload payload payload"), 8); err != nil {
+		t.Fatal(err)
+	}
+	raw := wire.Bytes()
+	raw[len(raw)-2] ^= 0x80 // corrupt the last ciphertext block
+	if _, err := encl.Core().ProvisionStream(bytes.NewReader(raw)); err == nil {
+		t.Error("tampered stream must fail")
+	}
+}
+
+// TestQuickProvisionAndExecute: for arbitrary seeds, the whole chain —
+// generate, provision under the matching policy, run in the enclave —
+// succeeds without faults. This is the system-level invariant of the
+// reproduction: everything the toolchain emits is inspectable and
+// runnable.
+func TestQuickProvisionAndExecute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow property test")
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := toolchain.Config{
+			Name: "prop", Seed: seed,
+			NumFuncs:       3 + r.Intn(8),
+			AvgFuncInsts:   20 + r.Intn(80),
+			LibcCallRate:   0.03 + 0.05*r.Float64(),
+			AppCallRate:    0.02,
+			IndirectRate:   0.02 * r.Float64(),
+			StackProtector: r.Intn(2) == 0,
+			IFCC:           r.Intn(2) == 0,
+		}
+		bin, err := toolchain.Build(cfg)
+		if err != nil {
+			t.Errorf("seed %d: build: %v", seed, err)
+			return false
+		}
+		pols := NewPolicySet(NoForbiddenInstructionsPolicy())
+		if cfg.StackProtector {
+			pols.Add(StackProtectorPolicy())
+		}
+		if cfg.IFCC {
+			pols.Add(IFCCPolicy())
+		}
+		provider, err := NewProvider(ProviderConfig{EPCPages: 4096})
+		if err != nil {
+			t.Errorf("seed %d: provider: %v", seed, err)
+			return false
+		}
+		ec := smallEnclave()
+		ec.Policies = pols
+		encl, err := provider.CreateEnclave(ec)
+		if err != nil {
+			t.Errorf("seed %d: enclave: %v", seed, err)
+			return false
+		}
+		rep, err := encl.Provision(bin.Image)
+		if err != nil {
+			t.Errorf("seed %d: provision: %v", seed, err)
+			return false
+		}
+		if !rep.Compliant {
+			t.Errorf("seed %d: rejected: %s", seed, rep.Reason)
+			return false
+		}
+		res, err := encl.Core().Execute(100_000)
+		if err != nil {
+			t.Errorf("seed %d: execute: %v", seed, err)
+			return false
+		}
+		if res.Reason != interp.StopTrap && res.Reason != interp.StopMaxSteps {
+			t.Errorf("seed %d: stop = %v", seed, res.Reason)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	set, err := ParsePolicies("musl, stack-protector,ifcc,no-forbidden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 4 {
+		t.Errorf("Len = %d, want 4", set.Len())
+	}
+	if _, err := ParsePolicies("bogus"); err == nil {
+		t.Error("unknown policy must error")
+	}
+	empty, err := ParsePolicies(" ")
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("empty list: %v, len %d", err, empty.Len())
+	}
+}
