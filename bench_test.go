@@ -1,4 +1,4 @@
-package engarde
+package engarde_test
 
 // This file regenerates every table and figure of the paper's evaluation
 // (§5) as Go benchmarks:
@@ -7,6 +7,10 @@ package engarde
 //	BenchmarkFig3/<benchmark>   — Figure 3 (library-linking policy)
 //	BenchmarkFig4/<benchmark>   — Figure 4 (stack-protection policy)
 //	BenchmarkFig5/<benchmark>   — Figure 5 (IFCC policy)
+//
+// BenchmarkGatewayThroughput goes beyond the paper: it measures the
+// multi-tenant serving layer (internal/gateway) end to end, contrasting
+// cold provisioning against verdict-cache hits.
 //
 // Each Fig3-5 benchmark runs the full EnGarde pipeline (enclave creation,
 // staging, disassembly, policy check, load) over the named workload and
@@ -309,4 +313,37 @@ func BenchmarkProvisionWallClock(b *testing.B) {
 			b.Fatal(rep.Reason)
 		}
 	}
+}
+
+// BenchmarkGatewayThroughput measures end-to-end sessions/sec through the
+// gateway serving layer — full protocol (attestation, key exchange,
+// encrypted transfer) per session, 4 concurrent clients:
+//
+//	cold      — byte-distinct images, cache disabled: every session pays
+//	            disassembly + policy checking.
+//	cache-hit — one image, cache warm after the first session: the checks
+//	            are skipped, only load + protocol remain.
+//
+// The ratio between the two is the amortization the verdict cache buys a
+// provider serving repeated tenant binaries.
+func BenchmarkGatewayThroughput(b *testing.B) {
+	coldImages, err := bench.DistinctImages(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, cfg bench.GatewayLoadConfig) {
+		cfg.Sessions = b.N
+		res, err := bench.RunGatewayLoad(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SessionsPerSec, "sessions/s")
+		b.ReportMetric(res.Stats.CacheHitRate, "hit-rate")
+	}
+	b.Run("cold", func(b *testing.B) {
+		run(b, bench.GatewayLoadConfig{Images: coldImages, CacheEntries: -1})
+	})
+	b.Run("cache-hit", func(b *testing.B) {
+		run(b, bench.GatewayLoadConfig{Images: coldImages[:1]})
+	})
 }

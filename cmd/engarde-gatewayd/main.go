@@ -1,0 +1,212 @@
+// Command engarde-gatewayd is the production provisioning daemon: the
+// full internal/gateway surface — bounded enclave worker pool, verdict
+// cache, stats endpoint, graceful shutdown — wired to flags.
+//
+// Usage:
+//
+//	engarde-gatewayd -listen 127.0.0.1:7779 \
+//	                 -policies stack-protector,ifcc \
+//	                 -max-concurrent 16 -cache-entries 4096 \
+//	                 -stats-addr 127.0.0.1:7780
+//
+// The stats endpoint serves a JSON snapshot at /statsz: admissions,
+// verdict counts, cache hit rate, per-phase cycle totals across all
+// tenants, and a session latency histogram.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: listeners close, in-flight
+// and queued sessions finish (up to -drain-timeout), then the process
+// exits. A second signal force-closes remaining connections.
+package main
+
+import (
+	"context"
+	"crypto/x509"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"engarde"
+	"engarde/internal/cycles"
+	"engarde/internal/gateway"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:7779", "address to serve the provisioning protocol on")
+		policies    = flag.String("policies", "stack-protector", "comma-separated policy list (musl, musl-sp, stack-protector, ifcc, no-forbidden, asan)")
+		keyOut      = flag.String("attest-key-out", "", "write the platform attestation public key (PEM) here")
+		heapPages   = flag.Int("heap-pages", 5000, "enclave heap pages per tenant (paper default 5000)")
+		clientPages = flag.Int("client-pages", 1024, "enclave client-region pages per tenant")
+		sgxv1       = flag.Bool("sgxv1", false, "emulate SGX version 1 (insecure; for the AsyncShock demo)")
+
+		maxConcurrent = flag.Int("max-concurrent", gateway.DefaultMaxConcurrent, "maximum enclaves in flight (worker-pool size)")
+		queueDepth    = flag.Int("queue-depth", 0, "connections allowed to wait for a worker (0 = 2x max-concurrent, negative = none)")
+		cacheEntries  = flag.Int("cache-entries", gateway.DefaultCacheEntries, "verdict cache capacity (negative disables caching)")
+		connTimeout   = flag.Duration("conn-timeout", gateway.DefaultConnTimeout, "whole-session deadline per connection (negative disables)")
+		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight sessions")
+		statsAddr     = flag.String("stats-addr", "", "serve the JSON stats snapshot at http://<stats-addr>/statsz (empty disables)")
+	)
+	flag.Parse()
+
+	if err := run(config{
+		listen: *listen, policies: *policies, keyOut: *keyOut,
+		heapPages: *heapPages, clientPages: *clientPages, sgxv1: *sgxv1,
+		maxConcurrent: *maxConcurrent, queueDepth: *queueDepth,
+		cacheEntries: *cacheEntries, connTimeout: *connTimeout,
+		drainTimeout: *drainTimeout, statsAddr: *statsAddr,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "engarde-gatewayd:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	listen, policies, keyOut string
+	heapPages, clientPages   int
+	sgxv1                    bool
+
+	maxConcurrent, queueDepth, cacheEntries int
+	connTimeout, drainTimeout               time.Duration
+	statsAddr                               string
+}
+
+func run(cfg config) error {
+	pols, err := engarde.ParsePolicies(cfg.policies)
+	if err != nil {
+		return err
+	}
+	version := engarde.SGXv2
+	if cfg.sgxv1 {
+		version = engarde.SGXv1
+		fmt.Println("WARNING: SGXv1 mode; W^X is enforced only in host page tables (paper §3)")
+	}
+
+	// A shared counter aggregates per-phase cycle totals across all tenant
+	// enclaves; the /statsz snapshot reads from it.
+	counter := cycles.NewCounter(cycles.DefaultModel())
+	provider, err := engarde.NewProvider(engarde.ProviderConfig{
+		Version: version,
+		Counter: counter,
+	})
+	if err != nil {
+		return err
+	}
+
+	if cfg.keyOut != "" {
+		der, err := x509.MarshalPKIXPublicKey(provider.AttestationPublicKey())
+		if err != nil {
+			return err
+		}
+		block := pem.EncodeToMemory(&pem.Block{Type: "PUBLIC KEY", Bytes: der})
+		if err := os.WriteFile(cfg.keyOut, block, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("platform attestation key written to", cfg.keyOut)
+	}
+
+	expected, err := engarde.ExpectedMeasurement(version, engarde.EnclaveConfig{
+		HeapPages: cfg.heapPages, ClientPages: cfg.clientPages,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("EnGarde enclave measurement: %x\n", expected[:])
+	fmt.Printf("policies: %v\n", pols.Names())
+
+	gw, err := gateway.New(gateway.Config{
+		Provider:      provider,
+		Policies:      pols,
+		HeapPages:     cfg.heapPages,
+		ClientPages:   cfg.clientPages,
+		MaxConcurrent: cfg.maxConcurrent,
+		QueueDepth:    cfg.queueDepth,
+		CacheEntries:  cfg.cacheEntries,
+		ConnTimeout:   cfg.connTimeout,
+		Counter:       counter,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+		OnServed: func(conn net.Conn, _ *engarde.Enclave, rep *engarde.Report, err error) {
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "%s: provisioning failed: %v\n", conn.RemoteAddr(), err)
+			case rep.Compliant:
+				hit := ""
+				if rep.CacheHit {
+					hit = " [cache hit]"
+				}
+				fmt.Printf("%s: COMPLIANT%s (%d instructions, %d exec pages)\n",
+					conn.RemoteAddr(), hit, rep.NumInsts, len(rep.ExecPages))
+			default:
+				fmt.Printf("%s: REJECTED: %s\n", conn.RemoteAddr(), rep.Reason)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Println("serving on", ln.Addr())
+
+	var statsSrv *http.Server
+	if cfg.statsAddr != "" {
+		statsLn, err := net.Listen("tcp", cfg.statsAddr)
+		if err != nil {
+			return fmt.Errorf("stats listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/statsz", gw.StatsHandler())
+		statsSrv = &http.Server{Handler: mux}
+		go func() { _ = statsSrv.Serve(statsLn) }()
+		fmt.Printf("stats on http://%s/statsz\n", statsLn.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- gw.Serve(context.Background(), ln) }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	var result error
+	select {
+	case sig := <-sigs:
+		fmt.Printf("received %s, draining (up to %s; signal again to force)\n", sig, cfg.drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		go func() {
+			<-sigs
+			cancel() // second signal: stop waiting, force-close sessions
+		}()
+		result = gw.Shutdown(ctx)
+		cancel()
+		<-serveErr
+	case err := <-serveErr:
+		// Listener died underneath us; still drain what was admitted.
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		if serr := gw.Shutdown(ctx); err == nil {
+			err = serr
+		}
+		cancel()
+		result = err
+	}
+
+	if statsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = statsSrv.Shutdown(ctx)
+		cancel()
+	}
+
+	s := gw.Stats()
+	fmt.Printf("served %d sessions (%d compliant, %d rejected-by-policy, %d errors); cache hit rate %.0f%%\n",
+		s.Served, s.Compliant, s.NonCompliant, s.Errors, 100*s.CacheHitRate)
+	return result
+}

@@ -1,7 +1,8 @@
 // Command engarde-host runs the cloud-provider side of EnGarde: it boots
 // the (emulated) SGX platform, exports the platform attestation key, and
-// serves the provisioning protocol — one fresh EnGarde enclave per
-// connection.
+// serves the provisioning protocol through the gateway serving layer — one
+// fresh EnGarde enclave per connection, bounded concurrency, verdict
+// caching.
 //
 // Usage:
 //
@@ -13,17 +14,24 @@
 // quote against the expected EnGarde measurement, and stream their
 // executables over the encrypted channel. The host learns only the
 // verdict and the executable-page list.
+//
+// For the full production flag surface (admission control, cache sizing,
+// stats endpoint) see cmd/engarde-gatewayd; this command keeps the
+// paper-sized demo interface.
 package main
 
 import (
+	"context"
 	"crypto/x509"
 	"encoding/pem"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"engarde"
+	"engarde/internal/gateway"
 )
 
 func main() {
@@ -33,7 +41,7 @@ func main() {
 	heapPages := flag.Int("heap-pages", 5000, "enclave heap pages (paper default 5000)")
 	clientPages := flag.Int("client-pages", 1024, "enclave client-region pages")
 	sgxv1 := flag.Bool("sgxv1", false, "emulate SGX version 1 (insecure; for the AsyncShock demo)")
-	once := flag.Bool("once", false, "serve a single connection and exit")
+	once := flag.Bool("once", false, "serve a single connection and exit; non-zero status if provisioning fails or is rejected")
 	flag.Parse()
 
 	if err := run(*listen, *policies, *keyOut, *heapPages, *clientPages, *sgxv1, *once); err != nil {
@@ -78,49 +86,79 @@ func run(listen, policyList, keyOut string, heapPages, clientPages int, sgxv1, o
 	fmt.Printf("EnGarde enclave measurement: %x\n", expected[:])
 	fmt.Printf("policies: %v\n", pols.Names())
 
+	// -once delivers the first session's outcome here so the process can
+	// exit with it instead of swallowing failures (exit status matters to
+	// scripts driving the demo).
+	onceResult := make(chan error, 1)
+	gw, err := gateway.New(gateway.Config{
+		Provider:    provider,
+		Policies:    pols,
+		HeapPages:   heapPages,
+		ClientPages: clientPages,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+		OnServed: func(conn net.Conn, encl *engarde.Enclave, rep *engarde.Report, err error) {
+			res := report(conn, encl, rep, err)
+			if once {
+				select {
+				case onceResult <- res:
+				default:
+				}
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
-	defer ln.Close()
 	fmt.Println("serving on", ln.Addr())
 
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return err
-		}
-		if once {
-			serve(provider, pols, heapPages, clientPages, conn)
-			return nil
-		}
-		// Each tenant gets its own enclave; connections are independent.
-		go serve(provider, pols, heapPages, clientPages, conn)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- gw.Serve(context.Background(), ln) }()
+
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		return gw.Shutdown(ctx)
 	}
+	if once {
+		res := <-onceResult
+		if err := shutdown(); err != nil && res == nil {
+			res = err
+		}
+		<-serveErr
+		return res
+	}
+	err = <-serveErr
+	if serr := shutdown(); serr != nil && err == nil {
+		err = serr
+	}
+	return err
 }
 
-func serve(provider *engarde.Provider, pols *engarde.PolicySet, heapPages, clientPages int, conn net.Conn) {
-	defer conn.Close()
+// report prints one session's outcome and returns the error -once should
+// exit with (nil only for a compliant provisioning).
+func report(conn net.Conn, encl *engarde.Enclave, rep *engarde.Report, err error) error {
 	fmt.Println("connection from", conn.RemoteAddr())
-
-	encl, err := provider.CreateEnclave(engarde.EnclaveConfig{
-		Policies: pols, HeapPages: heapPages, ClientPages: clientPages,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "  creating enclave:", err)
-		return
-	}
-	rep, err := encl.ServeProvision(conn)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "  provisioning:", err)
-		return
+		return err
 	}
 	if rep.Compliant {
-		fmt.Printf("  COMPLIANT: %d instructions checked, %d executable pages, entry %#x\n",
-			rep.NumInsts, len(rep.ExecPages), rep.Entry)
+		cached := ""
+		if rep.CacheHit {
+			cached = " (verdict cache hit)"
+		}
+		fmt.Printf("  COMPLIANT%s: %d instructions checked, %d executable pages, entry %#x\n",
+			cached, rep.NumInsts, len(rep.ExecPages), rep.Entry)
 		if _, err := encl.Enter(); err != nil {
 			fmt.Fprintln(os.Stderr, "  entering enclave:", err)
-			return
+			return err
 		}
 		fmt.Println("  control transferred to client code")
 	} else {
@@ -129,4 +167,8 @@ func serve(provider *engarde.Provider, pols *engarde.PolicySet, heapPages, clien
 	for phase, cyc := range rep.Phases {
 		fmt.Printf("  %-24s %15d cycles\n", phase.String()+":", cyc)
 	}
+	if !rep.Compliant {
+		return fmt.Errorf("provisioning rejected: %s", rep.Reason)
+	}
+	return nil
 }

@@ -168,6 +168,12 @@ func (p *Provider) AttestationPublicKey() *rsa.PublicKey {
 // Device exposes the underlying SGX device (examples, benches).
 func (p *Provider) Device() *sgx.Device { return p.dev }
 
+// Counter returns the cycle counter metering this platform (nil if the
+// provider was built without one). Enclaves created on the platform all
+// charge into it, so it aggregates work across tenants — the gateway's
+// stats endpoint reads per-phase totals from here.
+func (p *Provider) Counter() *cycles.Counter { return p.cfg.Counter }
+
 // Enclave is one EnGarde-provisioned enclave on a provider platform.
 type Enclave struct {
 	provider *Provider
@@ -209,6 +215,15 @@ func (e *Enclave) Provision(image []byte) (*Report, error) {
 	return e.core.Provision(image)
 }
 
+// ProvisionPrechecked provisions an image that a prior compliant Report
+// already vouches for, skipping disassembly and policy checking. The caller
+// must guarantee the image is byte-identical to the one behind prior and
+// was checked under a policy set with an identical Fingerprint — the
+// gateway's verdict cache enforces exactly that.
+func (e *Enclave) ProvisionPrechecked(image []byte, prior *Report) (*Report, error) {
+	return e.core.ProvisionPrechecked(image, prior)
+}
+
 // Enter transfers control to the provisioned executable.
 func (e *Enclave) Enter() (uint64, error) { return e.core.Enter() }
 
@@ -217,6 +232,11 @@ func (e *Enclave) Measurement() Measurement { return e.core.Measurement() }
 
 // Core exposes the underlying core instance (benches, examples).
 func (e *Enclave) Core() *core.EnGarde { return e.core }
+
+// Destroy releases the enclave's EPC pages back to the platform. The
+// gateway calls this when a connection ends; without it the shared EPC
+// fills up after a handful of tenants.
+func (e *Enclave) Destroy() { e.core.Destroy() }
 
 // ExpectedMeasurement computes the MRENCLAVE a genuine EnGarde enclave
 // with the given configuration must carry; clients compare quotes against

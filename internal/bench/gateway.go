@@ -1,0 +1,222 @@
+package bench
+
+// Gateway load generation: RunGatewayLoad stands up an in-memory gateway
+// (internal/gateway over net.Pipe, no sockets) and drives a configurable
+// number of concurrent clients through the full provisioning protocol —
+// attestation, key exchange, encrypted transfer, verdict. It is the
+// engine behind BenchmarkGatewayThroughput, which contrasts cold
+// provisioning (full disassembly + policy checking per session) with
+// verdict-cache hits.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"engarde"
+	"engarde/internal/gateway"
+	"engarde/internal/toolchain"
+)
+
+// memListener is an in-memory net.Listener over net.Pipe so the load
+// generator exercises the gateway without real sockets.
+type memListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newMemListener() *memListener {
+	return &memListener{conns: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }
+
+func (l *memListener) Addr() net.Addr { return memAddr{} }
+
+func (l *memListener) dial() (net.Conn, error) {
+	cli, srv := net.Pipe()
+	select {
+	case l.conns <- srv:
+		return cli, nil
+	case <-l.done:
+		cli.Close()
+		return nil, net.ErrClosed
+	}
+}
+
+// GatewayLoadConfig configures one load run.
+type GatewayLoadConfig struct {
+	// Policies is the policy set the gateway checks against; nil means the
+	// stack-protector policy (the paper's Figure 4 experiment).
+	Policies *engarde.PolicySet
+	// Images are provisioned round-robin across sessions. All must be
+	// compliant under Policies. Required.
+	Images [][]byte
+	// Sessions is the total number of provisioning sessions. Required.
+	Sessions int
+	// Clients is the number of concurrent client goroutines; 0 means 4.
+	Clients int
+	// MaxConcurrent is the gateway worker-pool size; 0 means the gateway
+	// default.
+	MaxConcurrent int
+	// CacheEntries configures the verdict cache (gateway semantics:
+	// 0 default, negative disabled).
+	CacheEntries int
+	// HeapPages/ClientPages size each session's enclave; 0 means 1500/512.
+	HeapPages   int
+	ClientPages int
+}
+
+// GatewayLoadResult reports one load run.
+type GatewayLoadResult struct {
+	Elapsed        time.Duration
+	SessionsPerSec float64
+	Stats          gateway.Stats
+}
+
+// RunGatewayLoad drives cfg.Sessions provisioning sessions through a
+// fresh gateway and returns throughput plus the gateway's own stats
+// snapshot. Any non-compliant verdict or protocol error fails the run.
+func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
+	if len(cfg.Images) == 0 {
+		return nil, fmt.Errorf("bench: GatewayLoadConfig.Images is required")
+	}
+	if cfg.Sessions <= 0 {
+		return nil, fmt.Errorf("bench: GatewayLoadConfig.Sessions must be positive")
+	}
+	if cfg.Policies == nil {
+		cfg.Policies = engarde.NewPolicySet(engarde.StackProtectorPolicy())
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 4
+	}
+	if cfg.HeapPages == 0 {
+		cfg.HeapPages = 1500
+	}
+	if cfg.ClientPages == 0 {
+		cfg.ClientPages = 512
+	}
+
+	provider, err := engarde.NewProvider(engarde.ProviderConfig{EPCPages: 32000})
+	if err != nil {
+		return nil, err
+	}
+	gw, err := gateway.New(gateway.Config{
+		Provider:      provider,
+		Policies:      cfg.Policies,
+		HeapPages:     cfg.HeapPages,
+		ClientPages:   cfg.ClientPages,
+		MaxConcurrent: cfg.MaxConcurrent,
+		CacheEntries:  cfg.CacheEntries,
+		ConnTimeout:   -1, // in-memory pipes; deadlines only add noise
+	})
+	if err != nil {
+		return nil, err
+	}
+	expected, err := engarde.ExpectedMeasurement(engarde.SGXv2, engarde.EnclaveConfig{
+		HeapPages: cfg.HeapPages, ClientPages: cfg.ClientPages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	client := &engarde.Client{Expected: expected, PlatformKey: provider.AttestationPublicKey()}
+
+	ln := newMemListener()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- gw.Serve(context.Background(), ln) }()
+
+	// Sessions are fanned out to cfg.Clients goroutines; each pulls the
+	// next session index and provisions images[i % len(images)].
+	next := make(chan int)
+	errs := make(chan error, cfg.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				image := cfg.Images[i%len(cfg.Images)]
+				conn, err := ln.dial()
+				if err != nil {
+					errs <- err
+					return
+				}
+				v, err := client.Provision(conn, image)
+				conn.Close()
+				if err != nil {
+					errs <- fmt.Errorf("session %d: %w", i, err)
+					return
+				}
+				if !v.Compliant {
+					errs <- fmt.Errorf("session %d rejected: %s", i, v.Reason)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Sessions; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := gw.Shutdown(shutCtx); err != nil {
+		return nil, fmt.Errorf("bench: gateway shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil {
+		return nil, fmt.Errorf("bench: gateway serve: %w", err)
+	}
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	return &GatewayLoadResult{
+		Elapsed:        elapsed,
+		SessionsPerSec: float64(cfg.Sessions) / elapsed.Seconds(),
+		Stats:          gw.Stats(),
+	}, nil
+}
+
+// DistinctImages builds n byte-distinct stack-protected executables, so a
+// load run over them never hits the verdict cache.
+func DistinctImages(n int) ([][]byte, error) {
+	images := make([][]byte, n)
+	for i := range images {
+		bin, err := toolchain.Build(toolchain.Config{
+			Name: fmt.Sprintf("load%d", i), Seed: int64(7000 + i),
+			NumFuncs: 60, AvgFuncInsts: 200,
+			StackProtector: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		images[i] = bin.Image
+	}
+	return images, nil
+}

@@ -357,6 +357,11 @@ type Report struct {
 	Entry uint64
 	// Phases snapshots the per-phase cycle counters after the attempt.
 	Phases map[cycles.Phase]uint64
+	// CacheHit records that this verdict was served from a verdict cache:
+	// the byte-identical image had already been checked under an identical
+	// policy set, so disassembly and policy evaluation were skipped (the
+	// check is deterministic, making the reuse sound).
+	CacheHit bool
 }
 
 // reject produces a non-compliant report.
@@ -369,9 +374,11 @@ func (g *EnGarde) reject(reason string, violation *policy.Violation) *Report {
 	}
 }
 
-// ProvisionStream receives the client's executable over the encrypted
-// channel (length header + encrypted blocks) and provisions it.
-func (g *EnGarde) ProvisionStream(r io.Reader) (*Report, error) {
+// RecvImage receives and decrypts the client's executable over the
+// encrypted channel (length header + encrypted blocks) without provisioning
+// it. Serving layers use it to inspect the plaintext — e.g. hash it for a
+// verdict-cache lookup — before deciding how to provision.
+func (g *EnGarde) RecvImage(r io.Reader) ([]byte, error) {
 	if g.sess == nil {
 		return nil, ErrNoSession
 	}
@@ -380,6 +387,16 @@ func (g *EnGarde) ProvisionStream(r io.Reader) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: receiving content: %w", err)
 	}
+	return image, nil
+}
+
+// ProvisionStream receives the client's executable over the encrypted
+// channel (length header + encrypted blocks) and provisions it.
+func (g *EnGarde) ProvisionStream(r io.Reader) (*Report, error) {
+	image, err := g.RecvImage(r)
+	if err != nil {
+		return nil, err
+	}
 	return g.Provision(image)
 }
 
@@ -387,6 +404,27 @@ func (g *EnGarde) ProvisionStream(r io.Reader) (*Report, error) {
 // image. A non-nil Report with Compliant == false is a *decision*, not an
 // error; errors mean the machinery itself failed.
 func (g *EnGarde) Provision(image []byte) (*Report, error) {
+	return g.provision(image, nil)
+}
+
+// ProvisionPrechecked provisions an image a prior compliant Report already
+// vouches for: disassembly and policy checking are skipped and the image
+// goes straight to loading. The caller must guarantee that the image is
+// byte-identical to the one the prior report describes AND that it was
+// checked under a policy set with an identical fingerprint — that is what
+// makes skipping the deterministic check sound. The returned Report carries
+// CacheHit = true.
+func (g *EnGarde) ProvisionPrechecked(image []byte, prior *Report) (*Report, error) {
+	if prior == nil || !prior.Compliant {
+		return nil, errors.New("core: prechecked provisioning requires a prior compliant report")
+	}
+	return g.provision(image, prior)
+}
+
+// provision is the shared pipeline. With prior == nil it runs the full
+// check; with a prior compliant report it skips disassembly and policy
+// evaluation (the verdict-cache fast path).
+func (g *EnGarde) provision(image []byte, prior *Report) (*Report, error) {
 	if g.provisioned {
 		return nil, ErrAlreadyProvisioned
 	}
@@ -410,50 +448,64 @@ func (g *EnGarde) Provision(image []byte) (*Report, error) {
 		return g.reject(err.Error(), nil), nil
 	}
 
-	// Symbol hash table; stripped binaries are auto-rejected (§6) unless
-	// boundary recovery is enabled.
-	tab, symErr := symtab.FromELF(f)
-	stripped := false
-	if symErr != nil {
-		if !g.cfg.AllowStripped {
-			return g.reject(fmt.Sprintf("symbol table: %v", symErr), nil), nil
+	var tab *symtab.Table
+	var numInsts int
+	if prior == nil {
+		// Symbol hash table; stripped binaries are auto-rejected (§6)
+		// unless boundary recovery is enabled.
+		var symErr error
+		tab, symErr = symtab.FromELF(f)
+		stripped := false
+		if symErr != nil {
+			if !g.cfg.AllowStripped {
+				return g.reject(fmt.Sprintf("symbol table: %v", symErr), nil), nil
+			}
+			stripped = true
 		}
-		stripped = true
-	}
 
-	texts := f.TextSections()
-	if len(texts) != 1 {
-		return g.reject(fmt.Sprintf("expected exactly one text section, found %d", len(texts)), nil), nil
-	}
-	text := texts[0]
-
-	// Disassembly into the instruction buffer, with malloc-trampoline
-	// accounting (§4). For stripped binaries, function boundaries are
-	// recovered from the decoded program before the reachability rule
-	// runs (the §6 extension).
-	g.dev.SetPhase(cycles.PhaseDisasm)
-	prog, err := nacl.DecodeProgram(text.Data, text.Addr, g.cfg.Counter)
-	if err != nil {
-		return g.reject(fmt.Sprintf("disassembly: %v", err), nil), nil
-	}
-	if stripped {
-		tab = funcid.Recover(prog, f.Header.Entry)
-	}
-	if err := prog.CheckReachability(f.Header.Entry, tab); err != nil {
-		return g.reject(fmt.Sprintf("disassembly: %v", err), nil), nil
-	}
-	if err := g.chargeInstBuffer(len(prog.Insts)); err != nil {
-		return g.reject(err.Error(), nil), nil
-	}
-
-	// Policy checking (§3, §5).
-	g.dev.SetPhase(cycles.PhasePolicy)
-	pctx := &policy.Context{Program: prog, Symbols: tab, Counter: g.cfg.Counter}
-	if err := g.cfg.Policies.Check(pctx); err != nil {
-		if v, ok := policy.AsViolation(err); ok {
-			return g.reject(err.Error(), v), nil
+		texts := f.TextSections()
+		if len(texts) != 1 {
+			return g.reject(fmt.Sprintf("expected exactly one text section, found %d", len(texts)), nil), nil
 		}
-		return nil, fmt.Errorf("core: policy machinery: %w", err)
+		text := texts[0]
+
+		// Disassembly into the instruction buffer, with malloc-trampoline
+		// accounting (§4). For stripped binaries, function boundaries are
+		// recovered from the decoded program before the reachability rule
+		// runs (the §6 extension).
+		g.dev.SetPhase(cycles.PhaseDisasm)
+		prog, err := nacl.DecodeProgram(text.Data, text.Addr, g.cfg.Counter)
+		if err != nil {
+			return g.reject(fmt.Sprintf("disassembly: %v", err), nil), nil
+		}
+		if stripped {
+			tab = funcid.Recover(prog, f.Header.Entry)
+		}
+		if err := prog.CheckReachability(f.Header.Entry, tab); err != nil {
+			return g.reject(fmt.Sprintf("disassembly: %v", err), nil), nil
+		}
+		if err := g.chargeInstBuffer(len(prog.Insts)); err != nil {
+			return g.reject(err.Error(), nil), nil
+		}
+		numInsts = len(prog.Insts)
+
+		// Policy checking (§3, §5).
+		g.dev.SetPhase(cycles.PhasePolicy)
+		pctx := &policy.Context{Program: prog, Symbols: tab, Counter: g.cfg.Counter}
+		if err := g.cfg.Policies.Check(pctx); err != nil {
+			if v, ok := policy.AsViolation(err); ok {
+				return g.reject(err.Error(), v), nil
+			}
+			return nil, fmt.Errorf("core: policy machinery: %w", err)
+		}
+	} else {
+		// Verdict-cache fast path: the byte-identical image already passed
+		// disassembly and policy checking under an identical policy set, so
+		// neither is repeated (and no instruction buffer is allocated). The
+		// symbol table is still rebuilt — runtime CFI needs it — but that is
+		// ELF metadata parsing, not the metered in-enclave check.
+		tab, _ = symtab.FromELF(f)
+		numInsts = prior.NumInsts
 	}
 
 	// Loading and relocation (§4).
@@ -483,12 +535,13 @@ func (g *EnGarde) Provision(image []byte) (*Report, error) {
 
 	return &Report{
 		Compliant: true,
-		NumInsts:  len(prog.Insts),
+		NumInsts:  numInsts,
 		HeapBytes: g.heapUsed,
 		ExecPages: res.ExecPages,
 		DataPages: res.DataPages,
 		Entry:     res.Entry,
 		Phases:    g.cfg.Counter.Snapshot(),
+		CacheHit:  prior != nil,
 	}, nil
 }
 
@@ -553,3 +606,11 @@ func (g *EnGarde) Enter() (uint64, error) {
 
 // LoadResult exposes the loader outcome (examples/benches).
 func (g *EnGarde) LoadResult() *loader.Result { return g.loadResult }
+
+// Destroy releases the enclave's EPC pages back to the device. A serving
+// layer that creates one enclave per connection must call this when the
+// connection ends, or the shared EPC is exhausted after a handful of
+// tenants. The instance is unusable afterwards.
+func (g *EnGarde) Destroy() {
+	g.dev.DestroyEnclave(g.encl)
+}

@@ -370,3 +370,60 @@ func TestMeasurementDetectsBootstrapTampering(t *testing.T) {
 		t.Error("identical builds must have identical MRENCLAVE")
 	}
 }
+
+func TestProvisionPrechecked(t *testing.T) {
+	// First enclave: the cold path produces the prior report.
+	pols := policy.NewSet(stackprot.New())
+	cfg := clientCfg()
+	cfg.StackProtector = true
+	image := buildClient(t, cfg)
+	g1, _ := newEnGarde(t, testConfig(pols))
+	prior, err := g1.Provision(image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prior.Compliant || prior.CacheHit {
+		t.Fatalf("cold path: compliant=%v cacheHit=%v", prior.Compliant, prior.CacheHit)
+	}
+
+	// Second enclave: the prechecked path must skip disassembly and policy
+	// checking but still produce a fully loaded, enterable enclave.
+	g2, _ := newEnGarde(t, testConfig(pols))
+	rep, err := g2.ProvisionPrechecked(image, prior)
+	if err != nil {
+		t.Fatalf("ProvisionPrechecked: %v", err)
+	}
+	if !rep.Compliant || !rep.CacheHit {
+		t.Fatalf("prechecked: compliant=%v cacheHit=%v", rep.Compliant, rep.CacheHit)
+	}
+	if rep.NumInsts != prior.NumInsts {
+		t.Errorf("NumInsts = %d, want %d (carried from prior report)", rep.NumInsts, prior.NumInsts)
+	}
+	if rep.Entry != prior.Entry {
+		t.Errorf("Entry = %#x, want %#x (loading is deterministic)", rep.Entry, prior.Entry)
+	}
+	if got := g2.Counter().Cycles(cycles.PhaseDisasm); got != 0 {
+		t.Errorf("prechecked path charged %d disassembly cycles, want 0", got)
+	}
+	if got := g2.Counter().Cycles(cycles.PhasePolicy); got != 0 {
+		t.Errorf("prechecked path charged %d policy cycles, want 0", got)
+	}
+	if entry, err := g2.Enter(); err != nil || entry != rep.Entry {
+		t.Errorf("Enter = %#x, %v", entry, err)
+	}
+	// Runtime execution still works on the fast path.
+	if _, err := g2.Execute(10_000); err != nil {
+		t.Errorf("Execute after prechecked provisioning: %v", err)
+	}
+}
+
+func TestProvisionPrecheckedRequiresCompliantPrior(t *testing.T) {
+	g, _ := newEnGarde(t, testConfig(policy.NewSet()))
+	image := buildClient(t, clientCfg())
+	if _, err := g.ProvisionPrechecked(image, nil); err == nil {
+		t.Error("nil prior must be refused")
+	}
+	if _, err := g.ProvisionPrechecked(image, &Report{Compliant: false}); err == nil {
+		t.Error("non-compliant prior must be refused")
+	}
+}

@@ -191,6 +191,30 @@ func (c *Counter) Reset() {
 	c.units = [numPhases][numUnits]uint64{}
 }
 
+// AllPhases lists every pipeline phase in order. Serving-layer code uses
+// it to render stable, complete phase tables (Snapshot omits zero phases).
+func AllPhases() []Phase {
+	out := make([]Phase, 0, int(numPhases)-1)
+	for p := Phase(1); p < numPhases; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// SnapshotNamed returns the per-phase cycle totals keyed by phase name —
+// the JSON-friendly form of Snapshot, used by the gateway's stats endpoint.
+func (c *Counter) SnapshotNamed() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, int(numPhases))
+	for p := Phase(1); p < numPhases; p++ {
+		if c.cycles[p] > 0 {
+			out[p.String()] = c.cycles[p]
+		}
+	}
+	return out
+}
+
 // Snapshot returns a copy of the per-phase cycle totals keyed by phase.
 func (c *Counter) Snapshot() map[Phase]uint64 {
 	c.mu.Lock()

@@ -133,3 +133,28 @@ func TestPhaseAndUnitNames(t *testing.T) {
 		t.Error("out-of-range names should be non-empty")
 	}
 }
+
+func TestSnapshotNamedAndAllPhases(t *testing.T) {
+	c := NewCounter(DefaultModel())
+	c.Charge(PhaseDisasm, UnitDecodedInst, 10)
+	c.Charge(PhasePolicy, UnitScanInst, 4)
+	named := c.SnapshotNamed()
+	if named["Disassembly"] != c.Cycles(PhaseDisasm) {
+		t.Errorf("named disassembly = %d, want %d", named["Disassembly"], c.Cycles(PhaseDisasm))
+	}
+	if named["Policy Checking"] != c.Cycles(PhasePolicy) {
+		t.Errorf("named policy = %d, want %d", named["Policy Checking"], c.Cycles(PhasePolicy))
+	}
+	if _, ok := named["Loading and Relocation"]; ok {
+		t.Error("zero phases must be omitted")
+	}
+	phases := AllPhases()
+	if len(phases) != int(numPhases)-1 {
+		t.Errorf("AllPhases: %d phases, want %d", len(phases), int(numPhases)-1)
+	}
+	for i, p := range phases {
+		if int(p) != i+1 {
+			t.Errorf("AllPhases[%d] = %v", i, p)
+		}
+	}
+}

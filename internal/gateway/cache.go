@@ -1,0 +1,81 @@
+package gateway
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"engarde"
+)
+
+// cacheKey addresses a verdict by content and policy identity: the SHA-256
+// of the decrypted image and the canonical fingerprint of the policy set
+// it was checked under. Two equal keys denote the same deterministic check
+// over the same inputs, so the verdict (and the load-time facts in the
+// Report) carry over exactly.
+type cacheKey struct {
+	image  [sha256.Size]byte
+	policy [sha256.Size]byte
+}
+
+// verdictCache is a bounded LRU of provisioning reports.
+type verdictCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[cacheKey]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key cacheKey
+	rep engarde.Report
+}
+
+func newVerdictCache(max int) *verdictCache {
+	return &verdictCache{
+		max:     max,
+		entries: make(map[cacheKey]*list.Element, max),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached report for key, marking it most recently used.
+// The returned report is shared — callers must not mutate it.
+func (c *verdictCache) get(key cacheKey) (*engarde.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return &el.Value.(*cacheEntry).rep, true
+}
+
+// put remembers a report, evicting the least recently used entry at
+// capacity. The stored copy drops Phases — cycle snapshots are
+// session-specific, not part of the verdict.
+func (c *verdictCache) put(key cacheKey, rep *engarde.Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	cp := *rep
+	cp.Phases = nil
+	cp.CacheHit = false
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, rep: cp})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached verdicts.
+func (c *verdictCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

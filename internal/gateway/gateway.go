@@ -1,0 +1,409 @@
+// Package gateway is the production serving layer over the EnGarde
+// library: a multi-tenant provisioning service that turns the paper's
+// one-shot, provisioning-time inspection into an amortized pipeline.
+//
+// The paper's check runs once per (image, policy-set) pair and is
+// deterministic, so a gateway serving provisioning traffic from many
+// tenants can treat verification as a service with shared, reusable work
+// (cf. Confidential Attestation and MAGE in PAPERS.md). The gateway adds
+// the three things cmd/engarde-host's ad-hoc accept loop lacked:
+//
+//   - Admission control: a bounded worker pool (MaxConcurrent enclaves in
+//     flight), a bounded wait queue, backpressure rejection beyond both,
+//     and per-connection deadlines so a stalled tenant cannot pin a worker.
+//   - A verdict cache: content-addressed by SHA-256(image) ×
+//     PolicySet.Fingerprint(). A byte-identical binary resubmitted under an
+//     identical policy set skips disassembly and policy checking entirely
+//     (sound because the check is a pure function of both inputs); the
+//     Report records the hit.
+//   - Observability and lifecycle: an atomic Stats snapshot (admissions,
+//     verdicts, cache hit rate, per-phase cycle totals, latency histogram)
+//     exposed as a /statsz JSON handler, a Logf hook, and
+//     Serve(ctx)/Shutdown(ctx) with connection draining.
+//
+// Every connection still gets its own freshly measured enclave — that is
+// the paper's trust model and is not amortized — but the enclave is
+// destroyed when the connection ends, so the EPC is a pooled resource
+// rather than a leak.
+package gateway
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"engarde"
+	"engarde/internal/cycles"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMaxConcurrent = 8
+	DefaultConnTimeout   = 30 * time.Second
+	DefaultCacheEntries  = 1024
+)
+
+// Config configures a Gateway.
+type Config struct {
+	// Provider is the SGX platform to create enclaves on. Required.
+	Provider *engarde.Provider
+	// Policies is the policy set every tenant's code is checked against
+	// (the provider side of the paper's mutual agreement). May be nil for
+	// an empty set.
+	Policies *engarde.PolicySet
+	// HeapPages / ClientPages size each connection's enclave.
+	HeapPages   int
+	ClientPages int
+
+	// MaxConcurrent bounds in-flight provisions (worker-pool size).
+	// Default DefaultMaxConcurrent.
+	MaxConcurrent int
+	// QueueDepth bounds connections waiting for a worker beyond the
+	// in-flight ones. 0 means 2×MaxConcurrent; negative means no queue
+	// (reject unless a worker is idle).
+	QueueDepth int
+	// ConnTimeout is the whole-session read/write deadline applied to each
+	// admitted connection. Default DefaultConnTimeout; negative disables.
+	ConnTimeout time.Duration
+	// CacheEntries bounds the verdict cache. 0 means DefaultCacheEntries;
+	// negative disables caching.
+	CacheEntries int
+
+	// Counter receives per-phase cycle charges from every enclave and
+	// feeds the stats endpoint. If nil, the Provider's counter is used;
+	// phase stats are empty when both are nil.
+	Counter *cycles.Counter
+	// Logf, when set, receives one line per notable event (admission
+	// rejection, serve failure, shutdown). Printf-style.
+	Logf func(format string, args ...any)
+	// OnServed, when set, is called after each admitted connection is
+	// served: rep/err are ServeProvision's results (encl is nil when
+	// enclave creation itself failed). It runs on the worker goroutine
+	// before the enclave is destroyed, so it may still Enter() a compliant
+	// enclave — cmd/engarde-host uses this to transfer control and print
+	// the per-connection summary.
+	OnServed func(conn net.Conn, encl *engarde.Enclave, rep *engarde.Report, err error)
+}
+
+// Gateway is a pooled, cached, observable provisioning service.
+type Gateway struct {
+	cfg      Config
+	counter  *cycles.Counter
+	policyFP [sha256.Size]byte
+	cache    *verdictCache // nil when disabled
+	stats    counters
+
+	queue    chan net.Conn
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	mu        sync.Mutex
+	shutdown  bool
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+
+	connWG   sync.WaitGroup // admitted connections
+	workerWG sync.WaitGroup // worker goroutines
+}
+
+// New builds a gateway and starts its worker pool.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Provider == nil {
+		return nil, errors.New("gateway: Config.Provider is required")
+	}
+	if cfg.Policies == nil {
+		cfg.Policies = engarde.NewPolicySet()
+	}
+	if cfg.MaxConcurrent == 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if cfg.MaxConcurrent < 1 {
+		return nil, fmt.Errorf("gateway: MaxConcurrent %d < 1", cfg.MaxConcurrent)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 2 * cfg.MaxConcurrent
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0 // no waiting room
+	}
+	if cfg.ConnTimeout == 0 {
+		cfg.ConnTimeout = DefaultConnTimeout
+	}
+	counter := cfg.Counter
+	if counter == nil {
+		counter = cfg.Provider.Counter()
+	}
+	g := &Gateway{
+		cfg:       cfg,
+		counter:   counter,
+		policyFP:  cfg.Policies.Fingerprint(),
+		queue:     make(chan net.Conn, cfg.QueueDepth),
+		stop:      make(chan struct{}),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	switch {
+	case cfg.CacheEntries < 0:
+		// caching disabled
+	case cfg.CacheEntries == 0:
+		g.cache = newVerdictCache(DefaultCacheEntries)
+	default:
+		g.cache = newVerdictCache(cfg.CacheEntries)
+	}
+	g.workerWG.Add(cfg.MaxConcurrent)
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		go g.worker()
+	}
+	return g, nil
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until the listener fails, ctx is
+// cancelled, or Shutdown is called. It may be called on several listeners
+// concurrently; all are closed by Shutdown. Returns nil on clean shutdown,
+// ctx.Err() on cancellation.
+func (g *Gateway) Serve(ctx context.Context, ln net.Listener) error {
+	g.mu.Lock()
+	if g.shutdown {
+		g.mu.Unlock()
+		ln.Close()
+		return errors.New("gateway: already shut down")
+	}
+	g.listeners[ln] = struct{}{}
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		delete(g.listeners, ln)
+		g.mu.Unlock()
+	}()
+
+	if ctx != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				ln.Close()
+			case <-watchDone:
+			}
+		}()
+	}
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if g.isShutdown() {
+				return nil
+			}
+			return err
+		}
+		g.admit(conn)
+	}
+}
+
+func (g *Gateway) isShutdown() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.shutdown
+}
+
+// admit applies admission control: the connection is queued for a worker
+// or rejected (closed) when the pool and queue are both full.
+func (g *Gateway) admit(conn net.Conn) {
+	g.mu.Lock()
+	if g.shutdown {
+		g.mu.Unlock()
+		conn.Close()
+		return
+	}
+	select {
+	case g.queue <- conn:
+		// connWG.Add happens under g.mu so Shutdown's Wait cannot race it.
+		g.connWG.Add(1)
+		g.mu.Unlock()
+		g.stats.accepted.Add(1)
+	default:
+		g.mu.Unlock()
+		g.stats.rejected.Add(1)
+		g.logf("gateway: rejecting %s: pool and queue full", connAddr(conn))
+		conn.Close()
+	}
+}
+
+// Shutdown stops accepting, drains admitted connections, and waits for
+// them. If ctx expires first, remaining connections are force-closed and
+// ctx.Err() is returned once the workers have observed the closures.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.mu.Lock()
+	g.shutdown = true
+	for ln := range g.listeners {
+		ln.Close()
+	}
+	g.mu.Unlock()
+	// Workers finish the queue, then exit; newly accepted conns are closed
+	// by admit. connWG covers everything already admitted.
+	g.stopOnce.Do(func() { close(g.stop) })
+
+	done := make(chan struct{})
+	go func() {
+		g.connWG.Wait()
+		g.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Force-close in-flight sessions and discard anything still queued;
+		// workers observing the closed conns fail fast.
+		g.mu.Lock()
+		for c := range g.conns {
+			c.Close()
+		}
+		g.mu.Unlock()
+		for {
+			select {
+			case c := <-g.queue:
+				c.Close()
+				g.connWG.Done()
+				continue
+			default:
+			}
+			break
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker serves queued connections until shutdown, then drains what is
+// still queued and exits.
+func (g *Gateway) worker() {
+	defer g.workerWG.Done()
+	for {
+		select {
+		case conn := <-g.queue:
+			g.handle(conn)
+		case <-g.stop:
+			for {
+				select {
+				case conn := <-g.queue:
+					g.handle(conn)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (g *Gateway) trackConn(conn net.Conn) {
+	g.mu.Lock()
+	g.conns[conn] = struct{}{}
+	g.mu.Unlock()
+}
+
+func (g *Gateway) untrackConn(conn net.Conn) {
+	g.mu.Lock()
+	delete(g.conns, conn)
+	g.mu.Unlock()
+}
+
+// handle serves one admitted connection: fresh enclave, protocol, verdict
+// cache, stats, teardown.
+func (g *Gateway) handle(conn net.Conn) {
+	defer g.connWG.Done()
+	defer conn.Close()
+	g.trackConn(conn)
+	defer g.untrackConn(conn)
+	g.stats.active.Add(1)
+	defer g.stats.active.Add(-1)
+
+	if g.cfg.ConnTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(g.cfg.ConnTimeout))
+	}
+	start := time.Now()
+
+	encl, err := g.cfg.Provider.CreateEnclave(engarde.EnclaveConfig{
+		Policies:    g.cfg.Policies,
+		HeapPages:   g.cfg.HeapPages,
+		ClientPages: g.cfg.ClientPages,
+	})
+	if err != nil {
+		g.stats.errs.Add(1)
+		g.logf("gateway: creating enclave for %s: %v", connAddr(conn), err)
+		if g.cfg.OnServed != nil {
+			g.cfg.OnServed(conn, nil, nil, err)
+		}
+		return
+	}
+	defer encl.Destroy()
+
+	rep, err := encl.ServeProvisionFunc(conn, func(image []byte) (*engarde.Report, error) {
+		return g.provision(encl, image)
+	})
+	g.stats.served.Add(1)
+	g.stats.hist.observe(time.Since(start))
+	switch {
+	case err != nil:
+		g.stats.errs.Add(1)
+		g.logf("gateway: serving %s: %v", connAddr(conn), err)
+	case rep.Compliant:
+		g.stats.compliant.Add(1)
+	default:
+		g.stats.nonCompliant.Add(1)
+	}
+	if g.cfg.OnServed != nil {
+		g.cfg.OnServed(conn, encl, rep, err)
+	}
+}
+
+// provision is the cache-aware provisioning step handed to
+// ServeProvisionFunc: hash the decrypted image, look up the verdict under
+// (image, policy fingerprint), and either reuse it or run the full
+// pipeline and remember the outcome.
+func (g *Gateway) provision(encl *engarde.Enclave, image []byte) (*engarde.Report, error) {
+	if g.cache == nil {
+		return encl.Provision(image)
+	}
+	key := cacheKey{image: sha256.Sum256(image), policy: g.policyFP}
+	if prior, ok := g.cache.get(key); ok {
+		g.stats.cacheHits.Add(1)
+		if !prior.Compliant {
+			// A cached rejection needs no enclave work at all: the verdict
+			// is the whole outcome.
+			rep := *prior
+			rep.CacheHit = true
+			return &rep, nil
+		}
+		// A cached compliant verdict still loads the code — the tenant gets
+		// a real provisioned enclave — but skips disassembly and policy
+		// checking, the dominant cost (paper Figures 3-5).
+		return encl.ProvisionPrechecked(image, prior)
+	}
+	g.stats.cacheMisses.Add(1)
+	rep, err := encl.Provision(image)
+	if err == nil {
+		g.cache.put(key, rep)
+	}
+	return rep, err
+}
+
+func connAddr(conn net.Conn) string {
+	if addr := conn.RemoteAddr(); addr != nil {
+		return addr.String()
+	}
+	return "<unknown>"
+}

@@ -1,0 +1,353 @@
+package gateway_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"engarde"
+	"engarde/internal/cycles"
+	"engarde/internal/gateway"
+	"engarde/internal/toolchain"
+)
+
+// pipeListener is an in-memory net.Listener over net.Pipe, so the gateway
+// is exercised end-to-end without touching real sockets.
+type pipeListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{conns: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+// Dial hands the server side to the accept loop and returns the client side.
+func (l *pipeListener) Dial() (net.Conn, error) {
+	cli, srv := net.Pipe()
+	select {
+	case l.conns <- srv:
+		return cli, nil
+	case <-l.done:
+		cli.Close()
+		return nil, net.ErrClosed
+	}
+}
+
+// slowConn delays the first read, pinning its session in flight long
+// enough for shutdown tests to observe it.
+type slowConn struct {
+	net.Conn
+	delay time.Duration
+	once  sync.Once
+}
+
+func (c *slowConn) Read(b []byte) (int, error) {
+	c.once.Do(func() { time.Sleep(c.delay) })
+	return c.Conn.Read(b)
+}
+
+const (
+	testHeapPages   = 1500
+	testClientPages = 512
+)
+
+func buildImage(t testing.TB, name string, seed int64, stackProtected bool) []byte {
+	t.Helper()
+	bin, err := toolchain.Build(toolchain.Config{
+		Name: name, Seed: seed, NumFuncs: 6, AvgFuncInsts: 40,
+		StackProtector: stackProtected,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin.Image
+}
+
+// testGateway assembles a provider + gateway and a client template.
+func testGateway(t testing.TB, cfg gateway.Config) (*gateway.Gateway, *pipeListener, *engarde.Client) {
+	t.Helper()
+	counter := cycles.NewCounter(cycles.DefaultModel())
+	provider, err := engarde.NewProvider(engarde.ProviderConfig{EPCPages: 16384, Counter: counter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Provider = provider
+	cfg.HeapPages = testHeapPages
+	cfg.ClientPages = testClientPages
+	if cfg.ConnTimeout == 0 {
+		cfg.ConnTimeout = time.Minute
+	}
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected, err := engarde.ExpectedMeasurement(engarde.SGXv2, engarde.EnclaveConfig{
+		HeapPages: testHeapPages, ClientPages: testClientPages,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := newPipeListener()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- gw.Serve(context.Background(), ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = gw.Shutdown(ctx)
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return gw, ln, &engarde.Client{Expected: expected, PlatformKey: provider.AttestationPublicKey()}
+}
+
+// waitFor polls cond until it holds; the client side of a session can
+// finish a beat before the serving worker updates its stats.
+func waitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func provisionOnce(t testing.TB, ln *pipeListener, client *engarde.Client, image []byte) (engarde.Verdict, error) {
+	t.Helper()
+	conn, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	return client.Provision(conn, image)
+}
+
+// TestGatewayConcurrentProvisioning drives N parallel tenants through the
+// gateway: verdict correctness for compliant and violating images, exact
+// cache-hit accounting, and per-phase cycle totals in the stats snapshot.
+func TestGatewayConcurrentProvisioning(t *testing.T) {
+	var mu sync.Mutex
+	var reports []*engarde.Report
+	gw, ln, client := testGateway(t, gateway.Config{
+		Policies:      engarde.NewPolicySet(engarde.StackProtectorPolicy()),
+		MaxConcurrent: 4,
+		OnServed: func(_ net.Conn, _ *engarde.Enclave, rep *engarde.Report, err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				reports = append(reports, rep)
+			}
+		},
+	})
+	good := buildImage(t, "good", 91, true)
+	bad := buildImage(t, "bad", 92, false) // no stack protector → rejected
+
+	// Sequential warm-up: one cold provision per image populates the cache.
+	if v, err := provisionOnce(t, ln, client, good); err != nil || !v.Compliant {
+		t.Fatalf("warm-up good: %+v, %v", v, err)
+	}
+	if v, err := provisionOnce(t, ln, client, bad); err != nil || v.Compliant || v.Code != engarde.CodePolicy {
+		t.Fatalf("warm-up bad: %+v, %v", v, err)
+	}
+	if s := gw.Stats(); s.CacheMisses != 2 || s.CacheHits != 0 {
+		t.Fatalf("after warm-up: hits=%d misses=%d, want 0/2", s.CacheHits, s.CacheMisses)
+	}
+
+	// Parallel phase: every provision is now byte-identical to a cached
+	// one, so all must be served from the verdict cache.
+	const goodClients, badClients = 5, 3
+	var wg sync.WaitGroup
+	errs := make(chan error, goodClients+badClients)
+	for i := 0; i < goodClients+badClients; i++ {
+		image, wantCompliant := good, true
+		if i >= goodClients {
+			image, wantCompliant = bad, false
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := provisionOnce(t, ln, client, image)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if v.Compliant != wantCompliant {
+				t.Errorf("verdict compliant=%v, want %v (reason %q)", v.Compliant, wantCompliant, v.Reason)
+			}
+			if !wantCompliant && v.Code != engarde.CodePolicy {
+				t.Errorf("rejection code = %q, want %q", v.Code, engarde.CodePolicy)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("client: %v", err)
+	}
+	waitFor(t, "all sessions accounted", func() bool {
+		s := gw.Stats()
+		mu.Lock()
+		got := len(reports)
+		mu.Unlock()
+		return s.Served == 2+goodClients+badClients && s.Active == 0 && got == 2+goodClients+badClients
+	})
+
+	s := gw.Stats()
+	if s.CacheHits != goodClients+badClients || s.CacheMisses != 2 {
+		t.Errorf("cache: hits=%d misses=%d, want %d/2", s.CacheHits, s.CacheMisses, goodClients+badClients)
+	}
+	if s.Served != 2+goodClients+badClients || s.Errors != 0 {
+		t.Errorf("served=%d errors=%d, want %d/0", s.Served, s.Errors, 2+goodClients+badClients)
+	}
+	if s.Compliant != 1+goodClients || s.NonCompliant != 1+badClients {
+		t.Errorf("compliant=%d nonCompliant=%d", s.Compliant, s.NonCompliant)
+	}
+	if s.Latency.Count != s.Served {
+		t.Errorf("latency count = %d, want %d", s.Latency.Count, s.Served)
+	}
+	if s.PhaseCycles["Policy Checking"] == 0 || s.PhaseCycles["Disassembly"] == 0 {
+		t.Errorf("phase cycles missing: %v", s.PhaseCycles)
+	}
+
+	// Reports on the hit path must say so, and compliant hits must still
+	// be fully loaded (real entry point).
+	mu.Lock()
+	defer mu.Unlock()
+	var hits uint64
+	for _, rep := range reports {
+		if rep.CacheHit {
+			hits++
+			if rep.Compliant && rep.Entry == 0 {
+				t.Error("compliant cache hit without a loaded entry point")
+			}
+		}
+	}
+	if hits != goodClients+badClients {
+		t.Errorf("reports with CacheHit: %d, want %d", hits, goodClients+badClients)
+	}
+}
+
+// TestGatewayShutdownDrainsInFlight: a session admitted before Shutdown is
+// served to completion; afterwards the listener is closed and Serve
+// returns cleanly.
+func TestGatewayShutdownDrainsInFlight(t *testing.T) {
+	gw, ln, client := testGateway(t, gateway.Config{MaxConcurrent: 2})
+	image := buildImage(t, "drain", 93, false)
+
+	verdicts := make(chan engarde.Verdict, 1)
+	clientErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Dial()
+		if err != nil {
+			clientErr <- err
+			return
+		}
+		defer conn.Close()
+		// The slow first read keeps the session in flight while Shutdown
+		// starts.
+		v, err := client.Provision(&slowConn{Conn: conn, delay: 500 * time.Millisecond}, image)
+		verdicts <- v
+		clientErr <- err
+	}()
+
+	// Wait until the session is in flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for gw.Stats().Active == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session never became active")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-clientErr; err != nil {
+		t.Fatalf("in-flight client failed: %v", err)
+	}
+	if v := <-verdicts; !v.Compliant {
+		t.Errorf("in-flight client verdict: %+v", v)
+	}
+	if _, err := ln.Dial(); err == nil {
+		t.Error("dial after shutdown must fail")
+	}
+	if s := gw.Stats(); s.Active != 0 || s.Served != 1 {
+		t.Errorf("after shutdown: active=%d served=%d", s.Active, s.Served)
+	}
+}
+
+// TestGatewayBackpressure: with a single worker and no queue, a second
+// concurrent connection is rejected at admission.
+func TestGatewayBackpressure(t *testing.T) {
+	gw, ln, client := testGateway(t, gateway.Config{
+		MaxConcurrent: 1,
+		QueueDepth:    -1, // no waiting room
+	})
+	image := buildImage(t, "bp", 94, false)
+
+	// Occupy the only worker: the gateway blocks writing hello because
+	// this client never reads. (net.Pipe is fully synchronous.)
+	stall, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for gw.Stats().Active == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled session never became active")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The next tenant must be turned away, not queued.
+	if _, err := provisionOnce(t, ln, client, image); err == nil {
+		t.Error("second connection should have been rejected")
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for gw.Stats().Rejected == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("rejection never counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Release the worker; the stalled tenant completes normally.
+	v, err := client.Provision(stall, image)
+	stall.Close()
+	if err != nil || !v.Compliant {
+		t.Errorf("stalled client after release: %+v, %v", v, err)
+	}
+	waitFor(t, "stalled session accounted", func() bool { return gw.Stats().Served == 1 })
+	if s := gw.Stats(); s.Rejected != 1 || s.Accepted != 1 {
+		t.Errorf("accepted=%d rejected=%d, want 1/1", s.Accepted, s.Rejected)
+	}
+}

@@ -1,0 +1,166 @@
+package gateway
+
+import (
+	"encoding/json"
+	"math/bits"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// counters holds the gateway's hot-path metrics. All fields are atomic so
+// workers never contend on a stats lock.
+type counters struct {
+	accepted     atomic.Uint64
+	rejected     atomic.Uint64
+	served       atomic.Uint64
+	compliant    atomic.Uint64
+	nonCompliant atomic.Uint64
+	errs         atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	active       atomic.Int64
+	hist         latencyHist
+}
+
+// numLatencyBuckets covers sessions up to ~2^20 ms (≈17 min) with
+// power-of-two bounds; the last bucket is unbounded.
+const numLatencyBuckets = 22
+
+// latencyHist is a lock-free histogram of session latencies. Bucket i
+// counts latencies in [2^(i-1), 2^i) milliseconds (bucket 0: < 1 ms).
+type latencyHist struct {
+	buckets [numLatencyBuckets]atomic.Uint64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ms := uint64(d / time.Millisecond)
+	i := bits.Len64(ms)
+	if i >= numLatencyBuckets {
+		i = numLatencyBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// LatencyBucket is one histogram bucket: Count sessions took less than
+// LEMillis milliseconds (cumulative, Prometheus-style).
+type LatencyBucket struct {
+	LEMillis float64 `json:"le_ms"`
+	Count    uint64  `json:"count"`
+}
+
+// LatencySnapshot summarizes the latency histogram.
+type LatencySnapshot struct {
+	Count    uint64          `json:"count"`
+	P50Milli float64         `json:"p50_ms"` // upper bound of the median bucket
+	P95Milli float64         `json:"p95_ms"` // upper bound of the p95 bucket
+	Buckets  []LatencyBucket `json:"buckets,omitempty"`
+}
+
+func (h *latencyHist) snapshot() LatencySnapshot {
+	var raw [numLatencyBuckets]uint64
+	var total uint64
+	last := -1
+	for i := range raw {
+		raw[i] = h.buckets[i].Load()
+		total += raw[i]
+		if raw[i] > 0 {
+			last = i
+		}
+	}
+	out := LatencySnapshot{Count: total}
+	if total == 0 {
+		return out
+	}
+	bound := func(i int) float64 {
+		if i == 0 {
+			return 1
+		}
+		return float64(uint64(1) << uint(i))
+	}
+	quantile := func(q float64) float64 {
+		target := uint64(q * float64(total))
+		var cum uint64
+		for i := 0; i <= last; i++ {
+			cum += raw[i]
+			if cum > target {
+				return bound(i)
+			}
+		}
+		return bound(last)
+	}
+	out.P50Milli = quantile(0.50)
+	out.P95Milli = quantile(0.95)
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += raw[i]
+		out.Buckets = append(out.Buckets, LatencyBucket{LEMillis: bound(i), Count: cum})
+	}
+	return out
+}
+
+// Stats is a point-in-time snapshot of the gateway's metrics.
+type Stats struct {
+	// Admission control.
+	Accepted uint64 `json:"accepted"` // connections admitted to the pool/queue
+	Rejected uint64 `json:"rejected"` // turned away: pool and queue full
+	Active   int64  `json:"active"`   // sessions currently being served
+	Queued   int    `json:"queued"`   // admitted, waiting for a worker
+
+	// Outcomes.
+	Served       uint64 `json:"served"`
+	Compliant    uint64 `json:"compliant"`
+	NonCompliant uint64 `json:"non_compliant"`
+	Errors       uint64 `json:"errors"` // protocol/machinery failures
+
+	// Verdict cache.
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"` // hits / (hits+misses)
+	CacheEntries int     `json:"cache_entries"`
+
+	// Cycle-model totals across all enclaves (empty without a Counter).
+	PhaseCycles map[string]uint64 `json:"phase_cycles,omitempty"`
+	TotalCycles uint64            `json:"total_cycles,omitempty"`
+
+	Latency LatencySnapshot `json:"latency"`
+}
+
+// Stats returns a consistent-enough snapshot for monitoring: each field is
+// read atomically, though the set is not a single atomic cut.
+func (g *Gateway) Stats() Stats {
+	s := Stats{
+		Accepted:     g.stats.accepted.Load(),
+		Rejected:     g.stats.rejected.Load(),
+		Active:       g.stats.active.Load(),
+		Queued:       len(g.queue),
+		Served:       g.stats.served.Load(),
+		Compliant:    g.stats.compliant.Load(),
+		NonCompliant: g.stats.nonCompliant.Load(),
+		Errors:       g.stats.errs.Load(),
+		CacheHits:    g.stats.cacheHits.Load(),
+		CacheMisses:  g.stats.cacheMisses.Load(),
+		Latency:      g.stats.hist.snapshot(),
+	}
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
+	}
+	if g.cache != nil {
+		s.CacheEntries = g.cache.len()
+	}
+	if g.counter != nil {
+		s.PhaseCycles = g.counter.SnapshotNamed()
+		s.TotalCycles = g.counter.Total()
+	}
+	return s
+}
+
+// StatsHandler serves the snapshot as JSON — mount it at /statsz.
+func (g *Gateway) StatsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(g.Stats())
+	})
+}

@@ -22,7 +22,9 @@
 package asan
 
 import (
+	"crypto/sha256"
 	"fmt"
+	"sort"
 
 	"engarde/internal/policy"
 	"engarde/internal/x86"
@@ -52,6 +54,21 @@ func New(exempt ...string) *Module {
 
 // Name implements policy.Module.
 func (m *Module) Name() string { return "address-sanitizer" }
+
+// Fingerprint implements policy.Fingerprinter: the exempt-function list is
+// the module's entire configuration, folded in sorted order.
+func (m *Module) Fingerprint() []byte {
+	names := make([]string, 0, len(m.ExemptFuncs))
+	for name := range m.ExemptFuncs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		fmt.Fprintf(h, "%d:%s", len(name), name)
+	}
+	return h.Sum(nil)
+}
 
 // Check implements policy.Module.
 func (m *Module) Check(ctx *policy.Context) error {

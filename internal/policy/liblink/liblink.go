@@ -20,6 +20,7 @@ package liblink
 import (
 	"crypto/sha256"
 	"fmt"
+	"sort"
 
 	"engarde/internal/policy"
 )
@@ -42,6 +43,28 @@ func New(libName string, db map[string][sha256.Size]byte) *Module {
 
 // Name implements policy.Module.
 func (m *Module) Name() string { return "liblink(" + m.libName + ")" }
+
+// Fingerprint implements policy.Fingerprinter: the verdict depends on the
+// approved-hash database and the RequireUse setting, so both go into the
+// canonical identity. Entries are folded in sorted-name order so map
+// iteration order cannot perturb the digest.
+func (m *Module) Fingerprint() []byte {
+	names := make([]string, 0, len(m.db))
+	for name := range m.db {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		fmt.Fprintf(h, "%d:%s=", len(name), name)
+		sum := m.db[name]
+		h.Write(sum[:])
+	}
+	if m.RequireUse {
+		h.Write([]byte("require-use"))
+	}
+	return h.Sum(nil)
+}
 
 // Check implements policy.Module.
 func (m *Module) Check(ctx *policy.Context) error {

@@ -13,7 +13,10 @@
 package noforbidden
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"engarde/internal/policy"
 	"engarde/internal/x86"
@@ -48,6 +51,24 @@ func New(denied ...x86.Op) *Module {
 
 // Name implements policy.Module.
 func (m *Module) Name() string { return "no-forbidden-instructions" }
+
+// Fingerprint implements policy.Fingerprinter: the deny list is the
+// module's entire configuration. Opcodes are folded in sorted order so the
+// map's iteration order cannot perturb the digest.
+func (m *Module) Fingerprint() []byte {
+	ops := make([]int, 0, len(m.deny))
+	for op := range m.deny {
+		ops = append(ops, int(op))
+	}
+	sort.Ints(ops)
+	h := sha256.New()
+	for _, op := range ops {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(op))
+		h.Write(b[:])
+	}
+	return h.Sum(nil)
+}
 
 // Check implements policy.Module.
 func (m *Module) Check(ctx *policy.Context) error {

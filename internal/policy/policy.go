@@ -11,6 +11,8 @@
 package policy
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -118,6 +120,45 @@ func (s *Set) Names() []string {
 
 // Len returns the number of modules.
 func (s *Set) Len() int { return len(s.modules) }
+
+// Fingerprinter is optionally implemented by modules whose verdict depends
+// on configuration beyond what Name() captures (an approved-hash database,
+// a denied-instruction list, ...). Fingerprint must return a stable digest
+// of that configuration: two modules with equal Name and equal Fingerprint
+// must accept and reject exactly the same programs.
+type Fingerprinter interface {
+	Fingerprint() []byte
+}
+
+// Fingerprint returns a canonical SHA-256 digest identifying the set: the
+// module count, then each module's name and (when the module implements
+// Fingerprinter) its configuration digest, in check order. Because every
+// module's Check is a pure function of the program and its configuration,
+// two sets with equal fingerprints produce identical verdicts for
+// byte-identical images — the property that makes verdict caching sound.
+func (s *Set) Fingerprint() [sha256.Size]byte {
+	h := sha256.New()
+	writeField := func(b []byte) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(b)))
+		h.Write(n[:])
+		h.Write(b)
+	}
+	var count [8]byte
+	binary.BigEndian.PutUint64(count[:], uint64(len(s.modules)))
+	h.Write(count[:])
+	for _, m := range s.modules {
+		writeField([]byte(m.Name()))
+		if f, ok := m.(Fingerprinter); ok {
+			writeField(f.Fingerprint())
+		} else {
+			writeField(nil)
+		}
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
 
 // Check runs every module in order, stopping at the first violation.
 func (s *Set) Check(ctx *Context) error {

@@ -119,3 +119,37 @@ func TestContextCharges(t *testing.T) {
 		t.Errorf("hash inits = %d", got)
 	}
 }
+
+// fpModule is a configurable test module implementing Fingerprinter.
+type fpModule struct {
+	name string
+	fp   []byte
+}
+
+func (m fpModule) Name() string        { return m.name }
+func (m fpModule) Check(*Context) error { return nil }
+func (m fpModule) Fingerprint() []byte { return m.fp }
+
+func TestSetFingerprint(t *testing.T) {
+	a := fpModule{name: "a", fp: []byte{1}}
+	b := fpModule{name: "b", fp: []byte{2}}
+
+	same1 := NewSet(a, b).Fingerprint()
+	same2 := NewSet(a, b).Fingerprint()
+	if same1 != same2 {
+		t.Error("identical sets must share a fingerprint")
+	}
+	if NewSet(a, b).Fingerprint() == NewSet(b, a).Fingerprint() {
+		t.Error("module order must be part of the identity")
+	}
+	if NewSet(a).Fingerprint() == NewSet(a, b).Fingerprint() {
+		t.Error("module count must be part of the identity")
+	}
+	reconfigured := fpModule{name: "a", fp: []byte{9}}
+	if NewSet(a).Fingerprint() == NewSet(reconfigured).Fingerprint() {
+		t.Error("module configuration must be part of the identity")
+	}
+	if NewSet().Fingerprint() == NewSet(a).Fingerprint() {
+		t.Error("empty set must differ from non-empty")
+	}
+}

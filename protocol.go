@@ -3,6 +3,7 @@ package engarde
 import (
 	"crypto/rsa"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -65,10 +66,46 @@ func quoteFromWire(w quoteWire) (Quote, error) {
 	return q, nil
 }
 
+// ReasonCode classifies a verdict machine-readably, so clients (and the
+// gateway's stats) can distinguish failure classes without parsing the
+// human-readable Reason string.
+type ReasonCode string
+
+// Verdict reason codes.
+const (
+	// CodeOK marks a compliant verdict (the zero value, omitted on the wire).
+	CodeOK ReasonCode = ""
+	// CodeSessionKey: the wrapped session key could not be unwrapped.
+	CodeSessionKey ReasonCode = "session-key-rejected"
+	// CodeTransfer: the encrypted content transfer failed (framing or
+	// authentication).
+	CodeTransfer ReasonCode = "transfer-failed"
+	// CodePolicy: the content violated an agreed policy module.
+	CodePolicy ReasonCode = "policy-violation"
+	// CodeRejected: the content was structurally non-compliant (malformed
+	// executable, stripped symbols, heap exhausted, ...).
+	CodeRejected ReasonCode = "rejected"
+	// CodeInternal: the provisioning machinery itself failed.
+	CodeInternal ReasonCode = "internal-error"
+)
+
 // Verdict is the provider-visible outcome sent back to the client.
 type Verdict struct {
-	Compliant bool   `json:"compliant"`
-	Reason    string `json:"reason,omitempty"`
+	Compliant bool       `json:"compliant"`
+	Code      ReasonCode `json:"code,omitempty"`
+	Reason    string     `json:"reason,omitempty"`
+}
+
+// VerdictForReport derives the wire verdict from a provisioning report.
+func VerdictForReport(rep *Report) Verdict {
+	if rep.Compliant {
+		return Verdict{Compliant: true}
+	}
+	v := Verdict{Compliant: false, Code: CodeRejected, Reason: rep.Reason}
+	if rep.Violation != nil {
+		v.Code = CodePolicy
+	}
+	return v
 }
 
 func sendJSON(w io.Writer, v any) error {
@@ -90,11 +127,34 @@ func recvJSON(r io.Reader, v any) error {
 	return nil
 }
 
+// ProvisionFunc provisions a decrypted image and returns the report. The
+// default is (*Enclave).Provision; serving layers substitute a cache-aware
+// implementation (internal/gateway).
+type ProvisionFunc func(image []byte) (*Report, error)
+
 // ServeProvision runs the enclave side of the provisioning protocol over
 // conn: send hello, receive the wrapped session key, receive the encrypted
 // content, provision it, and reply with the verdict. The full Report stays
 // with the provider.
 func (e *Enclave) ServeProvision(conn io.ReadWriter) (*Report, error) {
+	return e.ServeProvisionFunc(conn, e.Provision)
+}
+
+// failNotify sends a failure verdict for cause and returns cause joined
+// with any send error — a peer that has already vanished must not mask why
+// the handshake failed, but the send failure is still reported.
+func failNotify(conn io.Writer, code ReasonCode, reason string, cause error) error {
+	if err := sendJSON(conn, Verdict{Compliant: false, Code: code, Reason: reason}); err != nil {
+		return errors.Join(cause, fmt.Errorf("engarde: sending failure verdict: %w", err))
+	}
+	return cause
+}
+
+// ServeProvisionFunc is ServeProvision with the provisioning step swapped
+// out: the decrypted image is handed to provision instead of going straight
+// into (*Enclave).Provision. The gateway uses this to consult its verdict
+// cache once the plaintext hash is known.
+func (e *Enclave) ServeProvisionFunc(conn io.ReadWriter, provision ProvisionFunc) (*Report, error) {
 	q, err := e.Quote()
 	if err != nil {
 		return nil, fmt.Errorf("engarde: quoting: %w", err)
@@ -113,20 +173,18 @@ func (e *Enclave) ServeProvision(conn io.ReadWriter) (*Report, error) {
 	}
 	if err := e.AcceptSessionKey(wrapped); err != nil {
 		// An unreadable key is a protocol failure; tell the peer.
-		_ = sendJSON(conn, Verdict{Compliant: false, Reason: "session key rejected"})
-		return nil, err
+		return nil, failNotify(conn, CodeSessionKey, "session key rejected", err)
 	}
 
-	rep, err := e.core.ProvisionStream(conn)
+	image, err := e.core.RecvImage(conn)
 	if err != nil {
-		_ = sendJSON(conn, Verdict{Compliant: false, Reason: "transfer failed"})
-		return nil, err
+		return nil, failNotify(conn, CodeTransfer, "transfer failed", err)
 	}
-	verdict := Verdict{Compliant: rep.Compliant}
-	if !rep.Compliant {
-		verdict.Reason = rep.Reason
+	rep, err := provision(image)
+	if err != nil {
+		return nil, failNotify(conn, CodeInternal, "provisioning failed", err)
 	}
-	if err := sendJSON(conn, verdict); err != nil {
+	if err := sendJSON(conn, VerdictForReport(rep)); err != nil {
 		return rep, err
 	}
 	return rep, nil

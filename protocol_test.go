@@ -186,3 +186,86 @@ func TestParsePolicies(t *testing.T) {
 		t.Errorf("empty list: %v, len %d", err, empty.Len())
 	}
 }
+
+func TestVerdictReasonCodes(t *testing.T) {
+	// A policy rejection reaches the client with a typed CodePolicy; a bad
+	// session key arrives as CodeSessionKey. Structural rejections (not a
+	// valid ELF) are CodeRejected.
+	provider, err := NewProvider(ProviderConfig{EPCPages: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected, err := ExpectedMeasurement(SGXv2, smallEnclave())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newEnclave := func(pols *PolicySet) *Enclave {
+		cfg := smallEnclave()
+		cfg.Policies = pols
+		encl, err := provider.CreateEnclave(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return encl
+	}
+	client := &Client{Expected: expected, PlatformKey: provider.AttestationPublicKey()}
+	bin, err := toolchain.Build(toolchain.Config{
+		Name: "rc", Seed: 73, NumFuncs: 6, AvgFuncInsts: 40, // no stack protector
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	provisionVerdict := func(encl *Enclave, image []byte) Verdict {
+		t.Helper()
+		defer encl.Destroy() // return the EPC pages to the shared device
+		cli, srv := net.Pipe()
+		defer cli.Close()
+		go func() {
+			defer srv.Close()
+			_, _ = encl.ServeProvision(srv)
+		}()
+		v, err := client.Provision(cli, image)
+		if err != nil {
+			t.Fatalf("client.Provision: %v", err)
+		}
+		return v
+	}
+
+	if v := provisionVerdict(newEnclave(NewPolicySet(StackProtectorPolicy())), bin.Image); v.Compliant || v.Code != CodePolicy {
+		t.Errorf("policy rejection: compliant=%v code=%q, want code %q", v.Compliant, v.Code, CodePolicy)
+	}
+	if v := provisionVerdict(newEnclave(NewPolicySet()), []byte("not an ELF at all")); v.Compliant || v.Code != CodeRejected {
+		t.Errorf("structural rejection: compliant=%v code=%q, want code %q", v.Compliant, v.Code, CodeRejected)
+	}
+	if v := provisionVerdict(newEnclave(NewPolicySet()), bin.Image); !v.Compliant || v.Code != CodeOK {
+		t.Errorf("compliant: compliant=%v code=%q, want code %q", v.Compliant, v.Code, CodeOK)
+	}
+
+	// Session-key rejection: drive the wire by hand with a garbage key.
+	encl := newEnclave(NewPolicySet())
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	done := make(chan error, 1)
+	go func() {
+		defer srv.Close()
+		_, err := encl.ServeProvision(srv)
+		done <- err
+	}()
+	if _, err := secchan.ReadBlock(cli); err != nil { // drain hello
+		t.Fatal(err)
+	}
+	if err := secchan.WriteBlock(cli, bytes.Repeat([]byte{0x41}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	var v Verdict
+	if err := recvJSON(cli, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Compliant || v.Code != CodeSessionKey {
+		t.Errorf("session-key rejection: compliant=%v code=%q, want code %q", v.Compliant, v.Code, CodeSessionKey)
+	}
+	if err := <-done; err == nil {
+		t.Error("server must surface the session-key failure")
+	}
+}
