@@ -23,15 +23,21 @@ package engarde_test
 // the stack-protection scan strategy.
 
 import (
+	"fmt"
 	"testing"
 
 	"engarde/internal/bench"
 	"engarde/internal/core"
 	"engarde/internal/cycles"
 	"engarde/internal/elf64"
+	"engarde/internal/nacl"
 	"engarde/internal/policy"
+	"engarde/internal/policy/ifcc"
+	"engarde/internal/policy/liblink"
+	"engarde/internal/policy/noforbidden"
 	"engarde/internal/policy/stackprot"
 	"engarde/internal/sgx"
+	"engarde/internal/symtab"
 	"engarde/internal/toolchain"
 	"engarde/internal/workload"
 	"engarde/internal/x86"
@@ -315,6 +321,59 @@ func BenchmarkProvisionWallClock(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelPipeline measures the wall-clock effect of sharding the
+// two check phases — disassembly (decode + bundle + branch-target passes)
+// and policy evaluation (all four modules) — over a large client, at 1, 2,
+// 4 and 8 workers. Worker count 1 is the sequential baseline; the model
+// cycle totals are identical at every count (asserted by the differential
+// tests), so this benchmark isolates the real-time speedup.
+func BenchmarkParallelPipeline(b *testing.B) {
+	bin, err := toolchain.Build(toolchain.Config{
+		Name: "par", Seed: 83, NumFuncs: 120, AvgFuncInsts: 220,
+		LibcCallRate: 0.05, StackProtector: true, IFCC: true, IndirectRate: 0.02,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := elf64.Parse(bin.Image)
+	if err != nil {
+		b.Fatal(err)
+	}
+	text := f.TextSections()[0]
+	tab, err := symtab.FromELF(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The client is stack-protected, so the approved-library database must
+	// come from the canary-instrumented musl build.
+	db, err := toolchain.MuslHashDB(toolchain.MuslV105, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pols := policy.NewSet(noforbidden.New(), liblink.New("musl-1.0.5", db),
+		stackprot.New(), ifcc.New())
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(text.Data)))
+			for i := 0; i < b.N; i++ {
+				ctr := cycles.NewCounter(cycles.DefaultModel())
+				prog, err := nacl.DecodeProgramParallel(text.Data, text.Addr, ctr, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := prog.CheckReachability(f.Header.Entry, tab); err != nil {
+					b.Fatal(err)
+				}
+				pctx := &policy.Context{Program: prog, Symbols: tab, Counter: ctr}
+				if err := pols.CheckParallel(pctx, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGatewayThroughput measures end-to-end sessions/sec through the
 // gateway serving layer — full protocol (attestation, key exchange,
 // encrypted transfer) per session, 4 concurrent clients:
@@ -342,6 +401,16 @@ func BenchmarkGatewayThroughput(b *testing.B) {
 	}
 	b.Run("cold", func(b *testing.B) {
 		run(b, bench.GatewayLoadConfig{Images: coldImages, CacheEntries: -1})
+	})
+	// The seq/par8 pair isolates the parallel pipeline's effect on cold
+	// sessions: identical load, workers pinned to 1 vs 8.
+	b.Run("cold-seq", func(b *testing.B) {
+		run(b, bench.GatewayLoadConfig{Images: coldImages, CacheEntries: -1,
+			DisasmWorkers: 1, PolicyWorkers: 1})
+	})
+	b.Run("cold-par8", func(b *testing.B) {
+		run(b, bench.GatewayLoadConfig{Images: coldImages, CacheEntries: -1,
+			DisasmWorkers: 8, PolicyWorkers: 8})
 	})
 	b.Run("cache-hit", func(b *testing.B) {
 		run(b, bench.GatewayLoadConfig{Images: coldImages[:1]})

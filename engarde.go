@@ -116,6 +116,12 @@ type EnclaveConfig struct {
 	// the paper's modified OpenSGX: 5000 heap pages).
 	HeapPages   int
 	ClientPages int
+	// DisasmWorkers / PolicyWorkers shard the provisioning pipeline's
+	// disassembly and policy-checking passes; 0 means GOMAXPROCS, 1 forces
+	// the sequential paths. Verdicts and cycle accounting are identical
+	// for any worker count.
+	DisasmWorkers int
+	PolicyWorkers int
 }
 
 // Provider is the cloud provider's side: one SGX machine with its quoting
@@ -184,12 +190,14 @@ type Enclave struct {
 // bootstrap and the agreed policy modules.
 func (p *Provider) CreateEnclave(cfg EnclaveConfig) (*Enclave, error) {
 	g, err := core.NewOnDevice(core.Config{
-		Version:     p.cfg.Version,
-		EPCPages:    p.cfg.EPCPages,
-		HeapPages:   cfg.HeapPages,
-		ClientPages: cfg.ClientPages,
-		Policies:    cfg.Policies,
-		Counter:     p.cfg.Counter,
+		Version:       p.cfg.Version,
+		EPCPages:      p.cfg.EPCPages,
+		HeapPages:     cfg.HeapPages,
+		ClientPages:   cfg.ClientPages,
+		Policies:      cfg.Policies,
+		Counter:       p.cfg.Counter,
+		DisasmWorkers: cfg.DisasmWorkers,
+		PolicyWorkers: cfg.PolicyWorkers,
 	}, p.dev)
 	if err != nil {
 		return nil, err

@@ -85,6 +85,10 @@ type GatewayLoadConfig struct {
 	// HeapPages/ClientPages size each session's enclave; 0 means 1500/512.
 	HeapPages   int
 	ClientPages int
+	// DisasmWorkers/PolicyWorkers shard each session's disassembly and
+	// policy passes (gateway semantics: 0 = GOMAXPROCS, 1 = sequential).
+	DisasmWorkers int
+	PolicyWorkers int
 }
 
 // GatewayLoadResult reports one load run.
@@ -126,6 +130,8 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 		Policies:      cfg.Policies,
 		HeapPages:     cfg.HeapPages,
 		ClientPages:   cfg.ClientPages,
+		DisasmWorkers: cfg.DisasmWorkers,
+		PolicyWorkers: cfg.PolicyWorkers,
 		MaxConcurrent: cfg.MaxConcurrent,
 		CacheEntries:  cfg.CacheEntries,
 		ConnTimeout:   -1, // in-memory pipes; deadlines only add noise

@@ -105,6 +105,12 @@ type Config struct {
 	// clients then fit a stock 2000-page EPC at the cost of extra SGX
 	// instructions per eviction/reload.
 	EnableEPCPaging bool
+	// DisasmWorkers shards the disassembly pass across this many workers;
+	// 0 means GOMAXPROCS, 1 forces the sequential path. The decoded
+	// Program and all cycle charges are identical either way.
+	DisasmWorkers int
+	// PolicyWorkers sizes the policy-checking worker pool the same way.
+	PolicyWorkers int
 }
 
 func (c *Config) applyDefaults() {
@@ -474,7 +480,7 @@ func (g *EnGarde) provision(image []byte, prior *Report) (*Report, error) {
 		// recovered from the decoded program before the reachability rule
 		// runs (the §6 extension).
 		g.dev.SetPhase(cycles.PhaseDisasm)
-		prog, err := nacl.DecodeProgram(text.Data, text.Addr, g.cfg.Counter)
+		prog, err := nacl.DecodeProgramParallel(text.Data, text.Addr, g.cfg.Counter, g.cfg.DisasmWorkers)
 		if err != nil {
 			return g.reject(fmt.Sprintf("disassembly: %v", err), nil), nil
 		}
@@ -492,7 +498,7 @@ func (g *EnGarde) provision(image []byte, prior *Report) (*Report, error) {
 		// Policy checking (§3, §5).
 		g.dev.SetPhase(cycles.PhasePolicy)
 		pctx := &policy.Context{Program: prog, Symbols: tab, Counter: g.cfg.Counter}
-		if err := g.cfg.Policies.Check(pctx); err != nil {
+		if err := g.cfg.Policies.CheckParallel(pctx, g.cfg.PolicyWorkers); err != nil {
 			if v, ok := policy.AsViolation(err); ok {
 				return g.reject(err.Error(), v), nil
 			}

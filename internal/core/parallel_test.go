@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"engarde/internal/policy"
+	"engarde/internal/policy/ifcc"
+	"engarde/internal/policy/liblink"
+	"engarde/internal/policy/noforbidden"
+	"engarde/internal/policy/stackprot"
+	"engarde/internal/toolchain"
+)
+
+// diffCase pairs a client binary with a policy set; makePols builds a fresh
+// Set per run because policy modules (liblink's use counter, ifcc's jump
+// table) carry per-check state.
+type diffCase struct {
+	name     string
+	image    func(t *testing.T) []byte
+	makePols func(t *testing.T) *policy.Set
+}
+
+func diffCases() []diffCase {
+	protected := func(t *testing.T) []byte {
+		cfg := toolchain.Config{
+			Name: "par-prot", Seed: 71,
+			NumFuncs: 14, AvgFuncInsts: 90,
+			LibcCallRate: 0.05, NumDataRelocs: 6,
+			StackProtector: true, IFCC: true, IndirectRate: 0.02,
+		}
+		return buildClient(t, cfg)
+	}
+	plain := func(t *testing.T) []byte {
+		cfg := toolchain.Config{
+			Name: "par-plain", Seed: 72,
+			NumFuncs: 14, AvgFuncInsts: 90,
+			LibcCallRate: 0.05, NumDataRelocs: 6,
+		}
+		return buildClient(t, cfg)
+	}
+	syscalls := func(t *testing.T) []byte {
+		cfg := toolchain.Config{
+			Name: "par-sys", Seed: 73,
+			NumFuncs: 14, AvgFuncInsts: 90,
+			LibcCallRate: 0.05, EmitSyscall: true,
+		}
+		return buildClient(t, cfg)
+	}
+	fullSet := func(t *testing.T) *policy.Set {
+		t.Helper()
+		db, err := toolchain.MuslHashDB(toolchain.MuslV105, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return policy.NewSet(noforbidden.New(), liblink.New("musl-1.0.5", db),
+			stackprot.New(), ifcc.New())
+	}
+	return []diffCase{
+		{ // every module passes: the full compliant pipeline
+			name:  "compliant-full-set",
+			image: protected,
+			makePols: func(t *testing.T) *policy.Set {
+				return fullSet(t)
+			},
+		},
+		{ // unprotected client under stackprot: a function-granular violation
+			name:  "stackprot-violation",
+			image: plain,
+			makePols: func(t *testing.T) *policy.Set {
+				return policy.NewSet(stackprot.New())
+			},
+		},
+		{ // forbidden instruction: a per-instruction violation mid-scan
+			name:  "noforbidden-violation",
+			image: syscalls,
+			makePols: func(t *testing.T) *policy.Set {
+				return policy.NewSet(noforbidden.New())
+			},
+		},
+		{ // violation while later modules still run: merge-order sensitivity
+			name:  "violation-in-full-set",
+			image: syscalls,
+			makePols: func(t *testing.T) *policy.Set {
+				return fullSet(t)
+			},
+		},
+	}
+}
+
+// provisionWith provisions image on a fresh enclave with the given worker
+// counts and returns the report.
+func provisionWith(t *testing.T, image []byte, pols *policy.Set, disasmWorkers, policyWorkers int) *Report {
+	t.Helper()
+	cfg := testConfig(pols)
+	cfg.DisasmWorkers = disasmWorkers
+	cfg.PolicyWorkers = policyWorkers
+	g, _ := newEnGarde(t, cfg)
+	rep, err := g.Provision(image)
+	if err != nil {
+		t.Fatalf("Provision(disasm=%d, policy=%d): %v", disasmWorkers, policyWorkers, err)
+	}
+	return rep
+}
+
+// TestParallelProvisionMatchesSequential is the differential property the
+// whole parallel pipeline rests on: for any worker count, the provisioning
+// outcome — verdict, violation (module, address, reason), instruction
+// count, and every per-phase cycle total — is identical to the sequential
+// run. Worker counts are randomized (seeded) so seams move between runs.
+func TestParallelProvisionMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	for _, tc := range diffCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			image := tc.image(t)
+			want := provisionWith(t, image, tc.makePols(t), 1, 1)
+
+			workerPairs := [][2]int{{0, 0}, {2, 3}, {8, 8}}
+			for i := 0; i < 3; i++ {
+				workerPairs = append(workerPairs, [2]int{1 + rng.Intn(16), 1 + rng.Intn(16)})
+			}
+			for _, wp := range workerPairs {
+				got := provisionWith(t, image, tc.makePols(t), wp[0], wp[1])
+				if got.Compliant != want.Compliant || got.Reason != want.Reason {
+					t.Fatalf("workers %v: verdict (%v, %q), sequential (%v, %q)",
+						wp, got.Compliant, got.Reason, want.Compliant, want.Reason)
+				}
+				if !reflect.DeepEqual(got.Violation, want.Violation) {
+					t.Fatalf("workers %v: violation %+v, sequential %+v", wp, got.Violation, want.Violation)
+				}
+				if got.NumInsts != want.NumInsts {
+					t.Fatalf("workers %v: %d instructions, sequential %d", wp, got.NumInsts, want.NumInsts)
+				}
+				if !reflect.DeepEqual(got.Phases, want.Phases) {
+					t.Fatalf("workers %v: phase cycle totals diverge:\n  par: %v\n  seq: %v",
+						wp, got.Phases, want.Phases)
+				}
+			}
+		})
+	}
+}

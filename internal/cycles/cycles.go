@@ -14,7 +14,7 @@ package cycles
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // Phase identifies a stage of EnGarde's provisioning pipeline. The three
@@ -127,13 +127,19 @@ func DefaultModel() Model {
 }
 
 // Counter accumulates cycles and unit counts per phase. It is safe for
-// concurrent use. The zero value is NOT ready: use NewCounter so a model is
-// attached.
+// concurrent use and contention-free: every cell is an independent atomic,
+// so parallel pipeline workers charging disjoint (or even identical) cells
+// never serialize on a lock. The zero value is NOT ready: use NewCounter so
+// a model is attached.
+//
+// For exact accounting under heavy sharded workloads, workers should charge
+// a private staging Counter (Stage) and the coordinator should merge them in
+// a deterministic order (Fold); that keeps totals independent of worker
+// count and interleaving.
 type Counter struct {
-	mu     sync.Mutex
 	model  Model
-	cycles [numPhases]uint64
-	units  [numPhases][numUnits]uint64
+	cycles [numPhases]atomic.Uint64
+	units  [numPhases][numUnits]atomic.Uint64
 }
 
 // NewCounter returns a Counter charging according to the given model.
@@ -141,54 +147,80 @@ func NewCounter(m Model) *Counter {
 	return &Counter{model: m}
 }
 
+// Model returns the cost model the counter charges against.
+func (c *Counter) Model() Model {
+	return c.model
+}
+
+// Stage returns a fresh, empty Counter with the same cost model, intended
+// as a per-worker staging area. Charges recorded on the stage are invisible
+// to c until the coordinator calls c.Fold(stage).
+func (c *Counter) Stage() *Counter {
+	return NewCounter(c.model)
+}
+
+// Fold adds every cell of src into c. src is read atomically but should be
+// quiescent (its workers done) when folded, or the merge is torn. Folding
+// staging counters in a fixed order makes parallel accounting reproduce the
+// sequential totals exactly.
+func (c *Counter) Fold(src *Counter) {
+	if src == nil {
+		return
+	}
+	for p := 1; p < int(numPhases); p++ {
+		if v := src.cycles[p].Load(); v != 0 {
+			c.cycles[p].Add(v)
+		}
+		for u := 0; u < int(numUnits); u++ {
+			if v := src.units[p][u].Load(); v != 0 {
+				c.units[p][u].Add(v)
+			}
+		}
+	}
+}
+
 // Charge records n units of work in the given phase.
 func (c *Counter) Charge(p Phase, u Unit, n uint64) {
 	if p <= 0 || p >= numPhases || u < 0 || u >= numUnits {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.units[p][u] += n
-	c.cycles[p] += n * c.model[u]
+	c.units[p][u].Add(n)
+	c.cycles[p].Add(n * c.model[u])
 }
 
 // Cycles returns the accumulated cycles for a phase.
 func (c *Counter) Cycles(p Phase) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if p <= 0 || p >= numPhases {
 		return 0
 	}
-	return c.cycles[p]
+	return c.cycles[p].Load()
 }
 
 // Units returns the accumulated count of a unit within a phase.
 func (c *Counter) Units(p Phase, u Unit) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if p <= 0 || p >= numPhases || u < 0 || u >= numUnits {
 		return 0
 	}
-	return c.units[p][u]
+	return c.units[p][u].Load()
 }
 
 // Total returns the cycles summed over all phases.
 func (c *Counter) Total() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var t uint64
-	for _, v := range c.cycles {
-		t += v
+	for p := 1; p < int(numPhases); p++ {
+		t += c.cycles[p].Load()
 	}
 	return t
 }
 
 // Reset zeroes all counters, keeping the model.
 func (c *Counter) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.cycles = [numPhases]uint64{}
-	c.units = [numPhases][numUnits]uint64{}
+	for p := 1; p < int(numPhases); p++ {
+		c.cycles[p].Store(0)
+		for u := 0; u < int(numUnits); u++ {
+			c.units[p][u].Store(0)
+		}
+	}
 }
 
 // AllPhases lists every pipeline phase in order. Serving-layer code uses
@@ -204,12 +236,10 @@ func AllPhases() []Phase {
 // SnapshotNamed returns the per-phase cycle totals keyed by phase name —
 // the JSON-friendly form of Snapshot, used by the gateway's stats endpoint.
 func (c *Counter) SnapshotNamed() map[string]uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make(map[string]uint64, int(numPhases))
 	for p := Phase(1); p < numPhases; p++ {
-		if c.cycles[p] > 0 {
-			out[p.String()] = c.cycles[p]
+		if v := c.cycles[p].Load(); v > 0 {
+			out[p.String()] = v
 		}
 	}
 	return out
@@ -217,12 +247,10 @@ func (c *Counter) SnapshotNamed() map[string]uint64 {
 
 // Snapshot returns a copy of the per-phase cycle totals keyed by phase.
 func (c *Counter) Snapshot() map[Phase]uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make(map[Phase]uint64, int(numPhases))
 	for p := Phase(1); p < numPhases; p++ {
-		if c.cycles[p] > 0 {
-			out[p] = c.cycles[p]
+		if v := c.cycles[p].Load(); v > 0 {
+			out[p] = v
 		}
 	}
 	return out

@@ -58,6 +58,11 @@ type Config struct {
 	// HeapPages / ClientPages size each connection's enclave.
 	HeapPages   int
 	ClientPages int
+	// DisasmWorkers / PolicyWorkers shard each session's disassembly and
+	// policy-checking passes (see engarde.EnclaveConfig); 0 means
+	// GOMAXPROCS, 1 forces the sequential paths.
+	DisasmWorkers int
+	PolicyWorkers int
 
 	// MaxConcurrent bounds in-flight provisions (worker-pool size).
 	// Default DefaultMaxConcurrent.
@@ -337,9 +342,11 @@ func (g *Gateway) handle(conn net.Conn) {
 	start := time.Now()
 
 	encl, err := g.cfg.Provider.CreateEnclave(engarde.EnclaveConfig{
-		Policies:    g.cfg.Policies,
-		HeapPages:   g.cfg.HeapPages,
-		ClientPages: g.cfg.ClientPages,
+		Policies:      g.cfg.Policies,
+		HeapPages:     g.cfg.HeapPages,
+		ClientPages:   g.cfg.ClientPages,
+		DisasmWorkers: g.cfg.DisasmWorkers,
+		PolicyWorkers: g.cfg.PolicyWorkers,
 	})
 	if err != nil {
 		g.stats.errs.Add(1)

@@ -254,6 +254,69 @@ func TestGatewayConcurrentProvisioning(t *testing.T) {
 	}
 }
 
+// TestGatewayMixedWorkloadParallel drives compliant, policy-violating and
+// malformed images through the gateway at the same time, with the parallel
+// disassembly and policy pipeline enabled. Every image is distinct, so
+// every session is a cold provision and the sharded workers of different
+// sessions genuinely overlap — the configuration the race detector needs
+// to see. Each class must keep its verdict.
+func TestGatewayMixedWorkloadParallel(t *testing.T) {
+	gw, ln, client := testGateway(t, gateway.Config{
+		Policies:      engarde.NewPolicySet(engarde.StackProtectorPolicy()),
+		MaxConcurrent: 4,
+		DisasmWorkers: 4,
+		PolicyWorkers: 4,
+	})
+
+	const perClass = 3
+	type job struct {
+		image    []byte
+		wantCode engarde.ReasonCode
+	}
+	var jobs []job
+	for i := 0; i < perClass; i++ {
+		jobs = append(jobs,
+			job{buildImage(t, "mix-good", 9500+int64(i), true), engarde.CodeOK},
+			job{buildImage(t, "mix-bad", 9600+int64(i), false), engarde.CodePolicy},
+		)
+		// Malformed: a valid image with its ELF magic destroyed — rejected
+		// at header verification, before disassembly.
+		garbage := buildImage(t, "mix-ugly", 9700+int64(i), true)
+		garbage[0] ^= 0xFF
+		jobs = append(jobs, job{garbage, engarde.CodeRejected})
+	}
+
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			v, err := provisionOnce(t, ln, client, j.image)
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			if v.Compliant != (j.wantCode == engarde.CodeOK) || v.Code != j.wantCode {
+				t.Errorf("job %d: verdict (%v, %q), want code %q (reason %q)",
+					i, v.Compliant, v.Code, j.wantCode, v.Reason)
+			}
+		}(i, j)
+	}
+	wg.Wait()
+
+	waitFor(t, "all sessions accounted", func() bool {
+		s := gw.Stats()
+		return s.Served == uint64(len(jobs)) && s.Active == 0
+	})
+	s := gw.Stats()
+	if s.Compliant != perClass || s.NonCompliant != 2*perClass {
+		t.Errorf("compliant=%d nonCompliant=%d, want %d/%d", s.Compliant, s.NonCompliant, perClass, 2*perClass)
+	}
+	if s.CacheHits != 0 {
+		t.Errorf("cache hits = %d, want 0 (all images distinct)", s.CacheHits)
+	}
+}
+
 // TestGatewayShutdownDrainsInFlight: a session admitted before Shutdown is
 // served to completion; afterwards the listener is closed and Serve
 // returns cleanly.

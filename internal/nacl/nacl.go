@@ -10,11 +10,21 @@
 // every function symbol (functions are entered via calls whose targets the
 // second rule already validates); NOP padding between functions is exempt,
 // since bundle alignment necessarily produces unreachable NOPs.
+//
+// Decoding can be sharded across workers: the region is split into chunks
+// that are decoded speculatively in parallel and then reconciled at the
+// seams. x86 decoding self-synchronizes, so a speculative chunk almost
+// always rejoins the true instruction stream; where it does not, the seam
+// is re-decoded serially. The result is bit-identical to the sequential
+// pass, including cycle charges.
 package nacl
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 
 	"engarde/internal/cycles"
 	"engarde/internal/symtab"
@@ -23,6 +33,10 @@ import (
 
 // BundleSize is the NaCl bundle granularity.
 const BundleSize = 32
+
+// minChunkBytes bounds sharding overhead: a region is never split into
+// chunks smaller than this, so tiny inputs decode sequentially.
+const minChunkBytes = 2048
 
 // Validation errors.
 var (
@@ -42,25 +56,28 @@ var (
 
 // Program is a validated instruction buffer. Unlike NaCl's sliding window,
 // EnGarde retains every decoded instruction so policy modules can random-
-// access the buffer (paper §4).
+// access the buffer (paper §4). Instruction starts are looked up by binary
+// search over the address-ordered Insts slice, so a Program needs no side
+// index and is immutable (and therefore freely shared) once built.
 type Program struct {
 	// Insts is the full decoded instruction sequence in address order.
 	Insts []x86.Inst
 	// Base and End delimit the validated text region.
 	Base, End uint64
-
-	index map[uint64]int
 }
 
 // InstAt returns the index of the instruction starting exactly at addr.
 func (p *Program) InstAt(addr uint64) (int, bool) {
-	i, ok := p.index[addr]
-	return i, ok
+	i := sort.Search(len(p.Insts), func(i int) bool { return p.Insts[i].Addr >= addr })
+	if i < len(p.Insts) && p.Insts[i].Addr == addr {
+		return i, true
+	}
+	return 0, false
 }
 
 // IsInstStart reports whether addr is a decoded instruction boundary.
 func (p *Program) IsInstStart(addr uint64) bool {
-	_, ok := p.index[addr]
+	_, ok := p.InstAt(addr)
 	return ok
 }
 
@@ -75,7 +92,14 @@ func (p *Program) Contains(addr uint64) bool {
 // reachability walk). Decoding work is charged to the disassembly phase of
 // counter when non-nil.
 func Validate(code []byte, base, entry uint64, tab *symtab.Table, counter *cycles.Counter) (*Program, error) {
-	p, err := DecodeProgram(code, base, counter)
+	return ValidateParallel(code, base, entry, tab, counter, 1)
+}
+
+// ValidateParallel is Validate with decoding sharded across the given
+// number of workers (<= 0 means GOMAXPROCS). The accepted Program, any
+// rejection, and all cycle charges are identical to Validate's.
+func ValidateParallel(code []byte, base, entry uint64, tab *symtab.Table, counter *cycles.Counter, workers int) (*Program, error) {
+	p, err := DecodeProgramParallel(code, base, counter, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -91,50 +115,218 @@ func Validate(code []byte, base, entry uint64, tab *symtab.Table, counter *cycle
 // (internal/funcid) decode first, recover, then run CheckReachability with
 // the recovered table.
 func DecodeProgram(code []byte, base uint64, counter *cycles.Counter) (*Program, error) {
-	p := &Program{
-		Base:  base,
-		End:   base + uint64(len(code)),
-		index: make(map[uint64]int, len(code)/4),
-	}
+	return DecodeProgramParallel(code, base, counter, 1)
+}
+
+// DecodeProgramParallel is DecodeProgram sharded across workers (<= 0
+// means GOMAXPROCS). The produced Program is bit-identical to the
+// sequential path and charges the same cycle totals: speculative decode
+// work thrown away at seam reconciliation is never charged.
+func DecodeProgramParallel(code []byte, base uint64, counter *cycles.Counter, workers int) (*Program, error) {
+	p := &Program{Base: base, End: base + uint64(len(code))}
 
 	// Pass 1: full decode (rejects mixed code/data).
-	off := 0
-	for off < len(code) {
-		addr := base + uint64(off)
-		in, err := x86.Decode(code[off:], addr)
-		if err != nil {
-			return nil, fmt.Errorf("%w: at %#x: %v", ErrUndecodable, addr, err)
-		}
-		p.index[addr] = len(p.Insts)
-		p.Insts = append(p.Insts, in)
-		off += in.Len
+	insts, err := decodeSharded(code, base, normalizeWorkers(workers, len(code)))
+	if err != nil {
+		return nil, err
 	}
+	p.Insts = insts
 	if counter != nil {
 		counter.Charge(cycles.PhaseDisasm, cycles.UnitDecodedInst, uint64(len(p.Insts)))
 	}
 
 	// Pass 2: bundle rule.
-	for i := range p.Insts {
+	if i := firstIndex(len(p.Insts), workers, func(i int) bool {
 		in := &p.Insts[i]
-		if in.Addr/BundleSize != (in.Addr+uint64(in.Len)-1)/BundleSize {
-			return nil, fmt.Errorf("%w: %s at %#x (%d bytes)", ErrBundleCrossing, in.String(), in.Addr, in.Len)
-		}
+		return in.Addr/BundleSize != (in.Addr+uint64(in.Len)-1)/BundleSize
+	}); i >= 0 {
+		in := &p.Insts[i]
+		return nil, fmt.Errorf("%w: %s at %#x (%d bytes)", ErrBundleCrossing, in.String(), in.Addr, in.Len)
 	}
 
 	// Pass 3: control-transfer targets. Targets outside the region (e.g.
 	// into a runtime the enclave doesn't have) are invalid too.
-	for i := range p.Insts {
+	if i := firstIndex(len(p.Insts), workers, func(i int) bool {
+		tgt, ok := p.Insts[i].BranchTarget()
+		return ok && (!p.Contains(tgt) || !p.IsInstStart(tgt))
+	}); i >= 0 {
 		in := &p.Insts[i]
-		tgt, ok := in.BranchTarget()
-		if !ok {
-			continue
-		}
-		if !p.Contains(tgt) || !p.IsInstStart(tgt) {
-			return nil, fmt.Errorf("%w: %s at %#x targets %#x", ErrBadBranchTarget, in.String(), in.Addr, tgt)
-		}
+		tgt, _ := in.BranchTarget()
+		return nil, fmt.Errorf("%w: %s at %#x targets %#x", ErrBadBranchTarget, in.String(), in.Addr, tgt)
 	}
 
 	return p, nil
+}
+
+// normalizeWorkers resolves the requested worker count against the input
+// size: <= 0 means GOMAXPROCS, and the region is never cut into chunks
+// smaller than minChunkBytes.
+func normalizeWorkers(workers, size int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := size / minChunkBytes; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// chunkDecode is one worker's speculative decode of [start, spill).
+type chunkDecode struct {
+	insts  []x86.Inst
+	spill  int   // offset where decoding stopped (first offset NOT consumed)
+	err    error // decode failure, if any
+	errOff int   // offset of the failure
+}
+
+// decodeSharded decodes code into its instruction sequence. With one
+// worker it is the plain sequential loop; with more, chunks are decoded
+// speculatively in parallel and reconciled in address order.
+func decodeSharded(code []byte, base uint64, workers int) ([]x86.Inst, error) {
+	if workers <= 1 || len(code) < workers {
+		return decodeRange(code, base, 0, len(code))
+	}
+
+	chunkSize := (len(code) + workers - 1) / workers
+	numChunks := (len(code) + chunkSize - 1) / chunkSize
+	chunks := make([]chunkDecode, numChunks)
+	var wg sync.WaitGroup
+	for k := 0; k < numChunks; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			start := k * chunkSize
+			end := start + chunkSize
+			if end > len(code) {
+				end = len(code)
+			}
+			c := &chunks[k]
+			off := start
+			for off < end {
+				addr := base + uint64(off)
+				in, err := x86.Decode(code[off:], addr)
+				if err != nil {
+					c.err, c.errOff = err, off
+					break
+				}
+				c.insts = append(c.insts, in)
+				off += in.Len
+			}
+			c.spill = off
+		}(k)
+	}
+	wg.Wait()
+
+	// Seam reconciliation: walk the region in address order. Whenever the
+	// true decode position coincides with an instruction start some chunk
+	// decoded speculatively, that chunk's tail is adopted wholesale (its
+	// decode from that offset is, by determinism, exactly what a serial
+	// pass would produce); otherwise a single instruction is re-decoded
+	// serially and the test repeats. Chunk 0 always starts aligned, so the
+	// prefix is adopted immediately.
+	var insts []x86.Inst
+	pos := 0
+	for pos < len(code) {
+		c := &chunks[pos/chunkSize]
+		if i, ok := seekChunk(c, base+uint64(pos)); ok {
+			insts = append(insts, c.insts[i:]...)
+			if c.err != nil {
+				return nil, undecodable(base+uint64(c.errOff), c.err)
+			}
+			pos = c.spill
+			continue
+		}
+		addr := base + uint64(pos)
+		in, err := x86.Decode(code[pos:], addr)
+		if err != nil {
+			return nil, undecodable(addr, err)
+		}
+		insts = append(insts, in)
+		pos += in.Len
+	}
+	return insts, nil
+}
+
+// seekChunk finds the index in c.insts of the instruction starting at
+// addr, if the chunk's speculative decode visited that start.
+func seekChunk(c *chunkDecode, addr uint64) (int, bool) {
+	i := sort.Search(len(c.insts), func(i int) bool { return c.insts[i].Addr >= addr })
+	if i < len(c.insts) && c.insts[i].Addr == addr {
+		return i, true
+	}
+	return 0, false
+}
+
+// decodeRange is the sequential decode loop over code[start:end).
+func decodeRange(code []byte, base uint64, start, end int) ([]x86.Inst, error) {
+	var insts []x86.Inst
+	off := start
+	for off < end {
+		addr := base + uint64(off)
+		in, err := x86.Decode(code[off:], addr)
+		if err != nil {
+			return nil, undecodable(addr, err)
+		}
+		insts = append(insts, in)
+		off += in.Len
+	}
+	return insts, nil
+}
+
+func undecodable(addr uint64, err error) error {
+	return fmt.Errorf("%w: at %#x: %v", ErrUndecodable, addr, err)
+}
+
+// firstIndex returns the lowest i in [0, n) for which bad(i) holds, or -1.
+// The scan is sharded across workers; the result is deterministic because
+// shards are contiguous and merged in order.
+func firstIndex(n, workers int, bad func(i int) bool) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	const minShard = 4096
+	if shards := n / minShard; workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if bad(i) {
+				return i
+			}
+		}
+		return -1
+	}
+	shardSize := (n + workers - 1) / workers
+	numShards := (n + shardSize - 1) / shardSize
+	hits := make([]int, numShards)
+	var wg sync.WaitGroup
+	for s := 0; s < numShards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			lo, hi := s*shardSize, (s+1)*shardSize
+			if hi > n {
+				hi = n
+			}
+			hits[s] = -1
+			for i := lo; i < hi; i++ {
+				if bad(i) {
+					hits[s] = i
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, h := range hits {
+		if h >= 0 {
+			return h
+		}
+	}
+	return -1
 }
 
 // CheckReachability enforces the fourth rule: every non-padding
@@ -143,7 +335,7 @@ func (p *Program) CheckReachability(entry uint64, tab *symtab.Table) error {
 	reached := make([]bool, len(p.Insts))
 	var stack []int
 	push := func(addr uint64) {
-		if i, ok := p.index[addr]; ok && !reached[i] {
+		if i, ok := p.InstAt(addr); ok && !reached[i] {
 			reached[i] = true
 			stack = append(stack, i)
 		}

@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"engarde/internal/policy"
+	"engarde/internal/symtab"
 	"engarde/internal/x86"
 )
 
@@ -72,8 +73,26 @@ func (m *Module) Fingerprint() []byte {
 
 // Check implements policy.Module.
 func (m *Module) Check(ctx *policy.Context) error {
+	return policy.RunSharded(ctx, m)
+}
+
+// BeginShards implements policy.Sharded. Like stackprot, the check is
+// function-granular: each function is owned by the span whose address
+// interval contains its start.
+func (m *Module) BeginShards(ctx *policy.Context) (policy.SpanChecker, error) {
+	return &checker{m: m, funcs: ctx.Symbols.Functions()}, nil
+}
+
+type checker struct {
+	m     *Module
+	funcs []symtab.Entry
+}
+
+// CheckSpan verifies every function owned by the index span [lo, hi).
+func (c *checker) CheckSpan(ctx *policy.Context, lo, hi int) error {
+	m := c.m
 	p := ctx.Program
-	for _, fn := range ctx.Symbols.Functions() {
+	for _, fn := range policy.FuncsInSpan(p, c.funcs, lo, hi) {
 		ctx.ChargeLookup(1)
 		if m.ExemptFuncs[fn.Name] {
 			continue
@@ -104,6 +123,9 @@ func (m *Module) Check(ctx *policy.Context) error {
 	}
 	return nil
 }
+
+// Finish implements policy.SpanChecker; there is no epilogue.
+func (c *checker) Finish(ctx *policy.Context) error { return nil }
 
 // checkGuard validates the shadow-check chain preceding the store at
 // index si.

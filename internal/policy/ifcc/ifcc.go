@@ -52,13 +52,33 @@ type table struct {
 
 // Check implements policy.Module.
 func (m *Module) Check(ctx *policy.Context) error {
+	return policy.RunSharded(ctx, m)
+}
+
+// BeginShards implements policy.Sharded: jump-table discovery is the
+// serial prologue (it can itself report a Violation); call sites are
+// owned by the span containing the call instruction. The backwards guard
+// walk may read instructions before the span — spans are read-only views
+// of the shared buffer, so that is safe.
+func (m *Module) BeginShards(ctx *policy.Context) (policy.SpanChecker, error) {
 	tbl, err := m.findJumpTable(ctx)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	return &checker{m: m, tbl: tbl}, nil
+}
 
+type checker struct {
+	m   *Module
+	tbl *table
+}
+
+// CheckSpan scans instructions [lo, hi) for indirect calls and verifies
+// the IFCC guard sequence before each.
+func (c *checker) CheckSpan(ctx *policy.Context, lo, hi int) error {
+	m := c.m
 	p := ctx.Program
-	for i := range p.Insts {
+	for i := lo; i < hi; i++ {
 		// Visiting an instruction means inspecting its opcode and both
 		// operand slots for the indirect-call shape.
 		ctx.ChargeScan(1)
@@ -67,18 +87,21 @@ func (m *Module) Check(ctx *policy.Context) error {
 		if !in.IsIndirectCall() {
 			continue
 		}
-		if tbl == nil {
+		if c.tbl == nil {
 			return &policy.Violation{
 				Module: m.Name(), Addr: in.Addr,
 				Reason: "indirect call present but the binary has no IFCC jump table",
 			}
 		}
-		if err := m.checkCallSite(ctx, i, tbl); err != nil {
+		if err := m.checkCallSite(ctx, i, c.tbl); err != nil {
 			return err
 		}
 	}
 	return nil
 }
+
+// Finish implements policy.SpanChecker; there is no epilogue.
+func (c *checker) Finish(ctx *policy.Context) error { return nil }
 
 // findJumpTable locates the jump table via its symbols and verifies the
 // entry format invariant the paper relies on. Returns nil (no error) when

@@ -21,6 +21,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"engarde/internal/policy"
 )
@@ -68,9 +69,27 @@ func (m *Module) Fingerprint() []byte {
 
 // Check implements policy.Module.
 func (m *Module) Check(ctx *policy.Context) error {
+	return policy.RunSharded(ctx, m)
+}
+
+// BeginShards implements policy.Sharded. Call sites are owned by the span
+// containing the call instruction; the library-use tally is accumulated
+// atomically and judged once in Finish.
+func (m *Module) BeginShards(ctx *policy.Context) (policy.SpanChecker, error) {
+	return &checker{m: m}, nil
+}
+
+type checker struct {
+	m    *Module
+	used atomic.Uint64
+}
+
+// CheckSpan scans instructions [lo, hi) for direct calls and verifies each
+// resolvable target against the approved-library database.
+func (c *checker) CheckSpan(ctx *policy.Context, lo, hi int) error {
+	m := c.m
 	p := ctx.Program
-	used := 0
-	for i := range p.Insts {
+	for i := lo; i < hi; i++ {
 		ctx.ChargeScan(1)
 		in := &p.Insts[i]
 		if !in.IsDirectCall() {
@@ -110,9 +129,15 @@ func (m *Module) Check(ctx *policy.Context) error {
 				Reason: fmt.Sprintf("function %q does not match the approved %s build", name, m.libName),
 			}
 		}
-		used++
+		c.used.Add(1)
 	}
-	if m.RequireUse && used == 0 {
+	return nil
+}
+
+// Finish enforces RequireUse once every span has passed.
+func (c *checker) Finish(ctx *policy.Context) error {
+	m := c.m
+	if m.RequireUse && c.used.Load() == 0 {
 		return &policy.Violation{
 			Module: m.Name(),
 			Reason: fmt.Sprintf("program never calls into %s; linkage cannot be verified", m.libName),

@@ -72,8 +72,21 @@ func (m *Module) Fingerprint() []byte {
 
 // Check implements policy.Module.
 func (m *Module) Check(ctx *policy.Context) error {
+	return policy.RunSharded(ctx, m)
+}
+
+// BeginShards implements policy.Sharded; the scan has no prologue.
+func (m *Module) BeginShards(ctx *policy.Context) (policy.SpanChecker, error) {
+	return (*checker)(m), nil
+}
+
+type checker Module
+
+// CheckSpan scans instructions [lo, hi) against the deny list.
+func (c *checker) CheckSpan(ctx *policy.Context, lo, hi int) error {
+	m := (*Module)(c)
 	p := ctx.Program
-	for i := range p.Insts {
+	for i := lo; i < hi; i++ {
 		ctx.ChargeScan(1)
 		ctx.ChargePattern(1)
 		in := &p.Insts[i]
@@ -86,3 +99,6 @@ func (m *Module) Check(ctx *policy.Context) error {
 	}
 	return nil
 }
+
+// Finish implements policy.SpanChecker; there is no epilogue.
+func (c *checker) Finish(ctx *policy.Context) error { return nil }

@@ -1,0 +1,234 @@
+// Parallel policy checking. Modules run concurrently, and modules that
+// implement Sharded additionally split their instruction-buffer scan into
+// index spans checked across a worker pool. The merge is deterministic:
+// staging counters and errors are folded in set order (and, within a
+// module, span order), so the verdict — including the Violation address —
+// and the per-phase cycle totals are identical to the sequential path for
+// any worker count.
+package policy
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"engarde/internal/cycles"
+	"engarde/internal/nacl"
+	"engarde/internal/symtab"
+)
+
+// Sharded is optionally implemented by modules whose scan over the
+// instruction buffer can be split into disjoint index spans. The contract
+// that makes sharding exact: work (and its charges) is owned by the span
+// containing the *start* index/address of the item being checked, checkers
+// may freely read instructions outside their span, and CheckSpan visits
+// its span in ascending order so its first error is the span's
+// lowest-position error.
+type Sharded interface {
+	Module
+	// BeginShards runs the module's serial prologue (symbol discovery,
+	// table validation, ...) and returns the checker shared by all spans.
+	// A returned error — possibly a *Violation — aborts the module.
+	BeginShards(ctx *Context) (SpanChecker, error)
+}
+
+// SpanChecker checks one module over index spans of ctx.Program.Insts.
+// CheckSpan may run concurrently with itself on disjoint spans; Finish
+// runs once, after every span passed.
+type SpanChecker interface {
+	CheckSpan(ctx *Context, lo, hi int) error
+	Finish(ctx *Context) error
+}
+
+// RunSharded drives a Sharded module sequentially: prologue, one span
+// covering the whole buffer, epilogue. Modules implement Check by
+// delegating here, which makes the sequential path and the single-span
+// parallel path the same code by construction.
+func RunSharded(ctx *Context, m Sharded) error {
+	checker, err := m.BeginShards(ctx)
+	if err != nil {
+		return err
+	}
+	if err := checker.CheckSpan(ctx, 0, len(ctx.Program.Insts)); err != nil {
+		return err
+	}
+	return checker.Finish(ctx)
+}
+
+// SpanAddrRange maps an index span [lo, hi) of p.Insts to the address
+// interval it owns. The first span's interval is extended down to 0 and
+// the last span's up to the maximum address, so items (function symbols,
+// call targets) falling outside the decoded region are still owned by
+// exactly one span.
+func SpanAddrRange(p *nacl.Program, lo, hi int) (loAddr, hiAddr uint64) {
+	loAddr = 0
+	if lo > 0 && lo < len(p.Insts) {
+		loAddr = p.Insts[lo].Addr
+	}
+	hiAddr = ^uint64(0)
+	if hi < len(p.Insts) {
+		hiAddr = p.Insts[hi].Addr
+	}
+	return loAddr, hiAddr
+}
+
+// FuncsInSpan returns the subslice of funcs (address-sorted, as returned
+// by symtab.Table.Functions) owned by the index span [lo, hi): those whose
+// start address falls in the span's address interval.
+func FuncsInSpan(p *nacl.Program, funcs []symtab.Entry, lo, hi int) []symtab.Entry {
+	loAddr, hiAddr := SpanAddrRange(p, lo, hi)
+	i := sort.Search(len(funcs), func(i int) bool { return funcs[i].Addr >= loAddr })
+	j := sort.Search(len(funcs), func(j int) bool { return funcs[j].Addr >= hiAddr })
+	return funcs[i:j]
+}
+
+// minSpanInsts bounds sharding overhead: spans are never cut smaller than
+// this many instructions, so small programs are checked in one span.
+const minSpanInsts = 1024
+
+// cutSpans splits [0, n) into at most `parts` contiguous spans.
+func cutSpans(n, parts int) [][2]int {
+	if parts > n/minSpanInsts {
+		parts = n / minSpanInsts
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	size := (n + parts - 1) / parts
+	var spans [][2]int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, [2]int{lo, hi})
+	}
+	if len(spans) == 0 {
+		spans = append(spans, [2]int{0, 0})
+	}
+	return spans
+}
+
+// moduleResult is one module's parallel outcome: its error (if any) and
+// the staging counters to fold, in deterministic order, on merge.
+type moduleResult struct {
+	stages []*cycles.Counter
+	err    error
+}
+
+// CheckParallel runs every module concurrently, sharding the scans of
+// Sharded modules across a pool of the given size (<= 0 means GOMAXPROCS).
+// The verdict and all cycle charges are identical to Check: each worker
+// charges a private staging counter, and on merge the stages are folded
+// into ctx.Counter in set order — within the first failing module, span
+// stages only up to the failing span — exactly reproducing the sequential
+// early-exit totals.
+func (s *Set) CheckParallel(ctx *Context, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(s.modules) == 0 {
+		return s.Check(ctx)
+	}
+
+	// stage returns a private counter for one task's charges, or nil when
+	// the caller isn't metering.
+	stage := func() *cycles.Counter {
+		if ctx.Counter == nil {
+			return nil
+		}
+		return ctx.Counter.Stage()
+	}
+	withCounter := func(c *cycles.Counter) *Context {
+		c2 := *ctx
+		c2.Counter = c
+		return &c2
+	}
+
+	// sem gates the tasks that do real scanning work; coordinator
+	// goroutines (one per module) don't hold slots while waiting.
+	sem := make(chan struct{}, workers)
+	spans := cutSpans(len(ctx.Program.Insts), workers)
+
+	results := make([]moduleResult, len(s.modules))
+	var wg sync.WaitGroup
+	for mi, m := range s.modules {
+		wg.Add(1)
+		go func(mi int, m Module) {
+			defer wg.Done()
+			res := &results[mi]
+
+			sh, ok := m.(Sharded)
+			if !ok {
+				// Opaque module: run whole, as one pool task.
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				st := stage()
+				res.err = m.Check(withCounter(st))
+				res.stages = []*cycles.Counter{st}
+				return
+			}
+
+			// Serial prologue.
+			pst := stage()
+			checker, err := sh.BeginShards(withCounter(pst))
+			res.stages = append(res.stages, pst)
+			if err != nil {
+				res.err = err
+				return
+			}
+
+			// Fan the spans out across the pool.
+			spanStages := make([]*cycles.Counter, len(spans))
+			spanErrs := make([]error, len(spans))
+			var swg sync.WaitGroup
+			for si, sp := range spans {
+				swg.Add(1)
+				go func(si, lo, hi int) {
+					defer swg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					st := stage()
+					spanStages[si] = st
+					spanErrs[si] = checker.CheckSpan(withCounter(st), lo, hi)
+				}(si, sp[0], sp[1])
+			}
+			swg.Wait()
+
+			// Merge spans in order: fold stages up to the first failing
+			// span inclusive — what a sequential scan would have charged
+			// before stopping there.
+			for si := range spans {
+				res.stages = append(res.stages, spanStages[si])
+				if spanErrs[si] != nil {
+					res.err = spanErrs[si]
+					return
+				}
+			}
+
+			fst := stage()
+			res.err = checker.Finish(withCounter(fst))
+			res.stages = append(res.stages, fst)
+		}(mi, m)
+	}
+	wg.Wait()
+
+	// Merge modules in set order, stopping at the first failure — the
+	// sequential contract. Later modules' work is discarded unfolded.
+	for mi, m := range s.modules {
+		res := &results[mi]
+		if ctx.Counter != nil {
+			for _, st := range res.stages {
+				ctx.Counter.Fold(st)
+			}
+		}
+		if res.err != nil {
+			if _, isViolation := AsViolation(res.err); isViolation {
+				return res.err
+			}
+			return fmt.Errorf("module %s: %w", m.Name(), res.err)
+		}
+	}
+	return nil
+}

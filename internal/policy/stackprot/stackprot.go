@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"engarde/internal/policy"
+	"engarde/internal/symtab"
 	"engarde/internal/x86"
 )
 
@@ -57,9 +58,27 @@ func (m *Module) Name() string { return "stack-protector" }
 
 // Check implements policy.Module.
 func (m *Module) Check(ctx *policy.Context) error {
-	funcs := ctx.Symbols.Functions()
+	return policy.RunSharded(ctx, m)
+}
+
+// BeginShards implements policy.Sharded. The check is function-granular:
+// a function (and all its charges) is owned by the span whose address
+// interval contains the function's start, so span cuts never split or
+// double-count a function.
+func (m *Module) BeginShards(ctx *policy.Context) (policy.SpanChecker, error) {
+	return &checker{m: m, funcs: ctx.Symbols.Functions()}, nil
+}
+
+type checker struct {
+	m     *Module
+	funcs []symtab.Entry
+}
+
+// CheckSpan verifies every function owned by the index span [lo, hi).
+func (c *checker) CheckSpan(ctx *policy.Context, lo, hi int) error {
+	m := c.m
 	p := ctx.Program
-	for _, fn := range funcs {
+	for _, fn := range policy.FuncsInSpan(p, c.funcs, lo, hi) {
 		startIdx, ok := p.InstAt(fn.Addr)
 		if !ok {
 			return &policy.Violation{
@@ -85,6 +104,9 @@ func (m *Module) Check(ctx *policy.Context) error {
 	}
 	return nil
 }
+
+// Finish implements policy.SpanChecker; there is no epilogue.
+func (c *checker) Finish(ctx *policy.Context) error { return nil }
 
 // isTrivialThunk reports whether the body is only jumps/nops (IFCC
 // jump-table slots).

@@ -266,11 +266,24 @@ func (s *Session) RecvStream(r io.Reader) ([]byte, error) {
 	if total > maxPayload {
 		return nil, ErrBlockTooLarge
 	}
-	out := make([]byte, 0, total)
+	// The header length is peer-claimed: allocate no more than one block
+	// up front and let append grow with bytes actually received, so a
+	// forged header cannot reserve a gigabyte before the first payload
+	// byte arrives.
+	initial := total
+	if initial > MaxBlock {
+		initial = MaxBlock
+	}
+	out := make([]byte, 0, initial)
 	for uint64(len(out)) < total {
 		blk, err := s.RecvSealed(r)
 		if err != nil {
 			return nil, err
+		}
+		if len(blk) == 0 {
+			// A validly sealed empty block makes no progress; looping on
+			// them would hang the receiver forever.
+			return nil, fmt.Errorf("secchan: empty stream block at offset %d of %d", len(out), total)
 		}
 		out = append(out, blk...)
 	}

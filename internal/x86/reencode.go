@@ -1,0 +1,75 @@
+package x86
+
+import "fmt"
+
+// Encode reconstructs the byte encoding of a decoded instruction from its
+// layout metadata, in canonical form: each active legacy prefix exactly
+// once, in a fixed order, followed by the REX prefix (if any), opcode
+// bytes, ModRM/SIB, displacement and immediates. For input without
+// redundant prefixes Encode(Decode(b)) == b; input carrying duplicate or
+// oddly-ordered prefixes canonicalizes to a shorter equivalent encoding
+// that decodes to the same instruction (modulo Len/NumPrefix/Raw).
+//
+// Encode is the inverse half of the decoder's round-trip property and
+// exists for FuzzDecode; it is not an assembler (see Assembler for that).
+func Encode(in *Inst) ([]byte, error) {
+	if in.NumOpcode < 1 || in.NumOpcode > 3 {
+		return nil, fmt.Errorf("x86: encode: opcode byte count %d out of range", in.NumOpcode)
+	}
+	if in.NumPrefix < 0 || in.NumPrefix+in.NumOpcode > len(in.Raw) {
+		return nil, fmt.Errorf("x86: encode: layout (%d prefix + %d opcode bytes) exceeds %d raw bytes",
+			in.NumPrefix, in.NumOpcode, len(in.Raw))
+	}
+	out := make([]byte, 0, maxInstLen)
+	if in.Lock {
+		out = append(out, 0xF0)
+	}
+	if in.RepF2 {
+		out = append(out, 0xF2)
+	}
+	if in.RepF3 {
+		out = append(out, 0xF3)
+	}
+	if in.OpSize16 {
+		out = append(out, 0x66)
+	}
+	if in.Addr32 {
+		out = append(out, 0x67)
+	}
+	if in.Seg != SegNone {
+		p, ok := segPrefix[in.Seg]
+		if !ok {
+			return nil, fmt.Errorf("x86: encode: unknown segment override %v", in.Seg)
+		}
+		out = append(out, p)
+	}
+	if in.REX != 0 {
+		if in.REX&0xF0 != 0x40 {
+			return nil, fmt.Errorf("x86: encode: REX byte %#02x out of range", in.REX)
+		}
+		out = append(out, in.REX)
+	}
+	out = append(out, in.Raw[in.NumPrefix:in.NumPrefix+in.NumOpcode]...)
+	if in.HasModRM {
+		out = append(out, in.ModRM)
+	}
+	if in.HasSIB {
+		out = append(out, in.SIB)
+	}
+	out = appendLEBytes(out, uint64(in.Disp), in.NumDisp)
+	if in.NumImm == 3 {
+		// ENTER's imm16,imm8 pair (the only 3-byte immediate form).
+		out = appendLEBytes(out, uint64(in.Imm), 2)
+		out = appendLEBytes(out, uint64(in.Imm2), 1)
+	} else {
+		out = appendLEBytes(out, uint64(in.Imm), in.NumImm)
+	}
+	return out, nil
+}
+
+func appendLEBytes(out []byte, v uint64, n int) []byte {
+	for i := 0; i < n; i++ {
+		out = append(out, byte(v>>(8*i)))
+	}
+	return out
+}
