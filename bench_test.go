@@ -415,4 +415,39 @@ func BenchmarkGatewayThroughput(b *testing.B) {
 	b.Run("cache-hit", func(b *testing.B) {
 		run(b, bench.GatewayLoadConfig{Images: coldImages[:1]})
 	})
+	// Byte-distinct images never hit the verdict cache, but they share the
+	// approved musl build, so the function-result cache absorbs most of
+	// each session's policy work after the first.
+	b.Run("fn-warm", func(b *testing.B) {
+		run(b, bench.GatewayLoadConfig{Images: coldImages, CacheEntries: -1,
+			FnCacheEntries: 1 << 16})
+	})
+}
+
+// BenchmarkWarmProvision measures warm-path provisioning: the same image
+// is provisioned fully cold and against a function-result cache warmed by
+// a different image sharing the approved musl build. The cycle metrics are
+// the paper-model policy-phase cost; allocs/op contrasts the two paths'
+// real allocation behaviour.
+func BenchmarkWarmProvision(b *testing.B) {
+	w, err := bench.NewWarmBench(bench.WarmPathConfig{DisasmWorkers: 1, PolicyWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			var pt bench.WarmPathPoint
+			for i := 0; i < b.N; i++ {
+				var err error
+				pt, err = w.Provision(mode == "warm")
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(pt.PolicyCycles), "policy-cycles")
+			b.ReportMetric(float64(pt.CachedFunctions), "fn-reused")
+		})
+	}
 }

@@ -51,9 +51,13 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", gateway.DefaultMaxConcurrent, "maximum enclaves in flight (worker-pool size)")
 		queueDepth    = flag.Int("queue-depth", 0, "connections allowed to wait for a worker (0 = 2x max-concurrent, negative = none)")
 		cacheEntries  = flag.Int("cache-entries", gateway.DefaultCacheEntries, "verdict cache capacity (negative disables caching)")
-		connTimeout   = flag.Duration("conn-timeout", gateway.DefaultConnTimeout, "whole-session deadline per connection (negative disables)")
-		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight sessions")
-		statsAddr     = flag.String("stats-addr", "", "serve the JSON stats snapshot at http://<stats-addr>/statsz (empty disables)")
+
+		fnCacheEntries = flag.Int("fn-cache-entries", 0, "function-result cache capacity shared across tenants (0 = default, negative disables)")
+		fnCachePath    = flag.String("fn-cache-path", "", "persist the function-result cache to this append log so restarts provision warm (empty = in-memory only)")
+
+		connTimeout  = flag.Duration("conn-timeout", gateway.DefaultConnTimeout, "whole-session deadline per connection (negative disables)")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight sessions")
+		statsAddr    = flag.String("stats-addr", "", "serve the JSON stats snapshot at http://<stats-addr>/statsz (empty disables)")
 	)
 	flag.Parse()
 
@@ -63,6 +67,7 @@ func main() {
 		disasmWorkers: *disasmWorkers, policyWorkers: *policyWorkers,
 		maxConcurrent: *maxConcurrent, queueDepth: *queueDepth,
 		cacheEntries: *cacheEntries, connTimeout: *connTimeout,
+		fnCacheEntries: *fnCacheEntries, fnCachePath: *fnCachePath,
 		drainTimeout: *drainTimeout, statsAddr: *statsAddr,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "engarde-gatewayd:", err)
@@ -77,6 +82,8 @@ type config struct {
 
 	disasmWorkers, policyWorkers            int
 	maxConcurrent, queueDepth, cacheEntries int
+	fnCacheEntries                          int
+	fnCachePath                             string
 	connTimeout, drainTimeout               time.Duration
 	statsAddr                               string
 }
@@ -125,17 +132,19 @@ func run(cfg config) error {
 	fmt.Printf("policies: %v\n", pols.Names())
 
 	gw, err := gateway.New(gateway.Config{
-		Provider:      provider,
-		Policies:      pols,
-		HeapPages:     cfg.heapPages,
-		ClientPages:   cfg.clientPages,
-		DisasmWorkers: cfg.disasmWorkers,
-		PolicyWorkers: cfg.policyWorkers,
-		MaxConcurrent: cfg.maxConcurrent,
-		QueueDepth:    cfg.queueDepth,
-		CacheEntries:  cfg.cacheEntries,
-		ConnTimeout:   cfg.connTimeout,
-		Counter:       counter,
+		Provider:       provider,
+		Policies:       pols,
+		HeapPages:      cfg.heapPages,
+		ClientPages:    cfg.clientPages,
+		DisasmWorkers:  cfg.disasmWorkers,
+		PolicyWorkers:  cfg.policyWorkers,
+		MaxConcurrent:  cfg.maxConcurrent,
+		QueueDepth:     cfg.queueDepth,
+		CacheEntries:   cfg.cacheEntries,
+		FnCacheEntries: cfg.fnCacheEntries,
+		FnCachePath:    cfg.fnCachePath,
+		ConnTimeout:    cfg.connTimeout,
+		Counter:        counter,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

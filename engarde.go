@@ -38,6 +38,7 @@ import (
 	"engarde/internal/policy/asan"
 	"engarde/internal/policy/ifcc"
 	"engarde/internal/policy/liblink"
+	"engarde/internal/policy/memo"
 	"engarde/internal/policy/noforbidden"
 	"engarde/internal/policy/stackprot"
 	"engarde/internal/sgx"
@@ -60,7 +61,23 @@ type (
 	Quote = attest.Quote
 	// SGXVersion selects SGX v1/v2 semantics.
 	SGXVersion = sgx.Version
+	// FnCache is the content-addressed function-result cache enabling
+	// warm-path provisioning; share one across enclaves via
+	// EnclaveConfig.FnCache.
+	FnCache = memo.Cache
+	// FnCacheStats is a snapshot of a FnCache's hit/miss/eviction metrics.
+	FnCacheStats = memo.Stats
 )
+
+// OpenFnCache builds a function-result cache: an in-process sharded LRU
+// bounded at entries (0 means the default capacity), optionally backed by
+// a persistent append log at path (empty disables the disk tier). A
+// corrupted or truncated log is not an error — the valid prefix is loaded
+// and the rest discarded, since any lost entry is merely a future cache
+// miss. Call Close to flush the disk tier on shutdown.
+func OpenFnCache(entries int, path string) (*FnCache, error) {
+	return memo.Open(memo.Config{Entries: entries, Path: path})
+}
 
 // SGX instruction-set versions. EnGarde requires V2 for security (§3); V1
 // is provided to demonstrate the attack that motivates the requirement.
@@ -122,6 +139,13 @@ type EnclaveConfig struct {
 	// for any worker count.
 	DisasmWorkers int
 	PolicyWorkers int
+	// FnCache, when non-nil, enables warm-path provisioning: per-function
+	// policy outcomes are memoized in (and reused from) this cache, keyed
+	// by function content digest × module fingerprint. Verdicts are
+	// identical with or without it; Report.CachedFunctions counts the
+	// reuses. Share one cache across enclaves to amortize checking of the
+	// common approved libc.
+	FnCache *FnCache
 }
 
 // Provider is the cloud provider's side: one SGX machine with its quoting
@@ -198,6 +222,7 @@ func (p *Provider) CreateEnclave(cfg EnclaveConfig) (*Enclave, error) {
 		Counter:       p.cfg.Counter,
 		DisasmWorkers: cfg.DisasmWorkers,
 		PolicyWorkers: cfg.PolicyWorkers,
+		FnMemo:        cfg.FnCache,
 	}, p.dev)
 	if err != nil {
 		return nil, err

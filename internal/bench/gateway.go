@@ -82,6 +82,11 @@ type GatewayLoadConfig struct {
 	// CacheEntries configures the verdict cache (gateway semantics:
 	// 0 default, negative disabled).
 	CacheEntries int
+	// FnCacheEntries, when positive, shares a function-result cache of
+	// that capacity across the run's sessions (warm-path provisioning).
+	// 0 or negative leaves it disabled, so load runs isolate whichever
+	// effect they are measuring.
+	FnCacheEntries int
 	// HeapPages/ClientPages size each session's enclave; 0 means 1500/512.
 	HeapPages   int
 	ClientPages int
@@ -125,16 +130,21 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	fnEntries := cfg.FnCacheEntries
+	if fnEntries <= 0 {
+		fnEntries = -1
+	}
 	gw, err := gateway.New(gateway.Config{
-		Provider:      provider,
-		Policies:      cfg.Policies,
-		HeapPages:     cfg.HeapPages,
-		ClientPages:   cfg.ClientPages,
-		DisasmWorkers: cfg.DisasmWorkers,
-		PolicyWorkers: cfg.PolicyWorkers,
-		MaxConcurrent: cfg.MaxConcurrent,
-		CacheEntries:  cfg.CacheEntries,
-		ConnTimeout:   -1, // in-memory pipes; deadlines only add noise
+		Provider:       provider,
+		Policies:       cfg.Policies,
+		HeapPages:      cfg.HeapPages,
+		ClientPages:    cfg.ClientPages,
+		DisasmWorkers:  cfg.DisasmWorkers,
+		PolicyWorkers:  cfg.PolicyWorkers,
+		MaxConcurrent:  cfg.MaxConcurrent,
+		CacheEntries:   cfg.CacheEntries,
+		FnCacheEntries: fnEntries,
+		ConnTimeout:    -1, // in-memory pipes; deadlines only add noise
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,27 @@
+package bench
+
+import "testing"
+
+// TestWarmProvisionSpeedup pins the acceptance bar for the warm path: a
+// second image sharing the approved libc must cut metered policy-phase
+// cycles by at least 5x against the cold run. Workers are pinned to 1 so
+// the span cuts — and with them the metered figures — are reproducible.
+func TestWarmProvisionSpeedup(t *testing.T) {
+	res, err := RunWarmPath(WarmPathConfig{DisasmWorkers: 1, PolicyWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warm.CachedFunctions == 0 {
+		t.Fatal("warm run reused no function outcomes; the cache never engaged")
+	}
+	if res.PolicySpeedup < 5 {
+		t.Fatalf("policy-phase speedup %.2fx (cold %d cycles, warm %d), want >= 5x",
+			res.PolicySpeedup, res.Cold.PolicyCycles, res.Warm.PolicyCycles)
+	}
+	// Disassembly is content-independent of the cache: warm and cold decode
+	// the same image, so those figures must not drift.
+	if res.Warm.DisasmCycles != res.Cold.DisasmCycles || res.Warm.NumInsts != res.Cold.NumInsts {
+		t.Fatalf("warm run changed disassembly: %d cycles/%d insts vs cold %d/%d",
+			res.Warm.DisasmCycles, res.Warm.NumInsts, res.Cold.DisasmCycles, res.Cold.NumInsts)
+	}
+}

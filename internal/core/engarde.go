@@ -33,6 +33,7 @@ import (
 	"engarde/internal/loader"
 	"engarde/internal/nacl"
 	"engarde/internal/policy"
+	"engarde/internal/policy/memo"
 	"engarde/internal/secchan"
 	"engarde/internal/sgx"
 	"engarde/internal/symtab"
@@ -111,6 +112,13 @@ type Config struct {
 	DisasmWorkers int
 	// PolicyWorkers sizes the policy-checking worker pool the same way.
 	PolicyWorkers int
+	// FnMemo, when non-nil, enables warm-path provisioning: per-function
+	// policy outcomes are shared through this content-addressed cache, so
+	// an image whose functions (typically the approved libc) were already
+	// checked — by another enclave or a previous gatewayd run — skips
+	// re-checking them. Verdicts are identical with or without it; only
+	// the metered cost changes. Nil (the default) means cold checking.
+	FnMemo *memo.Cache
 }
 
 func (c *Config) applyDefaults() {
@@ -368,6 +376,11 @@ type Report struct {
 	// policy set, so disassembly and policy evaluation were skipped (the
 	// check is deterministic, making the reuse sound).
 	CacheHit bool
+	// CachedFunctions counts per-function policy outcomes served from the
+	// function-result cache (Config.FnMemo) during this provisioning —
+	// function × module reuses whose revalidation succeeded. Zero when the
+	// cache is disabled or everything was checked cold.
+	CachedFunctions uint64
 }
 
 // reject produces a non-compliant report.
@@ -456,6 +469,7 @@ func (g *EnGarde) provision(image []byte, prior *Report) (*Report, error) {
 
 	var tab *symtab.Table
 	var numInsts int
+	var cachedFuncs uint64
 	if prior == nil {
 		// Symbol hash table; stripped binaries are auto-rejected (§6)
 		// unless boundary recovery is enabled.
@@ -498,11 +512,26 @@ func (g *EnGarde) provision(image []byte, prior *Report) (*Report, error) {
 		// Policy checking (§3, §5).
 		g.dev.SetPhase(cycles.PhasePolicy)
 		pctx := &policy.Context{Program: prog, Symbols: tab, Counter: g.cfg.Counter}
+		if g.cfg.FnMemo != nil && tab != nil && g.cfg.Policies.AnyMemoizable() {
+			// Warm path: one serial fingerprint pass computes every
+			// function's content digest, then the module hit sets are fixed
+			// — both before the parallel fan-out, so the charges land in a
+			// deterministic order and span checkers read without locks.
+			pctx.Memo = memo.NewSession(g.cfg.FnMemo, prog, tab, g.cfg.Counter)
+			g.cfg.Policies.ProbeMemo(pctx)
+		}
 		if err := g.cfg.Policies.CheckParallel(pctx, g.cfg.PolicyWorkers); err != nil {
 			if v, ok := policy.AsViolation(err); ok {
-				return g.reject(err.Error(), v), nil
+				rep := g.reject(err.Error(), v)
+				if pctx.Memo != nil {
+					rep.CachedFunctions = pctx.Memo.Reused()
+				}
+				return rep, nil
 			}
 			return nil, fmt.Errorf("core: policy machinery: %w", err)
+		}
+		if pctx.Memo != nil {
+			cachedFuncs = pctx.Memo.Reused()
 		}
 	} else {
 		// Verdict-cache fast path: the byte-identical image already passed
@@ -540,14 +569,15 @@ func (g *EnGarde) provision(image []byte, prior *Report) (*Report, error) {
 	g.clientSymtab = tab
 
 	return &Report{
-		Compliant: true,
-		NumInsts:  numInsts,
-		HeapBytes: g.heapUsed,
-		ExecPages: res.ExecPages,
-		DataPages: res.DataPages,
-		Entry:     res.Entry,
-		Phases:    g.cfg.Counter.Snapshot(),
-		CacheHit:  prior != nil,
+		Compliant:       true,
+		NumInsts:        numInsts,
+		HeapBytes:       g.heapUsed,
+		ExecPages:       res.ExecPages,
+		DataPages:       res.DataPages,
+		Entry:           res.Entry,
+		Phases:          g.cfg.Counter.Snapshot(),
+		CacheHit:        prior != nil,
+		CachedFunctions: cachedFuncs,
 	}, nil
 }
 

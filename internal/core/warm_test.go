@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"engarde/internal/policy"
+	"engarde/internal/policy/memo"
+)
+
+// provisionWarm provisions image on a fresh enclave sharing the given
+// function-result cache, with the given worker counts.
+func provisionWarm(t *testing.T, image []byte, pols *policy.Set, disasmWorkers, policyWorkers int, cache *memo.Cache) *Report {
+	t.Helper()
+	cfg := testConfig(pols)
+	cfg.DisasmWorkers = disasmWorkers
+	cfg.PolicyWorkers = policyWorkers
+	cfg.FnMemo = cache
+	g, _ := newEnGarde(t, cfg)
+	rep, err := g.Provision(image)
+	if err != nil {
+		t.Fatalf("Provision(disasm=%d, policy=%d, warm): %v", disasmWorkers, policyWorkers, err)
+	}
+	return rep
+}
+
+// TestWarmProvisionMatchesCold is the differential property the warm path
+// rests on: provisioning through a function-result cache — freshly warmed
+// in memory, or replayed from the disk tier after a restart — yields the
+// same verdict, violation, and instruction count as a cold run, for any
+// worker count. Cycle totals are deliberately NOT compared: straddle
+// handling is span-cut-dependent, so warm metering varies with worker
+// count (see EXPERIMENTS.md); only the outcome must be invariant.
+func TestWarmProvisionMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	for _, tc := range diffCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			image := tc.image(t)
+			cold := provisionWith(t, image, tc.makePols(t), 1, 1)
+
+			for _, tier := range []string{"mem", "disk"} {
+				t.Run(tier, func(t *testing.T) {
+					var path string
+					if tier == "disk" {
+						path = filepath.Join(t.TempDir(), "fn.cache")
+					}
+					cache, err := memo.Open(memo.Config{Entries: 1 << 12, Path: path})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer func() { cache.Close() }()
+
+					// Warming pass under randomized seams populates the cache
+					// (passing functions only; violations are never memoized).
+					provisionWarm(t, image, tc.makePols(t), 1+rng.Intn(12), 1+rng.Intn(12), cache)
+
+					if tier == "disk" {
+						// Simulate a gatewayd restart: the warm runs below must
+						// see only what the append log replays.
+						if err := cache.Close(); err != nil {
+							t.Fatal(err)
+						}
+						cache, err = memo.Open(memo.Config{Entries: 1 << 12, Path: path})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if st := cache.Stats(); tc.name == "compliant-full-set" && st.DiskLoaded == 0 {
+							t.Fatal("disk tier replayed nothing for a compliant warming pass")
+						}
+					}
+
+					for i := 0; i < 3; i++ {
+						dw, pw := 1+rng.Intn(12), 1+rng.Intn(12)
+						got := provisionWarm(t, image, tc.makePols(t), dw, pw, cache)
+						if got.Compliant != cold.Compliant || got.Reason != cold.Reason {
+							t.Fatalf("workers (%d,%d): warm verdict (%v, %q), cold (%v, %q)",
+								dw, pw, got.Compliant, got.Reason, cold.Compliant, cold.Reason)
+						}
+						if !reflect.DeepEqual(got.Violation, cold.Violation) {
+							t.Fatalf("workers (%d,%d): warm violation %+v, cold %+v",
+								dw, pw, got.Violation, cold.Violation)
+						}
+						if got.NumInsts != cold.NumInsts {
+							t.Fatalf("workers (%d,%d): warm decoded %d instructions, cold %d",
+								dw, pw, got.NumInsts, cold.NumInsts)
+						}
+						// The compliant image re-provisioned through a warmed
+						// cache must actually reuse outcomes — otherwise this
+						// test passes trivially with the cache inert.
+						if tc.name == "compliant-full-set" && got.CachedFunctions == 0 {
+							t.Fatalf("workers (%d,%d): warm run reused no function outcomes", dw, pw)
+						}
+					}
+				})
+			}
+		})
+	}
+}

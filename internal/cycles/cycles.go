@@ -84,6 +84,13 @@ const (
 	UnitAESByte
 	// UnitRSAOp is one RSA-2048 private/public key operation.
 	UnitRSAOp
+	// UnitMemoKeyByte is one byte fed through SHA-256 while computing a
+	// content-addressed function digest for the memo cache (the fingerprint
+	// pass of internal/policy/memo).
+	UnitMemoKeyByte
+	// UnitMemoProbe is one memo-cache lookup: a per-function probe of the
+	// function-result cache, or a per-call-site digest-table fetch.
+	UnitMemoProbe
 
 	numUnits
 )
@@ -92,6 +99,7 @@ var unitNames = [numUnits]string{
 	"sgx-instr", "decoded-inst", "hashed-byte", "hash-init",
 	"sym-lookup", "scan-inst", "pattern-step", "reloc-entry",
 	"page-map", "segment-map", "copied-byte", "aes-byte", "rsa-op",
+	"memo-key-byte", "memo-probe",
 }
 
 func (u Unit) String() string {
@@ -123,6 +131,11 @@ func DefaultModel() Model {
 	m[UnitCopiedByte] = 0
 	m[UnitAESByte] = 4
 	m[UnitRSAOp] = 2_000_000
+	// Memo-cache units: digest bytes cost the same as policy-module SHA-256
+	// bytes (the work is identical); a probe is priced like a slightly
+	// heavier hash-table lookup (bucket walk + 64-byte key compare).
+	m[UnitMemoKeyByte] = 30
+	m[UnitMemoProbe] = 120
 	return m
 }
 

@@ -20,10 +20,11 @@ type cacheKey struct {
 
 // verdictCache is a bounded LRU of provisioning reports.
 type verdictCache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[cacheKey]*list.Element
-	order   *list.List // front = most recently used
+	mu        sync.Mutex
+	max       int
+	entries   map[cacheKey]*list.Element
+	order     *list.List // front = most recently used
+	evictions uint64     // verdicts dropped at capacity
 }
 
 type cacheEntry struct {
@@ -70,6 +71,7 @@ func (c *verdictCache) put(key cacheKey, rep *engarde.Report) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 }
 
@@ -78,4 +80,11 @@ func (c *verdictCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// evicted returns how many verdicts capacity pressure has dropped.
+func (c *verdictCache) evicted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }

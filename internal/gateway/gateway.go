@@ -77,6 +77,17 @@ type Config struct {
 	// CacheEntries bounds the verdict cache. 0 means DefaultCacheEntries;
 	// negative disables caching.
 	CacheEntries int
+	// FnCacheEntries bounds the function-result cache shared by every
+	// enclave the gateway creates (warm-path provisioning: per-function
+	// policy outcomes keyed by content digest × module fingerprint, so a
+	// second tenant image sharing the approved libc skips re-checking it).
+	// 0 means the memo package's default capacity; negative disables the
+	// cache entirely.
+	FnCacheEntries int
+	// FnCachePath, when non-empty, backs the function-result cache with a
+	// persistent append log so restarts provision warm. Ignored when
+	// FnCacheEntries is negative.
+	FnCachePath string
 
 	// Counter receives per-phase cycle charges from every enclave and
 	// feeds the stats endpoint. If nil, the Provider's counter is used;
@@ -99,7 +110,8 @@ type Gateway struct {
 	cfg      Config
 	counter  *cycles.Counter
 	policyFP [sha256.Size]byte
-	cache    *verdictCache // nil when disabled
+	cache    *verdictCache    // nil when disabled
+	fnCache  *engarde.FnCache // shared across enclaves; nil when disabled
 	stats    counters
 
 	queue    chan net.Conn
@@ -158,6 +170,13 @@ func New(cfg Config) (*Gateway, error) {
 		g.cache = newVerdictCache(DefaultCacheEntries)
 	default:
 		g.cache = newVerdictCache(cfg.CacheEntries)
+	}
+	if cfg.FnCacheEntries >= 0 {
+		fc, err := engarde.OpenFnCache(cfg.FnCacheEntries, cfg.FnCachePath)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: opening function-result cache: %w", err)
+		}
+		g.fnCache = fc
 	}
 	g.workerWG.Add(cfg.MaxConcurrent)
 	for i := 0; i < cfg.MaxConcurrent; i++ {
@@ -269,6 +288,7 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		g.closeFnCache()
 		return nil
 	case <-ctx.Done():
 		// Force-close in-flight sessions and discard anything still queued;
@@ -289,7 +309,20 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 			break
 		}
 		<-done
+		g.closeFnCache()
 		return ctx.Err()
+	}
+}
+
+// closeFnCache flushes the function-result cache's disk tier once every
+// worker has drained (Cache.Close is idempotent, so repeated Shutdown
+// calls are harmless).
+func (g *Gateway) closeFnCache() {
+	if g.fnCache == nil {
+		return
+	}
+	if err := g.fnCache.Close(); err != nil {
+		g.logf("gateway: closing function-result cache: %v", err)
 	}
 }
 
@@ -347,6 +380,7 @@ func (g *Gateway) handle(conn net.Conn) {
 		ClientPages:   g.cfg.ClientPages,
 		DisasmWorkers: g.cfg.DisasmWorkers,
 		PolicyWorkers: g.cfg.PolicyWorkers,
+		FnCache:       g.fnCache,
 	})
 	if err != nil {
 		g.stats.errs.Add(1)

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"engarde"
 )
 
 // counters holds the gateway's hot-path metrics. All fields are atomic so
@@ -114,10 +116,15 @@ type Stats struct {
 	Errors       uint64 `json:"errors"` // protocol/machinery failures
 
 	// Verdict cache.
-	CacheHits    uint64  `json:"cache_hits"`
-	CacheMisses  uint64  `json:"cache_misses"`
-	CacheHitRate float64 `json:"cache_hit_rate"` // hits / (hits+misses)
-	CacheEntries int     `json:"cache_entries"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"` // hits / (hits+misses)
+	CacheEntries   int     `json:"cache_entries"`
+	CacheEvictions uint64  `json:"cache_evictions"` // verdicts dropped at capacity
+
+	// Function-result cache (warm-path provisioning). Nil when disabled.
+	FnCache        *engarde.FnCacheStats `json:"fn_cache,omitempty"`
+	FnCacheHitRate float64               `json:"fn_cache_hit_rate,omitempty"` // hits / (hits+misses)
 
 	// Cycle-model totals across all enclaves (empty without a Counter).
 	PhaseCycles map[string]uint64 `json:"phase_cycles,omitempty"`
@@ -147,6 +154,14 @@ func (g *Gateway) Stats() Stats {
 	}
 	if g.cache != nil {
 		s.CacheEntries = g.cache.len()
+		s.CacheEvictions = g.cache.evicted()
+	}
+	if g.fnCache != nil {
+		fc := g.fnCache.Stats()
+		s.FnCache = &fc
+		if lookups := fc.Hits + fc.Misses; lookups > 0 {
+			s.FnCacheHitRate = float64(fc.Hits) / float64(lookups)
+		}
 	}
 	if g.counter != nil {
 		s.PhaseCycles = g.counter.SnapshotNamed()

@@ -33,8 +33,8 @@ func fuzzValidateSeeds() [][]byte {
 	}
 
 	seeds = append(seeds,
-		[]byte{0xC3},             // minimal accept
-		[]byte{0x90, 0x90, 0xC3}, // NOP padding
+		[]byte{0xC3},                               // minimal accept
+		[]byte{0x90, 0x90, 0xC3},                   // NOP padding
 		[]byte{0xE9, 0xFB, 0xFF, 0xFF, 0xFF},       // jmp self
 		[]byte{0xE9, 0x01, 0x00, 0x00, 0x00, 0xC3}, // jmp into immediate
 		[]byte{0xC3, 0x06, 0x07},                   // undecodable tail

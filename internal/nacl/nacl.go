@@ -182,6 +182,17 @@ type chunkDecode struct {
 	errOff int   // offset of the failure
 }
 
+// chunkInstPool recycles the per-chunk speculative decode buffers across
+// provisioning sessions. Safe because seam reconciliation copies adopted
+// instruction values into the merged slice — no chunk backing array
+// outlives decodeSharded.
+var chunkInstPool = sync.Pool{
+	New: func() any {
+		s := make([]x86.Inst, 0, 1024)
+		return &s
+	},
+}
+
 // decodeSharded decodes code into its instruction sequence. With one
 // worker it is the plain sequential loop; with more, chunks are decoded
 // speculatively in parallel and reconciled in address order.
@@ -193,6 +204,15 @@ func decodeSharded(code []byte, base uint64, workers int) ([]x86.Inst, error) {
 	chunkSize := (len(code) + workers - 1) / workers
 	numChunks := (len(code) + chunkSize - 1) / chunkSize
 	chunks := make([]chunkDecode, numChunks)
+	defer func() {
+		for k := range chunks {
+			if chunks[k].insts == nil {
+				continue
+			}
+			s := chunks[k].insts[:0]
+			chunkInstPool.Put(&s)
+		}
+	}()
 	var wg sync.WaitGroup
 	for k := 0; k < numChunks; k++ {
 		wg.Add(1)
@@ -204,6 +224,7 @@ func decodeSharded(code []byte, base uint64, workers int) ([]x86.Inst, error) {
 				end = len(code)
 			}
 			c := &chunks[k]
+			c.insts = (*chunkInstPool.Get().(*[]x86.Inst))[:0]
 			off := start
 			for off < end {
 				addr := base + uint64(off)
@@ -227,7 +248,15 @@ func decodeSharded(code []byte, base uint64, workers int) ([]x86.Inst, error) {
 	// pass would produce); otherwise a single instruction is re-decoded
 	// serially and the test repeats. Chunk 0 always starts aligned, so the
 	// prefix is adopted immediately.
-	var insts []x86.Inst
+	//
+	// The merged slice is presized from the speculative totals: the true
+	// sequence has at most a handful more instructions than the chunks'
+	// sum (seam re-decodes), so one allocation nearly always suffices.
+	var est int
+	for k := range chunks {
+		est += len(chunks[k].insts)
+	}
+	insts := make([]x86.Inst, 0, est)
 	pos := 0
 	for pos < len(code) {
 		c := &chunks[pos/chunkSize]
@@ -262,7 +291,9 @@ func seekChunk(c *chunkDecode, addr uint64) (int, bool) {
 
 // decodeRange is the sequential decode loop over code[start:end).
 func decodeRange(code []byte, base uint64, start, end int) ([]x86.Inst, error) {
-	var insts []x86.Inst
+	// Synthetic-toolchain instructions average ~4 bytes, so this presize
+	// usually avoids every append regrow.
+	insts := make([]x86.Inst, 0, (end-start)/4+1)
 	off := start
 	for off < end {
 		addr := base + uint64(off)

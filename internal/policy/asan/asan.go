@@ -23,6 +23,7 @@ package asan
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -76,16 +77,33 @@ func (m *Module) Check(ctx *policy.Context) error {
 	return policy.RunSharded(ctx, m)
 }
 
+// memoVersion tags the revalidation-payload format: deduplicated signed
+// varints of (report-call target − function address). Bump on any change
+// to the encoding or its interpretation.
+const memoVersion = "asan/1"
+
+// MemoFingerprint implements policy.Memoizable.
+func (m *Module) MemoFingerprint() [sha256.Size]byte {
+	return policy.MemoKeyFP(m, memoVersion)
+}
+
 // BeginShards implements policy.Sharded. Like stackprot, the check is
 // function-granular: each function is owned by the span whose address
 // interval contains its start.
 func (m *Module) BeginShards(ctx *policy.Context) (policy.SpanChecker, error) {
-	return &checker{m: m, funcs: ctx.Symbols.Functions()}, nil
+	c := &checker{m: m, funcs: ctx.Symbols.Functions()}
+	if ctx.Memo != nil {
+		c.memo = true
+		c.fp = m.MemoFingerprint()
+	}
+	return c, nil
 }
 
 type checker struct {
 	m     *Module
 	funcs []symtab.Entry
+	memo  bool
+	fp    [sha256.Size]byte
 }
 
 // CheckSpan verifies every function owned by the index span [lo, hi).
@@ -107,18 +125,27 @@ func (c *checker) CheckSpan(ctx *policy.Context, lo, hi int) error {
 				end = ni
 			}
 		}
-		for i := start; i < end; i++ {
-			ctx.ChargeScan(1)
-			in := &p.Insts[i]
-			slot, ok := frameStore(in)
-			if !ok || slot == 0 {
-				// Not a frame store, or the canary slot (exempt).
+		if c.memo {
+			// Memo path, guarded on the digest span agreeing with this
+			// module's function boundary (otherwise the memoized bytes are
+			// not the bytes inspected here).
+			if sp, ok := ctx.Memo.Span(fn.Addr); ok && sp.StartIdx == start && sp.EndIdx == end {
+				if payload, hit := ctx.Memo.Hit(c.fp, fn.Addr); hit && m.revalidate(ctx, payload, fn.Addr) {
+					ctx.Memo.CountReuse(1)
+					continue
+				}
+				payload, eligible, err := m.checkFunction(ctx, start, end)
+				if err != nil {
+					return err
+				}
+				if eligible {
+					ctx.Memo.Record(c.fp, fn.Addr, payload)
+				}
 				continue
 			}
-			ctx.ChargePattern(2)
-			if err := m.checkGuard(ctx, i, slot); err != nil {
-				return err
-			}
+		}
+		if _, _, err := m.checkFunction(ctx, start, end); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -127,9 +154,72 @@ func (c *checker) CheckSpan(ctx *policy.Context, lo, hi int) error {
 // Finish implements policy.SpanChecker; there is no epilogue.
 func (c *checker) Finish(ctx *policy.Context) error { return nil }
 
+// checkFunction scans one function's instructions [start, end) for guarded
+// frame stores. On pass it returns the memo payload (function-relative
+// report-call targets, deduplicated) and whether the outcome is memoizable
+// — a guard chain that reads instructions below the function start depends
+// on bytes the function digest does not pin, so it is not.
+func (m *Module) checkFunction(ctx *policy.Context, start, end int) (payload []byte, eligible bool, err error) {
+	p := ctx.Program
+	fnAddr := p.Insts[start].Addr
+	eligible = true
+	var seen map[int64]bool
+	for i := start; i < end; i++ {
+		ctx.ChargeScan(1)
+		in := &p.Insts[i]
+		slot, ok := frameStore(in)
+		if !ok || slot == 0 {
+			// Not a frame store, or the canary slot (exempt).
+			continue
+		}
+		ctx.ChargePattern(2)
+		tgt, minIdx, err := m.checkGuard(ctx, i, slot)
+		if err != nil {
+			return nil, false, err
+		}
+		if minIdx < start {
+			eligible = false
+			continue
+		}
+		rel := int64(tgt) - int64(fnAddr)
+		if !seen[rel] {
+			if seen == nil {
+				seen = make(map[int64]bool)
+			}
+			seen[rel] = true
+			payload = binary.AppendVarint(payload, rel)
+		}
+	}
+	if !eligible {
+		return nil, false, nil
+	}
+	return payload, true, nil
+}
+
+// revalidate checks a memoized function's cross-function conditions: every
+// report-call target in the payload must still resolve to __asan_report in
+// *this* image's symbol table. An empty payload (no guarded stores) is a
+// pure function of the digest-pinned bytes.
+func (m *Module) revalidate(ctx *policy.Context, payload []byte, fnAddr uint64) bool {
+	for len(payload) > 0 {
+		rel, n := binary.Varint(payload)
+		if n <= 0 {
+			return false
+		}
+		payload = payload[n:]
+		ctx.ChargeLookup(1)
+		if name, ok := ctx.Symbols.NameAt(fnAddr + uint64(rel)); !ok || name != ReportFunc {
+			return false
+		}
+	}
+	return true
+}
+
 // checkGuard validates the shadow-check chain preceding the store at
-// index si.
-func (m *Module) checkGuard(ctx *policy.Context, si int, slot int64) error {
+// index si. On success it returns the report call's target and the lowest
+// instruction index the backward walk visited (the chain's head), which
+// decides memo eligibility.
+func (m *Module) checkGuard(ctx *policy.Context, si int, slot int64) (reportTgt uint64, minIdx int, err error) {
 	p := ctx.Program
 	store := &p.Insts[si]
 	prev := func(i int) int {
@@ -140,8 +230,8 @@ func (m *Module) checkGuard(ctx *policy.Context, si int, slot int64) error {
 		}
 		return i
 	}
-	fail := func(step string) error {
-		return &policy.Violation{
+	fail := func(step string) (uint64, int, error) {
+		return 0, 0, &policy.Violation{
 			Module: m.Name(), Addr: store.Addr,
 			Reason: fmt.Sprintf("store to %d(%%rsp) lacks sanitizer guard (%s)", slot, step),
 		}
@@ -231,7 +321,9 @@ func (m *Module) checkGuard(ctx *policy.Context, si int, slot int64) error {
 	if leaMem.Base != x86.RegSP || leaMem.Disp != slot {
 		return fail("guard checks a different address than the store")
 	}
-	return nil
+	// The walk descends monotonically, so the address computation at le is
+	// the lowest index visited.
+	return tgt, le, nil
 }
 
 // frameStore matches "mov REG, disp(%rsp)" and returns the slot.

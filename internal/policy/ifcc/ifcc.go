@@ -21,6 +21,8 @@
 package ifcc
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"strings"
 
@@ -55,6 +57,16 @@ func (m *Module) Check(ctx *policy.Context) error {
 	return policy.RunSharded(ctx, m)
 }
 
+// memoVersion tags the revalidation-payload format: empty for a function
+// with no indirect calls, else uvarint(mask) + signed-varint(table base −
+// function address). Bump on any change to the encoding.
+const memoVersion = "ifcc/1"
+
+// MemoFingerprint implements policy.Memoizable.
+func (m *Module) MemoFingerprint() [sha256.Size]byte {
+	return policy.MemoKeyFP(m, memoVersion)
+}
+
 // BeginShards implements policy.Sharded: jump-table discovery is the
 // serial prologue (it can itself report a Violation); call sites are
 // owned by the span containing the call instruction. The backwards guard
@@ -65,19 +77,37 @@ func (m *Module) BeginShards(ctx *policy.Context) (policy.SpanChecker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &checker{m: m, tbl: tbl}, nil
+	c := &checker{m: m, tbl: tbl}
+	if ctx.Memo != nil {
+		c.memo = true
+		c.fp = m.MemoFingerprint()
+	}
+	return c, nil
 }
 
 type checker struct {
-	m   *Module
-	tbl *table
+	m    *Module
+	tbl  *table
+	memo bool
+	fp   [sha256.Size]byte
 }
 
 // CheckSpan scans instructions [lo, hi) for indirect calls and verifies
 // the IFCC guard sequence before each.
 func (c *checker) CheckSpan(ctx *policy.Context, lo, hi int) error {
+	if c.memo {
+		return c.checkSpanMemo(ctx, lo, hi)
+	}
+	_, err := c.scanRange(ctx, lo, hi)
+	return err
+}
+
+// scanRange is the per-instruction scan over [lo, hi); it returns the
+// number of indirect call sites verified.
+func (c *checker) scanRange(ctx *policy.Context, lo, hi int) (int, error) {
 	m := c.m
 	p := ctx.Program
+	sites := 0
 	for i := lo; i < hi; i++ {
 		// Visiting an instruction means inspecting its opcode and both
 		// operand slots for the indirect-call shape.
@@ -88,16 +118,94 @@ func (c *checker) CheckSpan(ctx *policy.Context, lo, hi int) error {
 			continue
 		}
 		if c.tbl == nil {
-			return &policy.Violation{
+			return sites, &policy.Violation{
 				Module: m.Name(), Addr: in.Addr,
 				Reason: "indirect call present but the binary has no IFCC jump table",
 			}
 		}
 		if err := m.checkCallSite(ctx, i, c.tbl); err != nil {
+			return sites, err
+		}
+		sites++
+	}
+	return sites, nil
+}
+
+// checkSpanMemo walks [lo, hi) function by function via the digest table.
+// A whole function with a revalidated hit is skipped; a miss is scanned in
+// full and recorded. Instructions outside any digest span (the prefix gap,
+// padding) and functions straddling a span cut are scanned cold.
+func (c *checker) checkSpanMemo(ctx *policy.Context, lo, hi int) error {
+	i := lo
+	for i < hi {
+		sp, ok := ctx.Memo.SpanContaining(i)
+		if !ok {
+			if _, err := c.scanRange(ctx, i, i+1); err != nil {
+				return err
+			}
+			i++
+			continue
+		}
+		segEnd := sp.EndIdx
+		if segEnd > hi {
+			segEnd = hi
+		}
+		if sp.StartIdx < lo || sp.EndIdx > hi {
+			// Straddles the span cut: each touching span scans its part
+			// cold, so no span depends on another's progress.
+			if _, err := c.scanRange(ctx, i, segEnd); err != nil {
+				return err
+			}
+			i = segEnd
+			continue
+		}
+		if payload, hit := ctx.Memo.Hit(c.fp, sp.Addr); hit && c.revalidate(ctx, payload, sp.Addr) {
+			ctx.Memo.CountReuse(1)
+			i = segEnd
+			continue
+		}
+		sites, err := c.scanRange(ctx, sp.StartIdx, sp.EndIdx)
+		if err != nil {
 			return err
 		}
+		ctx.Memo.Record(c.fp, sp.Addr, c.payload(sites, sp.Addr))
+		i = segEnd
 	}
 	return nil
+}
+
+// payload encodes the memo payload for a function that passed the scan
+// with the given number of indirect call sites. Every passing site carried
+// mask == size−slotSize and base == tbl.base, so one (mask, base-rel) pair
+// pins all of them.
+func (c *checker) payload(sites int, fnAddr uint64) []byte {
+	if sites == 0 {
+		return nil
+	}
+	b := binary.AppendUvarint(nil, c.tbl.size-slotSize)
+	return binary.AppendVarint(b, int64(c.tbl.base)-int64(fnAddr))
+}
+
+// revalidate checks a memoized function against *this* image's jump
+// table: the mask its sites carry must match the table size and the
+// RIP-relative base its sites load must land on the table.
+func (c *checker) revalidate(ctx *policy.Context, payload []byte, fnAddr uint64) bool {
+	if len(payload) == 0 {
+		return true // no indirect calls in the digest-pinned bytes
+	}
+	ctx.ChargePattern(2)
+	if c.tbl == nil {
+		return false
+	}
+	mask, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return false
+	}
+	rel, n2 := binary.Varint(payload[n:])
+	if n2 <= 0 || n+n2 != len(payload) {
+		return false
+	}
+	return mask == c.tbl.size-slotSize && fnAddr+uint64(rel) == c.tbl.base
 }
 
 // Finish implements policy.SpanChecker; there is no epilogue.

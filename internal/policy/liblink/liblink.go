@@ -72,6 +72,14 @@ func (m *Module) Check(ctx *policy.Context) error {
 	return policy.RunSharded(ctx, m)
 }
 
+// UsesDigestTable implements policy.DigestTableUser. The module does not
+// memoize call-site verdicts across images (they depend on the resolved
+// callee, not only the caller's bytes), but when a memo session is active
+// its per-site hash is exactly the content digest the session's
+// fingerprint pass already computed, so each site costs one digest-table
+// fetch instead of a full re-hash — the paper's dominant Figure 3 cost.
+func (m *Module) UsesDigestTable() {}
+
 // BeginShards implements policy.Sharded. Call sites are owned by the span
 // containing the call instruction; the library-use tally is accumulated
 // atomically and judged once in Finish.
@@ -114,11 +122,18 @@ func (c *checker) CheckSpan(ctx *policy.Context, lo, hi int) error {
 		// SHA-256 hash of all the instructions of the function"). Only
 		// names present in the database carry an expectation; the rest
 		// are application-internal functions.
-		got, n, err := m.hashFunction(ctx, target)
-		if err != nil {
-			return err
+		var got [sha256.Size]byte
+		if d, ok := digestFor(ctx, target); ok {
+			got = d
+		} else {
+			var n uint64
+			var err error
+			got, n, err = m.hashFunction(ctx, target)
+			if err != nil {
+				return err
+			}
+			ctx.ChargeHash(n)
 		}
-		ctx.ChargeHash(n)
 		want, inDB := m.db[name]
 		if !inDB {
 			continue
@@ -144,6 +159,23 @@ func (c *checker) Finish(ctx *policy.Context) error {
 		}
 	}
 	return nil
+}
+
+// digestFor fetches the target function's content digest from the memo
+// session's table when one is active. The table is computed with exactly
+// hashFunction's boundary rule, so the digest equals what hashFunction
+// would return; one probe replaces the whole per-site walk. Targets the
+// fingerprint pass skipped (non-boundary starts, non-symbol targets) miss
+// and take the cold path, which reports the precise violation.
+func digestFor(ctx *policy.Context, addr uint64) ([sha256.Size]byte, bool) {
+	if ctx.Memo == nil {
+		return [sha256.Size]byte{}, false
+	}
+	d, ok := ctx.Memo.Digest(addr)
+	if ok {
+		ctx.ChargeMemoProbe(1)
+	}
+	return d, ok
 }
 
 // hashFunction hashes the instructions of the function starting at addr,

@@ -1,0 +1,192 @@
+// The disk tier: a length-prefixed append log of (key, payload) records so
+// a restarted gatewayd starts with a warm function-result cache. The format
+// is deliberately dumb — append-only, one record per Put, per-record CRC —
+// because the cache tolerates loss: any record that fails to load is simply
+// a future cache miss, never a wrong verdict.
+//
+//	file   := magic record*
+//	magic  := "EGFM\x00\x00\x00\x01"            (8 bytes)
+//	record := len(u32 BE) body crc32(u32 BE)    (crc = IEEE over body)
+//	body   := key.Fn(32) key.Module(32) payload
+//
+// Loading stops at the first short read, oversized length or CRC mismatch;
+// the file is truncated back to the last good record so subsequent appends
+// stay readable after a crash mid-write.
+
+package memo
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// diskMagic identifies (and versions) the cache-file format.
+var diskMagic = [8]byte{'E', 'G', 'F', 'M', 0, 0, 0, 1}
+
+// maxRecordBody bounds one record's body; payloads are tens of bytes, so
+// anything near this is corruption, not data.
+const maxRecordBody = 1 << 16
+
+const keyBytes = 64 // Fn(32) + Module(32)
+
+// openDiskTier opens (creating if absent) the log at path, replays every
+// valid record through emit, truncates trailing garbage, and leaves the
+// file positioned for appends. loaded/dropped report replayed records and
+// discarded trailing bytes.
+func openDiskTier(path string, emit func(Key, []byte)) (*diskTier, uint64, uint64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("memo: opening cache file: %w", err)
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, 0, 0, fmt.Errorf("memo: sizing cache file: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, 0, fmt.Errorf("memo: rewinding cache file: %w", err)
+	}
+
+	var loaded uint64
+	good := int64(len(diskMagic))
+	if size == 0 {
+		// Fresh file: write the header.
+		if _, err := f.Write(diskMagic[:]); err != nil {
+			f.Close()
+			return nil, 0, 0, fmt.Errorf("memo: writing cache header: %w", err)
+		}
+	} else {
+		loaded, good = loadRecords(bufio.NewReader(f), emit)
+		if good == 0 {
+			// Bad or missing magic: the whole file is garbage. Start over.
+			if err := f.Truncate(0); err != nil {
+				f.Close()
+				return nil, 0, 0, fmt.Errorf("memo: resetting cache file: %w", err)
+			}
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				f.Close()
+				return nil, 0, 0, err
+			}
+			if _, err := f.Write(diskMagic[:]); err != nil {
+				f.Close()
+				return nil, 0, 0, fmt.Errorf("memo: rewriting cache header: %w", err)
+			}
+			good = int64(len(diskMagic))
+		}
+	}
+	dropped := uint64(0)
+	if size > good {
+		dropped = uint64(size - good)
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, 0, 0, fmt.Errorf("memo: truncating corrupt tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	return &diskTier{f: f}, loaded, dropped, nil
+}
+
+// loadRecords replays records from r, calling emit for each valid one. It
+// returns the record count and the byte offset just past the last valid
+// record — 0 if even the magic is wrong.
+func loadRecords(r io.Reader, emit func(Key, []byte)) (loaded uint64, good int64) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != diskMagic {
+		return 0, 0
+	}
+	good = int64(len(diskMagic))
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return loaded, good // clean EOF or truncated length prefix
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n < keyBytes || n > maxRecordBody {
+			return loaded, good // corrupt length
+		}
+		body := make([]byte, n+4) // body + crc
+		if _, err := io.ReadFull(r, body); err != nil {
+			return loaded, good // truncated record
+		}
+		crc := binary.BigEndian.Uint32(body[n:])
+		body = body[:n]
+		if crc32.ChecksumIEEE(body) != crc {
+			return loaded, good // corrupt body
+		}
+		var k Key
+		copy(k.Fn[:], body[:32])
+		copy(k.Module[:], body[32:64])
+		payload := append([]byte(nil), body[keyBytes:]...)
+		emit(k, payload)
+		loaded++
+		good += 4 + int64(n) + 4
+	}
+}
+
+// LoadCacheRecords replays the serialized cache-file bytes in data through
+// emit, exactly as Open does from disk. It exists for the fuzz target over
+// the decoder and for tests; corruption is tolerated identically.
+func LoadCacheRecords(data []byte, emit func(Key, []byte)) (loaded uint64, good int64) {
+	return loadRecords(bytes.NewReader(data), emit)
+}
+
+// AppendRecord serializes one record in the on-disk format (tests and the
+// fuzz seed corpus).
+func AppendRecord(dst []byte, k Key, payload []byte) []byte {
+	n := keyBytes + len(payload)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(n))
+	dst = append(dst, hdr[:]...)
+	bodyStart := len(dst)
+	dst = append(dst, k.Fn[:]...)
+	dst = append(dst, k.Module[:]...)
+	dst = append(dst, payload...)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(dst[bodyStart:]))
+	return append(dst, crc[:]...)
+}
+
+// diskTier is the open append log. Appends are serialized by a mutex; a
+// failed append disables the tier (the in-memory cache keeps working).
+type diskTier struct {
+	mu     sync.Mutex
+	f      *os.File
+	broken bool
+}
+
+func (d *diskTier) append(k Key, payload []byte) {
+	if len(payload) > maxRecordBody-keyBytes {
+		return // never write a record the loader would refuse
+	}
+	rec := AppendRecord(nil, k, payload)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.broken || d.f == nil {
+		return
+	}
+	if _, err := d.f.Write(rec); err != nil {
+		// Disk trouble must not affect verdicts; stop persisting.
+		d.broken = true
+	}
+}
+
+func (d *diskTier) close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return nil
+	}
+	err := d.f.Close()
+	d.f = nil
+	return err
+}

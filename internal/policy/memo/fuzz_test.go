@@ -1,0 +1,93 @@
+package memo
+
+import (
+	"crypto/sha256"
+	"os"
+	"testing"
+)
+
+// FuzzLoadCacheFile drives the disk-tier decoder over arbitrary bytes. The
+// decoder sits on the warm-restart path of gatewayd, reading a file that
+// may have been truncated by a crash or corrupted on disk, so it must
+// never panic, never emit a record whose checksum did not verify, and
+// always report a good-prefix offset that round-trips: re-decoding the
+// good prefix must yield the same records, and appending to it must parse.
+func FuzzLoadCacheFile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("garbage, not a cache file"))
+	f.Add(diskMagic[:])
+	valid := append([]byte(nil), diskMagic[:]...)
+	var k Key
+	k.Fn = sha256.Sum256([]byte("fn"))
+	k.Module = sha256.Sum256([]byte("mod"))
+	valid = AppendRecord(valid, k, []byte("payload"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])        // truncated mid-record
+	f.Add(append(valid, 0, 0, 0, 200)) // trailing garbage length
+	f.Add(append(valid, valid[8:]...)) // two records
+	f.Add(append(valid, 0xFF, 0xFF))   // huge length prefix
+	mangled := append([]byte(nil), valid...)
+	mangled[len(mangled)-1] ^= 0x01 // bad CRC
+	f.Add(mangled)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type rec struct {
+			k       Key
+			payload string
+		}
+		var got []rec
+		loaded, good := LoadCacheRecords(data, func(k Key, payload []byte) {
+			got = append(got, rec{k, string(payload)})
+		})
+		if loaded != uint64(len(got)) {
+			t.Fatalf("loaded = %d but emitted %d records", loaded, len(got))
+		}
+		if good < 0 || good > int64(len(data)) {
+			t.Fatalf("good prefix %d out of range [0, %d]", good, len(data))
+		}
+		if loaded > 0 && good < int64(len(diskMagic)) {
+			t.Fatalf("emitted %d records but good prefix %d excludes the magic", loaded, good)
+		}
+
+		// Determinism over the good prefix: decoding it again yields the
+		// identical record sequence and consumes the whole prefix.
+		var again []rec
+		loaded2, good2 := LoadCacheRecords(data[:good], func(k Key, payload []byte) {
+			again = append(again, rec{k, string(payload)})
+		})
+		if loaded2 != loaded || good2 != good {
+			t.Fatalf("good prefix re-decode: loaded %d/%d, good %d/%d", loaded2, loaded, good2, good)
+		}
+		for i := range got {
+			if got[i] != again[i] {
+				t.Fatalf("record %d differs on re-decode", i)
+			}
+		}
+
+		// Appendability: a record appended at the good prefix must parse,
+		// which is what the runtime relies on after truncating a damaged
+		// log back to its good prefix.
+		if good >= int64(len(diskMagic)) {
+			var k Key
+			k.Fn = sha256.Sum256(data)
+			k.Module = sha256.Sum256([]byte("appended"))
+			ext := AppendRecord(append([]byte(nil), data[:good]...), k, []byte("tail"))
+			extLoaded, extGood := LoadCacheRecords(ext, func(Key, []byte) {})
+			if extLoaded != loaded+1 || extGood != int64(len(ext)) {
+				t.Fatalf("append after good prefix: loaded %d (want %d), good %d (want %d)",
+					extLoaded, loaded+1, extGood, len(ext))
+			}
+		}
+
+		// The full Open path must accept whatever bytes are on disk.
+		path := t.TempDir() + "/fuzz.cache"
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip(err)
+		}
+		c, err := Open(Config{Entries: 32, Path: path})
+		if err != nil {
+			t.Fatalf("Open on fuzzed file: %v", err)
+		}
+		c.Close()
+	})
+}

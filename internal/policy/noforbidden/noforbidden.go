@@ -75,16 +75,42 @@ func (m *Module) Check(ctx *policy.Context) error {
 	return policy.RunSharded(ctx, m)
 }
 
-// BeginShards implements policy.Sharded; the scan has no prologue.
-func (m *Module) BeginShards(ctx *policy.Context) (policy.SpanChecker, error) {
-	return (*checker)(m), nil
+// memoVersion tags the (empty) revalidation-payload format. The verdict is
+// a pure function of the digest-pinned bytes, so hits need no payload.
+const memoVersion = "noforbidden/1"
+
+// MemoFingerprint implements policy.Memoizable.
+func (m *Module) MemoFingerprint() [sha256.Size]byte {
+	return policy.MemoKeyFP(m, memoVersion)
 }
 
-type checker Module
+// BeginShards implements policy.Sharded; the scan has no prologue.
+func (m *Module) BeginShards(ctx *policy.Context) (policy.SpanChecker, error) {
+	c := &checker{m: m}
+	if ctx.Memo != nil {
+		c.memo = true
+		c.fp = m.MemoFingerprint()
+	}
+	return c, nil
+}
+
+type checker struct {
+	m    *Module
+	memo bool
+	fp   [sha256.Size]byte
+}
 
 // CheckSpan scans instructions [lo, hi) against the deny list.
 func (c *checker) CheckSpan(ctx *policy.Context, lo, hi int) error {
-	m := (*Module)(c)
+	if c.memo {
+		return c.checkSpanMemo(ctx, lo, hi)
+	}
+	return c.scanRange(ctx, lo, hi)
+}
+
+// scanRange is the per-instruction deny-list scan over [lo, hi).
+func (c *checker) scanRange(ctx *policy.Context, lo, hi int) error {
+	m := c.m
 	p := ctx.Program
 	for i := lo; i < hi; i++ {
 		ctx.ChargeScan(1)
@@ -96,6 +122,46 @@ func (c *checker) CheckSpan(ctx *policy.Context, lo, hi int) error {
 				Reason: fmt.Sprintf("forbidden instruction %s (enclaves cannot invoke OS services)", in.String()),
 			}
 		}
+	}
+	return nil
+}
+
+// checkSpanMemo hops [lo, hi) function by function via the digest table,
+// skipping functions whose clean scan is memoized. The verdict is a pure
+// function of the bytes, so a hit needs no revalidation; everything else —
+// gaps, straddling functions, misses — is scanned cold.
+func (c *checker) checkSpanMemo(ctx *policy.Context, lo, hi int) error {
+	i := lo
+	for i < hi {
+		sp, ok := ctx.Memo.SpanContaining(i)
+		if !ok {
+			if err := c.scanRange(ctx, i, i+1); err != nil {
+				return err
+			}
+			i++
+			continue
+		}
+		segEnd := sp.EndIdx
+		if segEnd > hi {
+			segEnd = hi
+		}
+		if sp.StartIdx < lo || sp.EndIdx > hi {
+			if err := c.scanRange(ctx, i, segEnd); err != nil {
+				return err
+			}
+			i = segEnd
+			continue
+		}
+		if _, hit := ctx.Memo.Hit(c.fp, sp.Addr); hit {
+			ctx.Memo.CountReuse(1)
+			i = segEnd
+			continue
+		}
+		if err := c.scanRange(ctx, sp.StartIdx, sp.EndIdx); err != nil {
+			return err
+		}
+		ctx.Memo.Record(c.fp, sp.Addr, nil)
+		i = segEnd
 	}
 	return nil
 }

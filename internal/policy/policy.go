@@ -18,6 +18,7 @@ import (
 
 	"engarde/internal/cycles"
 	"engarde/internal/nacl"
+	"engarde/internal/policy/memo"
 	"engarde/internal/symtab"
 )
 
@@ -31,6 +32,10 @@ type Context struct {
 	Symbols *symtab.Table
 	// Counter receives policy-phase work charges; may be nil.
 	Counter *cycles.Counter
+	// Memo, when non-nil, is the per-image view of the function-result
+	// cache: the digest table plus the per-module hit sets fixed by
+	// Set.ProbeMemo. Nil means cold checking (the default).
+	Memo *memo.Session
 	// JumpTableHint carries binary metadata some policies need (unused by
 	// the built-in modules, reserved for extensions).
 	JumpTableHint uint64

@@ -126,9 +126,9 @@ type fpModule struct {
 	fp   []byte
 }
 
-func (m fpModule) Name() string        { return m.name }
+func (m fpModule) Name() string         { return m.name }
 func (m fpModule) Check(*Context) error { return nil }
-func (m fpModule) Fingerprint() []byte { return m.fp }
+func (m fpModule) Fingerprint() []byte  { return m.fp }
 
 func TestSetFingerprint(t *testing.T) {
 	a := fpModule{name: "a", fp: []byte{1}}

@@ -24,6 +24,8 @@
 package stackprot
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 
 	"engarde/internal/policy"
@@ -61,17 +63,41 @@ func (m *Module) Check(ctx *policy.Context) error {
 	return policy.RunSharded(ctx, m)
 }
 
+// memoVersion tags the revalidation-payload format: a signed varint of
+// (jne-target address − function address), or empty for a trivial thunk.
+// Bump it whenever the encoding or its interpretation changes.
+const memoVersion = "stackprot/1"
+
+// MemoFingerprint implements policy.Memoizable. EarlyExit changes only
+// charge accounting, never the verdict, but memoized outcomes skip the
+// charges too — so it is part of the identity to keep warm-path accounting
+// consistent per configuration.
+func (m *Module) MemoFingerprint() [sha256.Size]byte {
+	v := memoVersion
+	if m.EarlyExit {
+		v += "+early-exit"
+	}
+	return policy.MemoKeyFP(m, v)
+}
+
 // BeginShards implements policy.Sharded. The check is function-granular:
 // a function (and all its charges) is owned by the span whose address
 // interval contains the function's start, so span cuts never split or
 // double-count a function.
 func (m *Module) BeginShards(ctx *policy.Context) (policy.SpanChecker, error) {
-	return &checker{m: m, funcs: ctx.Symbols.Functions()}, nil
+	c := &checker{m: m, funcs: ctx.Symbols.Functions()}
+	if ctx.Memo != nil {
+		c.memo = true
+		c.fp = m.MemoFingerprint()
+	}
+	return c, nil
 }
 
 type checker struct {
 	m     *Module
 	funcs []symtab.Entry
+	memo  bool
+	fp    [sha256.Size]byte
 }
 
 // CheckSpan verifies every function owned by the index span [lo, hi).
@@ -93,12 +119,20 @@ func (c *checker) CheckSpan(ctx *policy.Context, lo, hi int) error {
 				endIdx = i
 			}
 		}
+		if c.memo {
+			if done, err := c.checkMemo(ctx, fn, startIdx, endIdx); done {
+				if err != nil {
+					return err
+				}
+				continue
+			}
+		}
 		if m.isTrivialThunk(p.Insts[startIdx:endIdx]) {
 			// Jump-table entries and pure-padding spans have no stack
 			// frame to protect; Clang does not instrument them either.
 			continue
 		}
-		if err := m.checkFunction(ctx, fn.Name, startIdx, endIdx); err != nil {
+		if _, err := m.checkFunction(ctx, fn.Name, startIdx, endIdx); err != nil {
 			return err
 		}
 	}
@@ -107,6 +141,68 @@ func (c *checker) CheckSpan(ctx *policy.Context, lo, hi int) error {
 
 // Finish implements policy.SpanChecker; there is no epilogue.
 func (c *checker) Finish(ctx *policy.Context) error { return nil }
+
+// checkMemo runs one function through the memo cache: revalidated hit →
+// skip, otherwise full check with the passing outcome recorded. done is
+// false when the function is memo-ineligible — its boundary per
+// NextFuncAfter disagrees with the digest span's, so the memoized bytes
+// would not be the bytes this module inspects — and the caller must take
+// the cold path.
+func (c *checker) checkMemo(ctx *policy.Context, fn symtab.Entry, startIdx, endIdx int) (done bool, err error) {
+	m := c.m
+	sp, ok := ctx.Memo.Span(fn.Addr)
+	if !ok || sp.StartIdx != startIdx || sp.EndIdx != endIdx {
+		return false, nil
+	}
+	if payload, hit := ctx.Memo.Hit(c.fp, fn.Addr); hit && m.revalidate(ctx, payload, fn.Addr) {
+		ctx.Memo.CountReuse(1)
+		return true, nil
+	}
+	p := ctx.Program
+	if m.isTrivialThunk(p.Insts[startIdx:endIdx]) {
+		ctx.Memo.Record(c.fp, fn.Addr, nil)
+		return true, nil
+	}
+	payload, err := m.checkFunction(ctx, fn.Name, startIdx, endIdx)
+	if err != nil {
+		return true, err
+	}
+	ctx.Memo.Record(c.fp, fn.Addr, payload)
+	return true, nil
+}
+
+// revalidate re-executes the cross-function tail of a memoized canary
+// chain: the payload's jne target (function-relative) must still lead —
+// possibly through alignment NOPs — to a direct call resolving to
+// __stack_chk_fail in *this* image's symbol table. An empty payload marks
+// a trivial thunk, a pure function of the digest-pinned bytes.
+func (m *Module) revalidate(ctx *policy.Context, payload []byte, fnAddr uint64) bool {
+	if len(payload) == 0 {
+		return true
+	}
+	rel, n := binary.Varint(payload)
+	if n != len(payload) {
+		return false
+	}
+	p := ctx.Program
+	ti, ok := p.InstAt(fnAddr + uint64(rel))
+	if !ok {
+		return false
+	}
+	for ti < len(p.Insts) && p.Insts[ti].Op == x86.OpNop {
+		ti++
+	}
+	if ti >= len(p.Insts) || !p.Insts[ti].IsDirectCall() {
+		return false
+	}
+	callTgt, ok := p.Insts[ti].BranchTarget()
+	if !ok {
+		return false
+	}
+	ctx.ChargeLookup(1)
+	fname, ok := ctx.Symbols.NameAt(callTgt)
+	return ok && fname == FailFunc
+}
 
 // isTrivialThunk reports whether the body is only jumps/nops (IFCC
 // jump-table slots).
@@ -140,11 +236,14 @@ func nextNonNop(insts []x86.Inst, i int) int {
 	return i
 }
 
-// checkFunction verifies the canary chain within one function.
-func (m *Module) checkFunction(ctx *policy.Context, name string, start, end int) error {
+// checkFunction verifies the canary chain within one function. On success
+// it returns the memo revalidation payload: the first complete chain's jne
+// target, encoded function-relative.
+func (m *Module) checkFunction(ctx *policy.Context, name string, start, end int) ([]byte, error) {
 	p := ctx.Program
 	insts := p.Insts[start:end]
 	protected := false
+	var witness uint64 // jne target of the first complete chain
 
 	for i := range insts {
 		ctx.ChargeScan(1)
@@ -169,20 +268,23 @@ func (m *Module) checkFunction(ctx *policy.Context, name string, start, end int)
 		}
 		ctx.ChargePattern(1)
 		// ... and the rest of the verification chain must hang off the cmp.
-		if m.verifyChain(ctx, insts, j, cmpReg) {
-			protected = true
+		if tgt, ok := m.verifyChain(ctx, insts, j, cmpReg); ok {
+			if !protected {
+				protected = true
+				witness = tgt
+			}
 			if m.EarlyExit {
 				break
 			}
 		}
 	}
 	if !protected {
-		return &policy.Violation{
+		return nil, &policy.Violation{
 			Module: m.Name(), Addr: insts[0].Addr,
 			Reason: fmt.Sprintf("function %s lacks -fstack-protector instrumentation", name),
 		}
 	}
-	return nil
+	return binary.AppendVarint(nil, int64(witness)-int64(insts[0].Addr)), nil
 }
 
 // findCanaryCompare scans the whole function for "cmp slot(%rsp), REG",
@@ -201,43 +303,47 @@ func (m *Module) findCanaryCompare(ctx *policy.Context, insts []x86.Inst, slot i
 
 // verifyChain checks the epilogue chain hanging off the cmp at index j:
 // a canary reload just before it, a jne just after, and a jne target that
-// is (or falls through NOPs to) callq __stack_chk_fail.
-func (m *Module) verifyChain(ctx *policy.Context, insts []x86.Inst, j int, cmpReg x86.Reg) bool {
+// is (or falls through NOPs to) callq __stack_chk_fail. On success it
+// returns the jne target — the memo payload's witness.
+func (m *Module) verifyChain(ctx *policy.Context, insts []x86.Inst, j int, cmpReg x86.Reg) (uint64, bool) {
 	p := ctx.Program
 	ctx.ChargePattern(3)
 	pj := prevNonNop(insts, j)
 	if pj < 0 || !canaryLoad(&insts[pj], cmpReg) {
-		return false
+		return 0, false
 	}
 	nj := nextNonNop(insts, j)
 	if nj >= len(insts) {
-		return false
+		return 0, false
 	}
 	jne := &insts[nj]
 	if jne.Op != x86.OpJcc || jne.Cond != x86.CondNE {
-		return false
+		return 0, false
 	}
 	target, ok := jne.BranchTarget()
 	if !ok {
-		return false
+		return 0, false
 	}
 	ti, ok := p.InstAt(target)
 	if !ok {
-		return false
+		return 0, false
 	}
 	for ti < len(p.Insts) && p.Insts[ti].Op == x86.OpNop {
 		ti++
 	}
 	if ti >= len(p.Insts) || !p.Insts[ti].IsDirectCall() {
-		return false
+		return 0, false
 	}
 	callTgt, ok := p.Insts[ti].BranchTarget()
 	if !ok {
-		return false
+		return 0, false
 	}
 	ctx.ChargeLookup(1)
 	fname, ok := ctx.Symbols.NameAt(callTgt)
-	return ok && fname == FailFunc
+	if !ok || fname != FailFunc {
+		return 0, false
+	}
+	return target, true
 }
 
 // stackStore matches "mov REG, disp(%rsp)" and returns the slot and source

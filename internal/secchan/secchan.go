@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"engarde/internal/cycles"
 )
@@ -158,10 +159,22 @@ func (s *Session) Seal(plain []byte) ([]byte, error) {
 // Open decrypts one block, enforcing in-order delivery via the nonce
 // counter.
 func (s *Session) Open(ct []byte) ([]byte, error) {
+	return s.open(nil, ct)
+}
+
+// openInPlace decrypts ct over its own backing array (dst = ct[:0] is the
+// exactly-overlapping aliasing GCM documents as safe), so the streaming
+// receive path needs no per-block plaintext allocation. The returned slice
+// aliases ct.
+func (s *Session) openInPlace(ct []byte) ([]byte, error) {
+	return s.open(ct[:0], ct)
+}
+
+func (s *Session) open(dst, ct []byte) ([]byte, error) {
 	if s == nil || s.aead == nil {
 		return nil, ErrNoSessionKey
 	}
-	plain, err := s.aead.Open(nil, nonceFor(s.recvSeq), ct, nil)
+	plain, err := s.aead.Open(dst, nonceFor(s.recvSeq), ct, nil)
 	if err != nil {
 		return nil, fmt.Errorf("secchan: decrypting block %d: %w", s.recvSeq, err)
 	}
@@ -207,6 +220,41 @@ func ReadBlock(r io.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("secchan: reading frame body: %w", err)
 	}
 	return data, nil
+}
+
+// blockPool recycles frame buffers on the streaming receive path. Sized
+// for SendStream's default 64 KiB blocks plus GCM overhead; oversized
+// frames fall back to a fresh allocation. Only RecvStream takes from and
+// returns to the pool — its callers receive the assembled payload, never a
+// pooled slice.
+var blockPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64*1024+64)
+		return &b
+	},
+}
+
+// readBlockPooled is ReadBlock into a pooled buffer. The caller must hand
+// the returned pointer back to blockPool when done with the bytes.
+func readBlockPooled(r io.Reader) (*[]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("secchan: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxBlock+64 {
+		return nil, ErrBlockTooLarge
+	}
+	bp := blockPool.Get().(*[]byte)
+	if cap(*bp) < int(n) {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	if _, err := io.ReadFull(r, *bp); err != nil {
+		blockPool.Put(bp)
+		return nil, fmt.Errorf("secchan: reading frame body: %w", err)
+	}
+	return bp, nil
 }
 
 // SendSealed seals data and writes it as one frame.
@@ -276,16 +324,26 @@ func (s *Session) RecvStream(r io.Reader) ([]byte, error) {
 	}
 	out := make([]byte, 0, initial)
 	for uint64(len(out)) < total {
-		blk, err := s.RecvSealed(r)
+		// Each block cycles one pooled frame buffer: the ciphertext is read
+		// into it, decrypted in place, appended into out, and returned —
+		// zero per-block allocations in steady state.
+		bp, err := readBlockPooled(r)
 		if err != nil {
+			return nil, err
+		}
+		blk, err := s.openInPlace(*bp)
+		if err != nil {
+			blockPool.Put(bp)
 			return nil, err
 		}
 		if len(blk) == 0 {
 			// A validly sealed empty block makes no progress; looping on
 			// them would hang the receiver forever.
+			blockPool.Put(bp)
 			return nil, fmt.Errorf("secchan: empty stream block at offset %d of %d", len(out), total)
 		}
 		out = append(out, blk...)
+		blockPool.Put(bp)
 	}
 	if uint64(len(out)) != total {
 		return nil, fmt.Errorf("secchan: stream length %d != header %d", len(out), total)
