@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"engarde"
 )
@@ -33,15 +34,17 @@ func main() {
 	binPath := flag.String("binary", "", "ELF64 PIE executable to provision")
 	heapPages := flag.Int("heap-pages", 5000, "expected enclave heap pages (must match the host)")
 	clientPages := flag.Int("client-pages", 1024, "expected enclave client-region pages (must match the host)")
+	retries := flag.Int("retries", engarde.DefaultRetryAttempts, "provisioning attempts before giving up (busy gateways and transient errors are retried; attestation failures are not)")
+	retryBase := flag.Duration("retry-base", engarde.DefaultRetryBaseDelay, "base delay for exponential backoff between attempts")
 	flag.Parse()
 
-	if err := run(*connect, *keyPath, *binPath, *heapPages, *clientPages); err != nil {
+	if err := run(*connect, *keyPath, *binPath, *heapPages, *clientPages, *retries, *retryBase); err != nil {
 		fmt.Fprintln(os.Stderr, "engarde-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(connect, keyPath, binPath string, heapPages, clientPages int) error {
+func run(connect, keyPath, binPath string, heapPages, clientPages, retries int, retryBase time.Duration) error {
 	if binPath == "" {
 		return errors.New("-binary is required")
 	}
@@ -67,14 +70,17 @@ func run(connect, keyPath, binPath string, heapPages, clientPages int) error {
 	}
 	fmt.Printf("expecting EnGarde measurement %x\n", expected[:8])
 
-	conn, err := net.Dial("tcp", connect)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-
 	client := &engarde.Client{Expected: expected, PlatformKey: platformKey}
-	verdict, err := client.Provision(conn, image)
+	verdict, err := client.ProvisionRetry(
+		func() (net.Conn, error) { return net.Dial("tcp", connect) },
+		image,
+		engarde.RetryPolicy{
+			Attempts:  retries,
+			BaseDelay: retryBase,
+			OnRetry: func(attempt int, delay time.Duration, cause error) {
+				fmt.Fprintf(os.Stderr, "attempt %d failed (%v); retrying in %s\n", attempt, cause, delay)
+			},
+		})
 	if err != nil {
 		return err
 	}

@@ -54,10 +54,12 @@ func main() {
 
 		fnCacheEntries = flag.Int("fn-cache-entries", 0, "function-result cache capacity shared across tenants (0 = default, negative disables)")
 		fnCachePath    = flag.String("fn-cache-path", "", "persist the function-result cache to this append log so restarts provision warm (empty = in-memory only)")
+		fnCacheReprobe = flag.Duration("fn-cache-reprobe", 0, "how long the fn-cache disk tier's tripped circuit breaker waits before re-probing the disk (0 = default)")
 
-		connTimeout  = flag.Duration("conn-timeout", gateway.DefaultConnTimeout, "whole-session deadline per connection (negative disables)")
-		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight sessions")
-		statsAddr    = flag.String("stats-addr", "", "serve the JSON stats snapshot at http://<stats-addr>/statsz (empty disables)")
+		idleTimeout   = flag.Duration("idle-timeout", gateway.DefaultIdleTimeout, "per-frame idle deadline: a session must make read/write progress within this (negative disables)")
+		sessionBudget = flag.Duration("session-budget", gateway.DefaultSessionBudget, "total time budget per session, regardless of progress (negative disables)")
+		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight sessions; expiring it exits non-zero")
+		statsAddr     = flag.String("stats-addr", "", "serve the JSON stats snapshot at http://<stats-addr>/statsz (empty disables)")
 	)
 	flag.Parse()
 
@@ -66,9 +68,11 @@ func main() {
 		heapPages: *heapPages, clientPages: *clientPages, sgxv1: *sgxv1,
 		disasmWorkers: *disasmWorkers, policyWorkers: *policyWorkers,
 		maxConcurrent: *maxConcurrent, queueDepth: *queueDepth,
-		cacheEntries: *cacheEntries, connTimeout: *connTimeout,
+		cacheEntries: *cacheEntries,
+		idleTimeout:  *idleTimeout, sessionBudget: *sessionBudget,
 		fnCacheEntries: *fnCacheEntries, fnCachePath: *fnCachePath,
-		drainTimeout: *drainTimeout, statsAddr: *statsAddr,
+		fnCacheReprobe: *fnCacheReprobe,
+		drainTimeout:   *drainTimeout, statsAddr: *statsAddr,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "engarde-gatewayd:", err)
 		os.Exit(1)
@@ -84,7 +88,9 @@ type config struct {
 	maxConcurrent, queueDepth, cacheEntries int
 	fnCacheEntries                          int
 	fnCachePath                             string
-	connTimeout, drainTimeout               time.Duration
+	fnCacheReprobe                          time.Duration
+	idleTimeout, sessionBudget              time.Duration
+	drainTimeout                            time.Duration
 	statsAddr                               string
 }
 
@@ -143,7 +149,9 @@ func run(cfg config) error {
 		CacheEntries:   cfg.cacheEntries,
 		FnCacheEntries: cfg.fnCacheEntries,
 		FnCachePath:    cfg.fnCachePath,
-		ConnTimeout:    cfg.connTimeout,
+		FnCacheReprobe: cfg.fnCacheReprobe,
+		IdleTimeout:    cfg.idleTimeout,
+		SessionBudget:  cfg.sessionBudget,
 		Counter:        counter,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -67,6 +67,12 @@ type (
 	FnCache = memo.Cache
 	// FnCacheStats is a snapshot of a FnCache's hit/miss/eviction metrics.
 	FnCacheStats = memo.Stats
+	// FnCacheConfig is the full function-result cache configuration,
+	// including the disk tier's circuit breaker and filesystem hooks.
+	FnCacheConfig = memo.Config
+	// FnCacheFS abstracts the filesystem behind the fn-cache disk tier;
+	// fault-injection tests substitute internal/faults.ChaosFS.
+	FnCacheFS = memo.FS
 )
 
 // OpenFnCache builds a function-result cache: an in-process sharded LRU
@@ -77,6 +83,13 @@ type (
 // miss. Call Close to flush the disk tier on shutdown.
 func OpenFnCache(entries int, path string) (*FnCache, error) {
 	return memo.Open(memo.Config{Entries: entries, Path: path})
+}
+
+// OpenFnCacheWith is OpenFnCache with the full configuration surface: the
+// disk tier's circuit-breaker threshold and re-probe interval, and an
+// injectable filesystem for fault testing.
+func OpenFnCacheWith(cfg FnCacheConfig) (*FnCache, error) {
+	return memo.Open(cfg)
 }
 
 // SGX instruction-set versions. EnGarde requires V2 for security (§3); V1

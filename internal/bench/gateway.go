@@ -144,7 +144,8 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 		MaxConcurrent:  cfg.MaxConcurrent,
 		CacheEntries:   cfg.CacheEntries,
 		FnCacheEntries: fnEntries,
-		ConnTimeout:    -1, // in-memory pipes; deadlines only add noise
+		IdleTimeout:    -1, // in-memory pipes; deadlines only add noise
+		SessionBudget:  -1,
 	})
 	if err != nil {
 		return nil, err
@@ -171,15 +172,18 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// The gateway sheds with a busy verdict when its queue is
+			// full, so each session retries with backoff rather than
+			// failing the run. Seeded per client for reproducible runs.
+			policy := engarde.RetryPolicy{
+				Attempts:  10,
+				BaseDelay: time.Millisecond,
+				MaxDelay:  100 * time.Millisecond,
+				Seed:      int64(c + 1),
+			}
 			for i := range next {
 				image := cfg.Images[i%len(cfg.Images)]
-				conn, err := ln.dial()
-				if err != nil {
-					errs <- err
-					return
-				}
-				v, err := client.Provision(conn, image)
-				conn.Close()
+				v, err := client.ProvisionRetry(ln.dial, image, policy)
 				if err != nil {
 					errs <- fmt.Errorf("session %d: %w", i, err)
 					return

@@ -1,0 +1,115 @@
+package faults
+
+import (
+	"os"
+	"sync/atomic"
+
+	"engarde/internal/policy/memo"
+)
+
+// ChaosFS is a memo.FS that injects disk faults: scripted ("fail the next
+// N writes") or probabilistic, both deterministic under the schedule's
+// seed. It drives the function-result cache's disk-tier circuit breaker in
+// tests without needing a genuinely failing disk.
+type ChaosFS struct {
+	// Under is the real filesystem; nil means memo.OSFS.
+	Under memo.FS
+	in    *injector
+
+	failWrites  atomic.Int64
+	failOpens   atomic.Int64
+	failRenames atomic.Int64
+	failSyncs   atomic.Int64
+
+	// Faults counts injected failures across all operations.
+	Faults atomic.Uint64
+}
+
+// WrapFS builds a ChaosFS over under (nil = the real filesystem). Only
+// Schedule.ErrorProb and Seed are consulted: disk faults are errors, not
+// latency.
+func WrapFS(under memo.FS, s Schedule) *ChaosFS {
+	if under == nil {
+		under = memo.OSFS
+	}
+	return &ChaosFS{Under: under, in: newInjector(s)}
+}
+
+// FailNextWrites arms the next n File.Write calls (across all open files)
+// to fail with ErrInjected.
+func (fs *ChaosFS) FailNextWrites(n int) { fs.failWrites.Store(int64(n)) }
+
+// FailNextOpens arms the next n OpenFile calls to fail.
+func (fs *ChaosFS) FailNextOpens(n int) { fs.failOpens.Store(int64(n)) }
+
+// FailNextRenames arms the next n Rename calls to fail.
+func (fs *ChaosFS) FailNextRenames(n int) { fs.failRenames.Store(int64(n)) }
+
+// FailNextSyncs arms the next n File.Sync calls to fail.
+func (fs *ChaosFS) FailNextSyncs(n int) { fs.failSyncs.Store(int64(n)) }
+
+// take consumes one scripted failure from ctr if armed.
+func (fs *ChaosFS) take(ctr *atomic.Int64) bool {
+	for {
+		n := ctr.Load()
+		if n <= 0 {
+			return false
+		}
+		if ctr.CompareAndSwap(n, n-1) {
+			fs.Faults.Add(1)
+			return true
+		}
+	}
+}
+
+// roll applies the probabilistic error schedule to one write-side op.
+func (fs *ChaosFS) roll() bool {
+	if fs.in.sched.ErrorProb <= 0 {
+		return false
+	}
+	if fs.in.decide(OpWrite) == ActError {
+		fs.Faults.Add(1)
+		return true
+	}
+	return false
+}
+
+func (fs *ChaosFS) OpenFile(name string, flag int, perm os.FileMode) (memo.File, error) {
+	if fs.take(&fs.failOpens) {
+		return nil, ErrInjected
+	}
+	f, err := fs.Under.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{File: f, fs: fs}, nil
+}
+
+func (fs *ChaosFS) Rename(oldpath, newpath string) error {
+	if fs.take(&fs.failRenames) {
+		return ErrInjected
+	}
+	return fs.Under.Rename(oldpath, newpath)
+}
+
+func (fs *ChaosFS) Remove(name string) error { return fs.Under.Remove(name) }
+
+// chaosFile interposes on the write-side calls of one open file.
+type chaosFile struct {
+	memo.File
+	fs *ChaosFS
+}
+
+func (f *chaosFile) Write(b []byte) (int, error) {
+	if f.fs.take(&f.fs.failWrites) || f.fs.roll() {
+		return 0, ErrInjected
+	}
+	return f.File.Write(b)
+}
+
+func (f *chaosFile) Sync() error {
+	if f.fs.take(&f.fs.failSyncs) {
+		return ErrInjected
+	}
+	return f.File.Sync()
+}

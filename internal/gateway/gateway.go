@@ -9,8 +9,10 @@
 // the three things cmd/engarde-host's ad-hoc accept loop lacked:
 //
 //   - Admission control: a bounded worker pool (MaxConcurrent enclaves in
-//     flight), a bounded wait queue, backpressure rejection beyond both,
-//     and per-connection deadlines so a stalled tenant cannot pin a worker.
+//     flight), a bounded wait queue, typed overload shedding beyond both
+//     (a busy verdict with a Retry-After hint, never a silent close), and
+//     per-frame idle deadlines plus a total session budget so neither a
+//     stalled nor a trickling tenant can pin a worker.
 //   - A verdict cache: content-addressed by SHA-256(image) ×
 //     PolicySet.Fingerprint(). A byte-identical binary resubmitted under an
 //     identical policy set skips disassembly and policy checking entirely
@@ -32,19 +34,23 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
 	"engarde"
 	"engarde/internal/cycles"
+	"engarde/internal/secchan"
 )
 
 // Defaults for Config fields left zero.
 const (
-	DefaultMaxConcurrent = 8
-	DefaultConnTimeout   = 30 * time.Second
-	DefaultCacheEntries  = 1024
+	DefaultMaxConcurrent  = 8
+	DefaultIdleTimeout    = 10 * time.Second
+	DefaultSessionBudget  = 30 * time.Second
+	DefaultCacheEntries   = 1024
+	DefaultRetryAfterHint = time.Second
 )
 
 // Config configures a Gateway.
@@ -71,9 +77,19 @@ type Config struct {
 	// in-flight ones. 0 means 2×MaxConcurrent; negative means no queue
 	// (reject unless a worker is idle).
 	QueueDepth int
-	// ConnTimeout is the whole-session read/write deadline applied to each
-	// admitted connection. Default DefaultConnTimeout; negative disables.
-	ConnTimeout time.Duration
+	// IdleTimeout is the per-frame idle deadline: every read or write on an
+	// admitted connection must make progress within it, so a stalled or
+	// trickling peer is cut off quickly while a steadily streaming one is
+	// not. Default DefaultIdleTimeout; negative disables.
+	IdleTimeout time.Duration
+	// SessionBudget bounds each admitted session end to end, regardless of
+	// progress — the backstop that keeps a 1-byte-per-interval trickler
+	// from holding a worker indefinitely. Default DefaultSessionBudget;
+	// negative disables.
+	SessionBudget time.Duration
+	// RetryAfterHint is the backoff hint attached to busy verdicts when
+	// admission control sheds a connection. Default DefaultRetryAfterHint.
+	RetryAfterHint time.Duration
 	// CacheEntries bounds the verdict cache. 0 means DefaultCacheEntries;
 	// negative disables caching.
 	CacheEntries int
@@ -88,6 +104,13 @@ type Config struct {
 	// persistent append log so restarts provision warm. Ignored when
 	// FnCacheEntries is negative.
 	FnCachePath string
+	// FnCacheReprobe overrides how long the fn-cache disk tier's circuit
+	// breaker stays open before re-probing the disk; 0 means the memo
+	// package default.
+	FnCacheReprobe time.Duration
+	// FnCacheFS overrides the filesystem behind the fn-cache disk tier
+	// (fault injection in tests); nil means the real one.
+	FnCacheFS engarde.FnCacheFS
 
 	// Counter receives per-phase cycle charges from every enclave and
 	// feeds the stats endpoint. If nil, the Provider's counter is used;
@@ -147,8 +170,14 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.QueueDepth < 0 {
 		cfg.QueueDepth = 0 // no waiting room
 	}
-	if cfg.ConnTimeout == 0 {
-		cfg.ConnTimeout = DefaultConnTimeout
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.SessionBudget == 0 {
+		cfg.SessionBudget = DefaultSessionBudget
+	}
+	if cfg.RetryAfterHint <= 0 {
+		cfg.RetryAfterHint = DefaultRetryAfterHint
 	}
 	counter := cfg.Counter
 	if counter == nil {
@@ -172,7 +201,12 @@ func New(cfg Config) (*Gateway, error) {
 		g.cache = newVerdictCache(cfg.CacheEntries)
 	}
 	if cfg.FnCacheEntries >= 0 {
-		fc, err := engarde.OpenFnCache(cfg.FnCacheEntries, cfg.FnCachePath)
+		fc, err := engarde.OpenFnCacheWith(engarde.FnCacheConfig{
+			Entries:         cfg.FnCacheEntries,
+			Path:            cfg.FnCachePath,
+			FS:              cfg.FnCacheFS,
+			ReprobeInterval: cfg.FnCacheReprobe,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("gateway: opening function-result cache: %w", err)
 		}
@@ -243,12 +277,15 @@ func (g *Gateway) isShutdown() bool {
 	return g.shutdown
 }
 
-// admit applies admission control: the connection is queued for a worker
-// or rejected (closed) when the pool and queue are both full.
+// admit applies admission control: the connection is queued for a worker,
+// or shed with a typed busy verdict when the pool and queue are both full.
+// The queue write happens under g.mu with the shutdown flag checked, so
+// nothing is ever queued after Shutdown begins.
 func (g *Gateway) admit(conn net.Conn) {
 	g.mu.Lock()
 	if g.shutdown {
 		g.mu.Unlock()
+		g.stats.rejected.Add(1)
 		conn.Close()
 		return
 	}
@@ -259,10 +296,20 @@ func (g *Gateway) admit(conn net.Conn) {
 		g.mu.Unlock()
 		g.stats.accepted.Add(1)
 	default:
+		// Shed: tell the peer it was turned away and when to come back,
+		// off the accept loop so a slow rejected peer cannot stall accepts.
+		// The writer is covered by connWG (added under g.mu) and bounded by
+		// a short write deadline, so Shutdown still terminates promptly.
+		g.connWG.Add(1)
 		g.mu.Unlock()
-		g.stats.rejected.Add(1)
-		g.logf("gateway: rejecting %s: pool and queue full", connAddr(conn))
-		conn.Close()
+		g.stats.shed.Add(1)
+		g.logf("gateway: shedding %s: pool and queue full", connAddr(conn))
+		go func() {
+			defer g.connWG.Done()
+			defer conn.Close()
+			_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+			_ = engarde.SendBusy(conn, g.cfg.RetryAfterHint)
+		}()
 	}
 }
 
@@ -369,8 +416,19 @@ func (g *Gateway) handle(conn net.Conn) {
 	g.stats.active.Add(1)
 	defer g.stats.active.Add(-1)
 
-	if g.cfg.ConnTimeout > 0 {
-		_ = conn.SetDeadline(time.Now().Add(g.cfg.ConnTimeout))
+	// Per-frame idle deadline + total session budget (internal/secchan):
+	// silence kills a session within IdleTimeout, and no amount of 1-byte
+	// trickling extends it past SessionBudget.
+	var rw io.ReadWriter = conn
+	if g.cfg.IdleTimeout > 0 || g.cfg.SessionBudget > 0 {
+		idle, budget := g.cfg.IdleTimeout, g.cfg.SessionBudget
+		if idle < 0 {
+			idle = 0
+		}
+		if budget < 0 {
+			budget = 0
+		}
+		rw = secchan.NewLimited(conn, idle, budget)
 	}
 	start := time.Now()
 
@@ -392,7 +450,7 @@ func (g *Gateway) handle(conn net.Conn) {
 	}
 	defer encl.Destroy()
 
-	rep, err := encl.ServeProvisionFunc(conn, func(image []byte) (*engarde.Report, error) {
+	rep, err := encl.ServeProvisionFunc(rw, func(image []byte) (*engarde.Report, error) {
 		return g.provision(encl, image)
 	})
 	g.stats.served.Add(1)
@@ -400,7 +458,12 @@ func (g *Gateway) handle(conn net.Conn) {
 	switch {
 	case err != nil:
 		g.stats.errs.Add(1)
-		g.logf("gateway: serving %s: %v", connAddr(conn), err)
+		if reason := timeoutReason(err); reason != "" {
+			g.stats.timeouts.Add(1)
+			g.logf("gateway: serving %s: %s: %v", connAddr(conn), reason, err)
+		} else {
+			g.logf("gateway: serving %s: %v", connAddr(conn), err)
+		}
 	case rep.Compliant:
 		g.stats.compliant.Add(1)
 	default:
@@ -440,6 +503,19 @@ func (g *Gateway) provision(encl *engarde.Enclave, image []byte) (*engarde.Repor
 		g.cache.put(key, rep)
 	}
 	return rep, err
+}
+
+// timeoutReason classifies a session error as one of the typed deadline
+// outcomes ("" when it is neither): "idle-timeout" — the peer went silent
+// mid-session; "session-budget" — the session exceeded its total budget.
+func timeoutReason(err error) string {
+	switch {
+	case errors.Is(err, secchan.ErrIdleTimeout):
+		return "idle-timeout"
+	case errors.Is(err, secchan.ErrSessionBudget):
+		return "session-budget"
+	}
+	return ""
 }
 
 func connAddr(conn net.Conn) string {

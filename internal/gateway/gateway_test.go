@@ -99,8 +99,11 @@ func testGateway(t testing.TB, cfg gateway.Config) (*gateway.Gateway, *pipeListe
 	cfg.Provider = provider
 	cfg.HeapPages = testHeapPages
 	cfg.ClientPages = testClientPages
-	if cfg.ConnTimeout == 0 {
-		cfg.ConnTimeout = time.Minute
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = time.Minute
+	}
+	if cfg.SessionBudget == 0 {
+		cfg.SessionBudget = 2 * time.Minute
 	}
 	gw, err := gateway.New(cfg)
 	if err != nil {
@@ -369,7 +372,8 @@ func TestGatewayShutdownDrainsInFlight(t *testing.T) {
 }
 
 // TestGatewayBackpressure: with a single worker and no queue, a second
-// concurrent connection is rejected at admission.
+// concurrent connection is shed at admission with a typed busy verdict
+// carrying a Retry-After hint — never silently closed, never queued.
 func TestGatewayBackpressure(t *testing.T) {
 	gw, ln, client := testGateway(t, gateway.Config{
 		MaxConcurrent: 1,
@@ -391,26 +395,71 @@ func TestGatewayBackpressure(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	// The next tenant must be turned away, not queued.
-	if _, err := provisionOnce(t, ln, client, image); err == nil {
-		t.Error("second connection should have been rejected")
+	// The next tenant must be turned away with a busy verdict.
+	v, err := provisionOnce(t, ln, client, image)
+	if err != nil {
+		t.Fatalf("shed connection must still complete the protocol: %v", err)
 	}
-	deadline = time.Now().Add(10 * time.Second)
-	for gw.Stats().Rejected == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("rejection never counted")
-		}
-		time.Sleep(5 * time.Millisecond)
+	if v.Compliant || v.Code != engarde.CodeBusy {
+		t.Fatalf("shed verdict = %+v, want code %q", v, engarde.CodeBusy)
 	}
+	if v.RetryAfterMillis <= 0 {
+		t.Errorf("busy verdict carries no Retry-After hint: %+v", v)
+	}
+	waitFor(t, "shed counted", func() bool { return gw.Stats().Shed == 1 })
 
 	// Release the worker; the stalled tenant completes normally.
-	v, err := client.Provision(stall, image)
+	v, err = client.Provision(stall, image)
 	stall.Close()
 	if err != nil || !v.Compliant {
 		t.Errorf("stalled client after release: %+v, %v", v, err)
 	}
 	waitFor(t, "stalled session accounted", func() bool { return gw.Stats().Served == 1 })
-	if s := gw.Stats(); s.Rejected != 1 || s.Accepted != 1 {
-		t.Errorf("accepted=%d rejected=%d, want 1/1", s.Accepted, s.Rejected)
+	if s := gw.Stats(); s.Shed != 1 || s.Rejected != 0 || s.Accepted != 1 {
+		t.Errorf("accepted=%d shed=%d rejected=%d, want 1/1/0", s.Accepted, s.Shed, s.Rejected)
+	}
+}
+
+// TestGatewayRetryAfterShed: ProvisionRetry turns a shed connection into a
+// served one once capacity frees up, honoring the Retry-After hint.
+func TestGatewayRetryAfterShed(t *testing.T) {
+	gw, ln, client := testGateway(t, gateway.Config{
+		MaxConcurrent:  1,
+		QueueDepth:     -1,
+		RetryAfterHint: 10 * time.Millisecond,
+	})
+	image := buildImage(t, "retry", 95, false)
+
+	stall, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "stalled session active", func() bool { return gw.Stats().Active == 1 })
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := client.ProvisionRetry(ln.Dial, image, engarde.RetryPolicy{
+			Attempts:  20,
+			BaseDelay: 5 * time.Millisecond,
+			MaxDelay:  50 * time.Millisecond,
+			Seed:      1,
+		})
+		if err != nil || !v.Compliant {
+			t.Errorf("retrying client: %+v, %v", v, err)
+		}
+	}()
+
+	// Let it get shed at least once, then free the worker.
+	waitFor(t, "first shed", func() bool { return gw.Stats().Shed >= 1 })
+	v, err := client.Provision(stall, image)
+	stall.Close()
+	if err != nil || !v.Compliant {
+		t.Fatalf("stalled client: %+v, %v", v, err)
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("retrying client never completed")
 	}
 }

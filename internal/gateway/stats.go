@@ -15,6 +15,8 @@ import (
 type counters struct {
 	accepted     atomic.Uint64
 	rejected     atomic.Uint64
+	shed         atomic.Uint64
+	timeouts     atomic.Uint64
 	served       atomic.Uint64
 	compliant    atomic.Uint64
 	nonCompliant atomic.Uint64
@@ -104,10 +106,12 @@ func (h *latencyHist) snapshot() LatencySnapshot {
 // Stats is a point-in-time snapshot of the gateway's metrics.
 type Stats struct {
 	// Admission control.
-	Accepted uint64 `json:"accepted"` // connections admitted to the pool/queue
-	Rejected uint64 `json:"rejected"` // turned away: pool and queue full
-	Active   int64  `json:"active"`   // sessions currently being served
-	Queued   int    `json:"queued"`   // admitted, waiting for a worker
+	Accepted uint64 `json:"accepted"`  // connections admitted to the pool/queue
+	Shed     uint64 `json:"shed"`      // turned away with a busy verdict: pool and queue full
+	Rejected uint64 `json:"rejected"`  // closed without a verdict (shutdown in progress)
+	TimedOut uint64 `json:"timed_out"` // sessions cut off by idle deadline or session budget
+	Active   int64  `json:"active"`    // sessions currently being served
+	Queued   int    `json:"queued"`    // admitted, waiting for a worker
 
 	// Outcomes.
 	Served       uint64 `json:"served"`
@@ -138,7 +142,9 @@ type Stats struct {
 func (g *Gateway) Stats() Stats {
 	s := Stats{
 		Accepted:     g.stats.accepted.Load(),
+		Shed:         g.stats.shed.Load(),
 		Rejected:     g.stats.rejected.Load(),
+		TimedOut:     g.stats.timeouts.Load(),
 		Active:       g.stats.active.Load(),
 		Queued:       len(g.queue),
 		Served:       g.stats.served.Load(),

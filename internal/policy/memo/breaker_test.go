@@ -1,0 +1,229 @@
+package memo_test
+
+// Circuit-breaker tests for the disk tier, driven by faults.ChaosFS. They
+// live in an external test package because internal/faults imports memo
+// (ChaosFS implements memo.FS).
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"engarde/internal/faults"
+	"engarde/internal/policy/memo"
+)
+
+func breakerKey(n int) memo.Key {
+	var k memo.Key
+	k.Fn = sha256.Sum256([]byte(fmt.Sprintf("breaker-fn-%d", n)))
+	k.Module = sha256.Sum256([]byte("breaker-mod"))
+	return k
+}
+
+// waitBreaker polls until cond(stats) holds or the deadline passes.
+func waitBreaker(t *testing.T, c *memo.Cache, what string, cond func(memo.Stats) bool) memo.Stats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Stats()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; stats %+v", what, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Repeated write failures must trip the breaker at the configured
+// threshold, after which the cache serves memory-only and counts skipped
+// appends instead of hammering the dead disk.
+func TestBreakerTripsOnRepeatedWriteFailures(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fn.cache")
+	cfs := faults.WrapFS(nil, faults.Schedule{})
+	c, err := memo.Open(memo.Config{
+		Entries:          64,
+		Path:             path,
+		FS:               cfs,
+		BreakerThreshold: 3,
+		ReprobeInterval:  time.Hour, // never re-probe within this test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Armed after Open so the header write succeeds.
+	cfs.FailNextWrites(100)
+
+	for i := 0; i < 3; i++ {
+		c.Put(breakerKey(i), []byte{byte(i)})
+	}
+	st := c.Stats()
+	if !st.BreakerOpen || st.BreakerTrips != 1 {
+		t.Fatalf("breaker should be open after 3 failures: %+v", st)
+	}
+	if st.DiskFaults != 3 {
+		t.Fatalf("DiskFaults = %d, want 3", st.DiskFaults)
+	}
+
+	// Appends while open are dropped, not attempted.
+	c.Put(breakerKey(3), []byte{3})
+	if st = c.Stats(); st.DiskSkipped != 1 {
+		t.Fatalf("DiskSkipped = %d, want 1: %+v", st.DiskSkipped, st)
+	}
+
+	// The memory tier is unaffected: every entry is still served.
+	for i := 0; i < 4; i++ {
+		got, ok := c.Get(breakerKey(i))
+		if !ok || !bytes.Equal(got, []byte{byte(i)}) {
+			t.Fatalf("entry %d lost after breaker trip (ok=%v got=%v)", i, ok, got)
+		}
+	}
+}
+
+// After the re-probe interval the next append probes the disk with a
+// crash-safe full rewrite; success closes the breaker and the rewritten
+// log replays every resident entry on the next Open.
+func TestBreakerReprobeRestoresDiskTier(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fn.cache")
+	cfs := faults.WrapFS(nil, faults.Schedule{})
+	c, err := memo.Open(memo.Config{
+		Entries:          64,
+		Path:             path,
+		FS:               cfs,
+		BreakerThreshold: -1, // trip on the first failure
+		ReprobeInterval:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfs.FailNextWrites(1)
+	c.Put(breakerKey(0), []byte("zero"))
+	if st := c.Stats(); !st.BreakerOpen {
+		t.Fatalf("breaker should trip on first failure: %+v", st)
+	}
+
+	// Keep putting until a probe fires and succeeds (the fault is spent).
+	i := 1
+	st := waitBreaker(t, c, "breaker to close", func(st memo.Stats) bool {
+		c.Put(breakerKey(i), []byte(fmt.Sprintf("val-%d", i)))
+		i++
+		return !st.BreakerOpen
+	})
+	if st.DiskRewrites == 0 {
+		t.Fatalf("expected a successful rewrite: %+v", st)
+	}
+	puts := i
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache over the real filesystem replays everything: the
+	// rewrite recovered the entries whose appends were dropped.
+	c2, err := memo.Open(memo.Config{Entries: 64, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if st := c2.Stats(); st.DiskLoaded != uint64(puts) {
+		t.Fatalf("DiskLoaded = %d, want %d", st.DiskLoaded, puts)
+	}
+	for j := 1; j < puts; j++ {
+		got, ok := c2.Get(breakerKey(j))
+		if !ok || !bytes.Equal(got, []byte(fmt.Sprintf("val-%d", j))) {
+			t.Fatalf("entry %d not replayed (ok=%v got=%q)", j, ok, got)
+		}
+	}
+	if got, ok := c2.Get(breakerKey(0)); !ok || string(got) != "zero" {
+		t.Fatalf("entry 0 (whose append failed) should be recovered by the rewrite: ok=%v got=%q", ok, got)
+	}
+}
+
+// A probe that fails (here: the atomic rename dies) re-arms the timer and
+// keeps the breaker open; a later probe succeeds and no .tmp debris or
+// torn log survives.
+func TestBreakerProbeFailureRearmsTimer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fn.cache")
+	cfs := faults.WrapFS(nil, faults.Schedule{})
+	c, err := memo.Open(memo.Config{
+		Entries:          64,
+		Path:             path,
+		FS:               cfs,
+		BreakerThreshold: -1,
+		ReprobeInterval:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfs.FailNextWrites(1)
+	c.Put(breakerKey(0), []byte("zero"))
+	cfs.FailNextRenames(1) // first probe dies at the rename step
+
+	i := 1
+	st := waitBreaker(t, c, "breaker to close after failed probe", func(st memo.Stats) bool {
+		c.Put(breakerKey(i), []byte{byte(i)})
+		i++
+		return !st.BreakerOpen
+	})
+	if st.BreakerTrips != 1 || st.DiskRewrites != 1 {
+		t.Fatalf("want one trip and one successful rewrite: %+v", st)
+	}
+	if st.DiskFaults < 2 {
+		t.Fatalf("the failed probe should count as a fault: %+v", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("probe debris left behind: .tmp stat err = %v", err)
+	}
+
+	c2, err := memo.Open(memo.Config{Entries: 64, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if st := c2.Stats(); st.DiskDroppedBytes != 0 {
+		t.Fatalf("rewritten log should have no torn tail: %+v", st)
+	}
+}
+
+// A stale .tmp from a crash between probe-write and rename must be swept
+// at Open and never read.
+func TestOpenSweepsStaleProbeTmp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fn.cache")
+
+	c, err := memo.Open(memo.Config{Entries: 64, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(breakerKey(0), []byte("kept"))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.WriteFile(path+".tmp", []byte("crashed mid-probe garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := memo.Open(memo.Config{Entries: 64, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("stale .tmp should be removed at open: stat err = %v", err)
+	}
+	if got, ok := c2.Get(breakerKey(0)); !ok || string(got) != "kept" {
+		t.Fatalf("log replay affected by stale tmp: ok=%v got=%q", ok, got)
+	}
+}

@@ -12,6 +12,14 @@
 // Loading stops at the first short read, oversized length or CRC mismatch;
 // the file is truncated back to the last good record so subsequent appends
 // stay readable after a crash mid-write.
+//
+// Disk trouble must never affect verdicts, so the tier sits behind a
+// circuit breaker: after BreakerThreshold consecutive append failures the
+// tier trips open and the cache degrades to memory-only. Every
+// ReprobeInterval the next append probes the disk by rewriting the whole
+// log from the resident entries — written to path+".tmp" and renamed over
+// the log, so a crash mid-probe leaves the previous file intact — and a
+// successful rewrite closes the breaker again.
 
 package memo
 
@@ -24,6 +32,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // diskMagic identifies (and versions) the cache-file format.
@@ -35,12 +44,37 @@ const maxRecordBody = 1 << 16
 
 const keyBytes = 64 // Fn(32) + Module(32)
 
+// Breaker defaults for Config fields left zero.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultReprobeInterval  = 30 * time.Second
+)
+
 // openDiskTier opens (creating if absent) the log at path, replays every
 // valid record through emit, truncates trailing garbage, and leaves the
-// file positioned for appends. loaded/dropped report replayed records and
-// discarded trailing bytes.
-func openDiskTier(path string, emit func(Key, []byte)) (*diskTier, uint64, uint64, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// file positioned for appends. snapshot must return the cache's resident
+// records (LRU→MRU) for crash-safe rewrites. loaded/dropped report
+// replayed records and discarded trailing bytes.
+func openDiskTier(cfg Config, fs FS, snapshot func() []Record, emit func(Key, []byte)) (*diskTier, uint64, uint64, error) {
+	d := &diskTier{
+		fs:        fs,
+		path:      cfg.Path,
+		threshold: cfg.BreakerThreshold,
+		reprobe:   cfg.ReprobeInterval,
+		snapshot:  snapshot,
+		now:       time.Now,
+	}
+	if d.threshold == 0 {
+		d.threshold = DefaultBreakerThreshold
+	}
+	if d.reprobe <= 0 {
+		d.reprobe = DefaultReprobeInterval
+	}
+	// A crash between writing the probe file and renaming it leaves a stale
+	// .tmp behind; it is dead weight, never read.
+	_ = fs.Remove(cfg.Path + ".tmp")
+
+	f, err := fs.OpenFile(cfg.Path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("memo: opening cache file: %w", err)
 	}
@@ -93,7 +127,8 @@ func openDiskTier(path string, emit func(Key, []byte)) (*diskTier, uint64, uint6
 		f.Close()
 		return nil, 0, 0, err
 	}
-	return &diskTier{f: f}, loaded, dropped, nil
+	d.f = f
+	return d, loaded, dropped, nil
 }
 
 // loadRecords replays records from r, calling emit for each valid one. It
@@ -156,12 +191,35 @@ func AppendRecord(dst []byte, k Key, payload []byte) []byte {
 	return append(dst, crc[:]...)
 }
 
-// diskTier is the open append log. Appends are serialized by a mutex; a
-// failed append disables the tier (the in-memory cache keeps working).
+// Record is one resident cache entry, as handed to the rewrite path.
+type Record struct {
+	Key     Key
+	Payload []byte
+}
+
+// diskTier is the open append log behind its circuit breaker. Appends are
+// serialized by a mutex; failures trip the breaker instead of losing the
+// tier for good.
 type diskTier struct {
 	mu     sync.Mutex
-	f      *os.File
-	broken bool
+	fs     FS
+	path   string
+	f      File // nil while the breaker is open or after close
+	closed bool
+
+	threshold int           // consecutive failures that trip the breaker; <0 trips on the first
+	reprobe   time.Duration // how long the open breaker waits before probing
+	snapshot  func() []Record
+	now       func() time.Time // test hook
+
+	failures  int       // consecutive append failures while closed
+	open      bool      // breaker open: disk writes suspended
+	nextProbe time.Time // earliest re-probe while open
+
+	faults   uint64 // I/O errors observed (appends and failed probes)
+	skipped  uint64 // appends dropped while the breaker was open
+	trips    uint64 // closed→open transitions
+	rewrites uint64 // successful crash-safe log rewrites
 }
 
 func (d *diskTier) append(k Key, payload []byte) {
@@ -171,18 +229,125 @@ func (d *diskTier) append(k Key, payload []byte) {
 	rec := AppendRecord(nil, k, payload)
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.broken || d.f == nil {
+	if d.closed {
+		return
+	}
+	if d.open {
+		if d.now().Before(d.nextProbe) {
+			d.skipped++
+			return
+		}
+		// Probe: rewrite the whole log from the resident entries (the entry
+		// being appended is already resident, so it is included). Success
+		// closes the breaker; failure re-arms the probe timer.
+		if err := d.rewriteLocked(); err != nil {
+			d.faults++
+			d.skipped++
+			d.nextProbe = d.now().Add(d.reprobe)
+			return
+		}
+		d.open = false
+		d.failures = 0
+		d.rewrites++
 		return
 	}
 	if _, err := d.f.Write(rec); err != nil {
-		// Disk trouble must not affect verdicts; stop persisting.
-		d.broken = true
+		d.faults++
+		d.failures++
+		if d.threshold < 0 || d.failures >= d.threshold {
+			d.trip()
+		}
+		return
 	}
+	d.failures = 0
+}
+
+// trip opens the breaker: the (possibly wedged) file is abandoned and the
+// cache runs memory-only until a probe succeeds.
+func (d *diskTier) trip() {
+	d.open = true
+	d.trips++
+	d.nextProbe = d.now().Add(d.reprobe)
+	if d.f != nil {
+		_ = d.f.Close()
+		d.f = nil
+	}
+}
+
+// rewriteLocked writes a fresh log containing every resident entry to
+// path+".tmp", syncs it, and renames it over the log — the only safe way
+// back after arbitrary partial appends, and atomic under a crash at any
+// point. On success d.f is the reopened log, positioned for appends.
+func (d *diskTier) rewriteLocked() error {
+	tmp := d.path + ".tmp"
+	f, err := d.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 4096)
+	buf = append(buf, diskMagic[:]...)
+	for _, rec := range d.snapshot() {
+		if len(rec.Payload) > maxRecordBody-keyBytes {
+			continue
+		}
+		buf = AppendRecord(buf, rec.Key, rec.Payload)
+		if len(buf) >= 1<<20 {
+			if _, err := f.Write(buf); err != nil {
+				f.Close()
+				_ = d.fs.Remove(tmp)
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		_ = d.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = d.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = d.fs.Remove(tmp)
+		return err
+	}
+	if err := d.fs.Rename(tmp, d.path); err != nil {
+		_ = d.fs.Remove(tmp)
+		return err
+	}
+	nf, err := d.fs.OpenFile(d.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return err
+	}
+	if d.f != nil {
+		_ = d.f.Close()
+	}
+	d.f = nf
+	return nil
+}
+
+// diskStats reports the tier's fault counters into st.
+func (d *diskTier) fillStats(st *Stats) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st.DiskFaults = d.faults
+	st.DiskSkipped = d.skipped
+	st.BreakerTrips = d.trips
+	st.BreakerOpen = d.open
+	st.DiskRewrites = d.rewrites
 }
 
 func (d *diskTier) close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.closed = true
 	if d.f == nil {
 		return nil
 	}

@@ -1,0 +1,42 @@
+package memo
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the disk tier needs. Fault-injection
+// wrappers (internal/faults.ChaosFS) implement it to exercise the
+// circuit-breaker path without real disk trouble.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Truncate(size int64) error
+	Sync() error
+}
+
+// FS is the filesystem surface the disk tier uses. The default is the real
+// OS filesystem; tests substitute a chaos wrapper.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// OSFS is the real filesystem.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }

@@ -41,6 +41,7 @@ import (
 	"crypto/sha256"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Key addresses one memoized per-function outcome: the content identity of
@@ -65,6 +66,18 @@ type Config struct {
 	// Path, when non-empty, enables the disk tier: outcomes are appended to
 	// the log at Path and replayed on Open.
 	Path string
+	// FS overrides the filesystem behind the disk tier (fault injection in
+	// tests); nil means the real OS filesystem.
+	FS FS
+	// BreakerThreshold is the number of consecutive disk-append failures
+	// that trips the disk tier's circuit breaker, degrading the cache to
+	// memory-only. 0 means DefaultBreakerThreshold; negative trips on the
+	// first failure.
+	BreakerThreshold int
+	// ReprobeInterval is how long the tripped breaker waits before probing
+	// the disk again (via a crash-safe temp-file+rename log rewrite).
+	// 0 means DefaultReprobeInterval.
+	ReprobeInterval time.Duration
 }
 
 // Stats is a point-in-time snapshot of cache metrics.
@@ -80,6 +93,18 @@ type Stats struct {
 	// DiskDroppedBytes counts trailing log bytes discarded at Open because
 	// of truncation or corruption.
 	DiskDroppedBytes uint64 `json:"disk_dropped_bytes,omitempty"`
+	// DiskFaults counts disk-tier I/O errors (failed appends and probes).
+	DiskFaults uint64 `json:"disk_faults,omitempty"`
+	// DiskSkipped counts appends dropped while the breaker was open.
+	DiskSkipped uint64 `json:"disk_skipped,omitempty"`
+	// BreakerTrips counts closed→open breaker transitions.
+	BreakerTrips uint64 `json:"breaker_trips,omitempty"`
+	// BreakerOpen reports whether the disk tier is currently suspended
+	// (cache running memory-only).
+	BreakerOpen bool `json:"breaker_open,omitempty"`
+	// DiskRewrites counts successful crash-safe log rewrites (re-probes
+	// that closed the breaker).
+	DiskRewrites uint64 `json:"disk_rewrites,omitempty"`
 }
 
 // Cache is the process-wide function-result cache: a sharded bounded LRU
@@ -110,7 +135,10 @@ func Open(cfg Config) (*Cache, error) {
 		c.shards[i].init(perShard)
 	}
 	if cfg.Path != "" {
-		disk, loaded, dropped, err := openDiskTier(cfg.Path, func(k Key, payload []byte) {
+		if cfg.FS == nil {
+			cfg.FS = OSFS
+		}
+		disk, loaded, dropped, err := openDiskTier(cfg, cfg.FS, c.dump, func(k Key, payload []byte) {
 			c.insert(k, payload, false)
 		})
 		if err != nil {
@@ -174,7 +202,7 @@ func (c *Cache) Len() int {
 
 // Stats snapshots the cache metrics.
 func (c *Cache) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Hits:             c.hits.Load(),
 		Misses:           c.misses.Load(),
 		Evictions:        c.evictions.Load(),
@@ -183,6 +211,20 @@ func (c *Cache) Stats() Stats {
 		DiskLoaded:       c.diskLoaded.Load(),
 		DiskDroppedBytes: c.diskDropped.Load(),
 	}
+	if c.disk != nil {
+		c.disk.fillStats(&st)
+	}
+	return st
+}
+
+// dump snapshots every resident entry, least recently used first within
+// each shard, so a log rewritten from it replays back with recency intact.
+func (c *Cache) dump() []Record {
+	var out []Record
+	for i := range c.shards {
+		c.shards[i].appendAll(&out)
+	}
+	return out
 }
 
 // Close flushes and closes the disk tier, if any.
@@ -258,6 +300,14 @@ func (s *shard) len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.entries)
+}
+
+func (s *shard) appendAll(out *[]Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for e := s.tail; e != nil; e = e.prev {
+		*out = append(*out, Record{Key: e.key, Payload: e.payload})
+	}
 }
 
 func (s *shard) pushFront(e *lruEntry) {

@@ -1,0 +1,113 @@
+package secchan
+
+// Per-frame idle deadlines and a total session budget.
+//
+// A single whole-session deadline punishes the wrong peers: a healthy
+// client streaming a large image through a slow link gets cut off, while a
+// malicious one can hold a serving worker for the entire deadline by
+// trickling one byte at a time. Limited splits the two concerns: every
+// Read/Write refreshes a short *idle* deadline (progress keeps a session
+// alive, silence kills it within idle), and a separate total *budget*
+// bounds the whole session no matter how steadily the peer trickles.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+)
+
+// Timeout errors. Both wrap the transport's deadline error, so callers can
+// match the typed reason (errors.Is(err, ErrIdleTimeout)) or the generic
+// os.ErrDeadlineExceeded.
+var (
+	// ErrIdleTimeout: the peer made no progress for a whole idle interval.
+	ErrIdleTimeout = errors.New("secchan: idle deadline exceeded")
+	// ErrSessionBudget: the session outlived its total time budget.
+	ErrSessionBudget = errors.New("secchan: session budget exhausted")
+)
+
+// DeadlineRW is a stream with per-direction deadlines; net.Conn satisfies
+// it.
+type DeadlineRW interface {
+	io.ReadWriter
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// Limited enforces the idle/budget pair over a DeadlineRW. It is not safe
+// for concurrent use, matching Session.
+type Limited struct {
+	c        DeadlineRW
+	idle     time.Duration // <= 0: no idle deadline
+	deadline time.Time     // zero: no budget
+}
+
+// NewLimited wraps c: each Read/Write arms a deadline of now+idle, capped
+// at the absolute session deadline now+budget. idle <= 0 disables the idle
+// deadline, budget <= 0 the session budget; with both disabled the wrapper
+// is transparent.
+func NewLimited(c DeadlineRW, idle, budget time.Duration) *Limited {
+	l := &Limited{c: c, idle: idle}
+	if budget > 0 {
+		l.deadline = time.Now().Add(budget)
+	}
+	return l
+}
+
+// arm installs the deadline for the next operation.
+func (l *Limited) arm(set func(time.Time) error) error {
+	now := time.Now()
+	if !l.deadline.IsZero() && !now.Before(l.deadline) {
+		return ErrSessionBudget
+	}
+	var dl time.Time
+	if l.idle > 0 {
+		dl = now.Add(l.idle)
+	}
+	if !l.deadline.IsZero() && (dl.IsZero() || l.deadline.Before(dl)) {
+		dl = l.deadline
+	}
+	if dl.IsZero() {
+		return nil
+	}
+	return set(dl)
+}
+
+// classify wraps a transport timeout with the typed reason: budget if the
+// session deadline has passed, idle otherwise.
+func (l *Limited) classify(err error) error {
+	if err == nil || !isTimeout(err) {
+		return err
+	}
+	if !l.deadline.IsZero() && !time.Now().Before(l.deadline) {
+		return fmt.Errorf("%w: %w", ErrSessionBudget, err)
+	}
+	return fmt.Errorf("%w: %w", ErrIdleTimeout, err)
+}
+
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func (l *Limited) Read(b []byte) (int, error) {
+	if err := l.arm(l.c.SetReadDeadline); err != nil {
+		return 0, err
+	}
+	n, err := l.c.Read(b)
+	return n, l.classify(err)
+}
+
+func (l *Limited) Write(b []byte) (int, error) {
+	if err := l.arm(l.c.SetWriteDeadline); err != nil {
+		return 0, err
+	}
+	n, err := l.c.Write(b)
+	return n, l.classify(err)
+}

@@ -1,0 +1,140 @@
+package secchan
+
+import (
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestLimitedIdleTimeout: a silent peer is cut off within roughly the idle
+// interval, long before any session budget.
+func TestLimitedIdleTimeout(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+
+	l := NewLimited(srv, 50*time.Millisecond, time.Minute)
+	start := time.Now()
+	_, err := l.Read(make([]byte, 1))
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrIdleTimeout) {
+		t.Fatalf("error = %v, want ErrIdleTimeout", err)
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("error %v should also match os.ErrDeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("idle cut-off took %v", elapsed)
+	}
+}
+
+// TestLimitedBudgetStopsTrickler: a peer that keeps making 1-byte progress
+// within the idle window is still bounded by the total session budget.
+func TestLimitedBudgetStopsTrickler(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			cli.SetWriteDeadline(time.Now().Add(time.Second))
+			if _, err := cli.Write([]byte{'x'}); err != nil {
+				cli.Close()
+				return
+			}
+			select {
+			case <-stop:
+				cli.Close()
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}()
+
+	l := NewLimited(srv, time.Minute, 150*time.Millisecond)
+	var got int
+	var err error
+	start := time.Now()
+	for {
+		_, err = l.Read(make([]byte, 1))
+		if err != nil {
+			break
+		}
+		got++
+		if got > 10000 {
+			t.Fatal("trickler never cut off")
+		}
+	}
+	if !errors.Is(err, ErrSessionBudget) {
+		t.Fatalf("error = %v after %d bytes, want ErrSessionBudget", err, got)
+	}
+	if got == 0 {
+		t.Fatal("no progress before the budget fired; trickle never started")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("budget cut-off took %v", elapsed)
+	}
+}
+
+// TestLimitedSteadyTransferSurvives: a transfer that keeps making progress
+// within the idle window completes even though it takes several idle
+// intervals end to end.
+func TestLimitedSteadyTransferSurvives(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+
+	const chunks = 8
+	go func() {
+		for i := 0; i < chunks; i++ {
+			time.Sleep(20 * time.Millisecond) // well inside idle
+			cli.Write([]byte{byte(i)})
+		}
+	}()
+
+	l := NewLimited(srv, 200*time.Millisecond, time.Minute)
+	buf := make([]byte, 1)
+	for i := 0; i < chunks; i++ {
+		if _, err := l.Read(buf); err != nil {
+			t.Fatalf("chunk %d: %v (steady progress must survive idle refresh)", i, err)
+		}
+		if buf[0] != byte(i) {
+			t.Fatalf("chunk %d: got %d", i, buf[0])
+		}
+	}
+}
+
+// TestLimitedDisabled: zero idle and budget make the wrapper transparent.
+func TestLimitedDisabled(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	go cli.Write([]byte("ok"))
+	l := NewLimited(srv, 0, 0)
+	buf := make([]byte, 2)
+	if _, err := l.Read(buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("Read = %q, %v", buf, err)
+	}
+}
+
+// TestLimitedWriteBudget: writes are budgeted too — a peer that never
+// reads cannot pin the sender past the session budget.
+func TestLimitedWriteBudget(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+
+	l := NewLimited(srv, time.Minute, 100*time.Millisecond)
+	var err error
+	for i := 0; i < 100; i++ {
+		if _, err = l.Write(make([]byte, 1024)); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrSessionBudget) && !errors.Is(err, ErrIdleTimeout) {
+		t.Fatalf("error = %v, want a typed timeout", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"engarde/internal/attest"
 	"engarde/internal/secchan"
@@ -23,10 +24,14 @@ import (
 // The verdict (and the executable-page list, which stays host-side) is all
 // the provider ever learns about the client's code.
 
-// hello is the first protocol message.
+// hello is the first protocol message. A gateway under overload sends a
+// hello carrying only Busy — no quote, no key — so a turned-away client
+// learns it was shed (and when to retry) instead of watching a silently
+// closed socket.
 type hello struct {
 	Quote     quoteWire `json:"quote"`
 	PublicKey []byte    `json:"public_key_der"`
+	Busy      *Verdict  `json:"busy,omitempty"`
 }
 
 // quoteWire is the JSON encoding of an attestation quote.
@@ -87,6 +92,10 @@ const (
 	CodeRejected ReasonCode = "rejected"
 	// CodeInternal: the provisioning machinery itself failed.
 	CodeInternal ReasonCode = "internal-error"
+	// CodeBusy: the service shed the connection under overload before any
+	// enclave work; the content was never seen. Retry after the verdict's
+	// RetryAfterMillis hint.
+	CodeBusy ReasonCode = "busy"
 )
 
 // Verdict is the provider-visible outcome sent back to the client.
@@ -94,6 +103,9 @@ type Verdict struct {
 	Compliant bool       `json:"compliant"`
 	Code      ReasonCode `json:"code,omitempty"`
 	Reason    string     `json:"reason,omitempty"`
+	// RetryAfterMillis, on a CodeBusy verdict, hints how long the client
+	// should back off before retrying (the Retry-After of the protocol).
+	RetryAfterMillis int64 `json:"retry_after_ms,omitempty"`
 }
 
 // VerdictForReport derives the wire verdict from a provisioning report.
@@ -125,6 +137,18 @@ func recvJSON(r io.Reader, v any) error {
 		return fmt.Errorf("engarde: decoding message: %w", err)
 	}
 	return nil
+}
+
+// SendBusy writes the overload-shedding first message: a hello carrying a
+// CodeBusy verdict with a Retry-After hint instead of a quote. Serving
+// layers call it when admission control turns a connection away.
+func SendBusy(w io.Writer, retryAfter time.Duration) error {
+	return sendJSON(w, hello{Busy: &Verdict{
+		Compliant:        false,
+		Code:             CodeBusy,
+		Reason:           "service overloaded, retry later",
+		RetryAfterMillis: retryAfter.Milliseconds(),
+	}})
 }
 
 // ProvisionFunc provisions a decrypted image and returns the report. The
@@ -206,6 +230,11 @@ func (c *Client) Provision(conn io.ReadWriter, image []byte) (Verdict, error) {
 	if err := recvJSON(conn, &h); err != nil {
 		return Verdict{}, fmt.Errorf("engarde: receiving hello: %w", err)
 	}
+	if h.Busy != nil {
+		// Shed at admission: the verdict is the whole outcome. Not an error —
+		// the protocol worked; the service just has no room right now.
+		return *h.Busy, nil
+	}
 	q, err := quoteFromWire(h.Quote)
 	if err != nil {
 		return Verdict{}, err
@@ -213,7 +242,7 @@ func (c *Client) Provision(conn io.ReadWriter, image []byte) (Verdict, error) {
 	// Attestation: genuine EnGarde, on a genuine platform, with this exact
 	// public key bound into the quote (§2, §3).
 	if err := attest.VerifyQuote(q, c.PlatformKey, c.Expected, attest.BindPublicKey(h.PublicKey)); err != nil {
-		return Verdict{}, fmt.Errorf("engarde: attestation failed: %w", err)
+		return Verdict{}, fmt.Errorf("%w: %w", ErrAttestation, err)
 	}
 
 	sess, wrapped, err := secchan.WrapSessionKey(h.PublicKey, nil)

@@ -1,0 +1,123 @@
+package engarde
+
+// Client-side resilience: retry with exponential backoff and full jitter.
+//
+// A production gateway sheds load with typed busy verdicts (CodeBusy +
+// Retry-After) and cuts off stalled sessions with idle/budget deadlines.
+// The matching client behavior is to retry — with exponentially growing,
+// fully jittered delays so a thundering herd of shed clients does not
+// return in lockstep — while treating permanent failures (attestation
+// mismatch, policy rejection) as final immediately.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// ErrAttestation marks a failed quote verification. It is permanent: the
+// platform is not running genuine EnGarde, and retrying cannot fix that.
+var ErrAttestation = errors.New("engarde: attestation failed")
+
+// ErrBusy is wrapped into the error returned when every attempt was shed
+// with a busy verdict.
+var ErrBusy = errors.New("engarde: service busy")
+
+// Retry defaults for RetryPolicy fields left zero.
+const (
+	DefaultRetryAttempts  = 5
+	DefaultRetryBaseDelay = 100 * time.Millisecond
+	DefaultRetryMaxDelay  = 5 * time.Second
+)
+
+// RetryPolicy configures ProvisionRetry's backoff.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first.
+	// 0 means DefaultRetryAttempts.
+	Attempts int
+	// BaseDelay is the backoff ceiling before the first retry; it doubles
+	// per retry up to MaxDelay. 0 means DefaultRetryBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling. 0 means DefaultRetryMaxDelay.
+	MaxDelay time.Duration
+	// Seed fixes the jitter stream (tests); 0 derives one from the clock.
+	Seed int64
+	// Sleep replaces time.Sleep (tests).
+	Sleep func(time.Duration)
+	// OnRetry, when set, observes each backoff decision before sleeping.
+	OnRetry func(attempt int, delay time.Duration, cause error)
+}
+
+// retryable reports whether err is worth another attempt: transport and
+// machinery trouble is, a failed attestation is not.
+func retryable(err error) bool {
+	return !errors.Is(err, ErrAttestation)
+}
+
+// ProvisionRetry runs Provision with retries: each attempt dials a fresh
+// connection, and failed attempts back off exponentially with full jitter
+// — delay drawn uniformly from [0, min(MaxDelay, BaseDelay·2^n)) — floored
+// by the server's Retry-After hint when the gateway shed the attempt with
+// a busy verdict. Non-busy verdicts (compliant or rejected) and permanent
+// errors return immediately.
+func (c *Client) ProvisionRetry(dial func() (net.Conn, error), image []byte, p RetryPolicy) (Verdict, error) {
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultRetryAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetryMaxDelay
+	}
+	if p.Seed == 0 {
+		p.Seed = time.Now().UnixNano()
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	var last error
+	var hint time.Duration
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			ceiling := p.BaseDelay << (attempt - 1)
+			if ceiling > p.MaxDelay || ceiling <= 0 {
+				ceiling = p.MaxDelay
+			}
+			delay := time.Duration(rng.Int63n(int64(ceiling) + 1))
+			if hint > delay {
+				delay = hint // never retry before the server asked us to
+			}
+			if p.OnRetry != nil {
+				p.OnRetry(attempt, delay, last)
+			}
+			sleep(delay)
+		}
+		conn, err := dial()
+		if err != nil {
+			last = err
+			continue
+		}
+		v, err := c.Provision(conn, image)
+		conn.Close()
+		if err != nil {
+			if !retryable(err) {
+				return Verdict{}, err
+			}
+			last = err
+			continue
+		}
+		if v.Code == CodeBusy {
+			hint = time.Duration(v.RetryAfterMillis) * time.Millisecond
+			last = fmt.Errorf("%w: %s", ErrBusy, v.Reason)
+			continue
+		}
+		return v, nil
+	}
+	return Verdict{}, fmt.Errorf("engarde: provisioning failed after %d attempts: %w", p.Attempts, last)
+}
