@@ -57,6 +57,14 @@ type gatewayPoint struct {
 	CacheHits      uint64  `json:"verdict_cache_hits"`
 	FnCacheHits    uint64  `json:"fn_cache_hits,omitempty"`
 	FnCacheMisses  uint64  `json:"fn_cache_misses,omitempty"`
+	// Latency is the client-observed per-session distribution (wall-clock,
+	// noisy on shared hardware; quantiles are log₂-bucket upper bounds).
+	Latency bench.LatencyQuantiles `json:"latency"`
+	// SpanMillis/SpanCycles total the run's trace spans: wall-clock per
+	// span name and cycle-model charges per pipeline phase. The cycle
+	// totals are deterministic for a fixed image set and worker count.
+	SpanMillis map[string]float64 `json:"span_total_ms,omitempty"`
+	SpanCycles map[string]uint64  `json:"span_cycles,omitempty"`
 }
 
 // jsonReport is the -json output schema.
@@ -89,6 +97,9 @@ func runJSON() error {
 			Sessions:       sessions,
 			SessionsPerSec: res.SessionsPerSec,
 			CacheHits:      res.Stats.CacheHits,
+			Latency:        res.Latency,
+			SpanMillis:     res.SpanMillis,
+			SpanCycles:     res.SpanCycles,
 		}
 		if res.Stats.FnCache != nil {
 			pt.FnCacheHits = res.Stats.FnCache.Hits

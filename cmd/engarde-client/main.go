@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"engarde"
+	"engarde/internal/obs"
 )
 
 func main() {
@@ -36,15 +37,25 @@ func main() {
 	clientPages := flag.Int("client-pages", 1024, "expected enclave client-region pages (must match the host)")
 	retries := flag.Int("retries", engarde.DefaultRetryAttempts, "provisioning attempts before giving up (busy gateways and transient errors are retried; attestation failures are not)")
 	retryBase := flag.Duration("retry-base", engarde.DefaultRetryBaseDelay, "base delay for exponential backoff between attempts")
+	logLevel := flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+	logFormat := flag.String("log-format", "text", "log record format (text, json)")
 	flag.Parse()
 
-	if err := run(*connect, *keyPath, *binPath, *heapPages, *clientPages, *retries, *retryBase); err != nil {
+	if err := run(*connect, *keyPath, *binPath, *heapPages, *clientPages, *retries, *retryBase, *logLevel, *logFormat); err != nil {
 		fmt.Fprintln(os.Stderr, "engarde-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(connect, keyPath, binPath string, heapPages, clientPages, retries int, retryBase time.Duration) error {
+func run(connect, keyPath, binPath string, heapPages, clientPages, retries int, retryBase time.Duration, logLevel, logFormat string) error {
+	level, err := obs.ParseLevel(logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, logFormat)
+	if err != nil {
+		return err
+	}
 	if binPath == "" {
 		return errors.New("-binary is required")
 	}
@@ -68,7 +79,8 @@ func run(connect, keyPath, binPath string, heapPages, clientPages, retries int, 
 	if err != nil {
 		return err
 	}
-	fmt.Printf("expecting EnGarde measurement %x\n", expected[:8])
+	logger.Info("expecting EnGarde measurement",
+		"mrenclave_prefix", fmt.Sprintf("%x", expected[:8]))
 
 	client := &engarde.Client{Expected: expected, PlatformKey: platformKey}
 	verdict, err := client.ProvisionRetry(
@@ -78,7 +90,8 @@ func run(connect, keyPath, binPath string, heapPages, clientPages, retries int, 
 			Attempts:  retries,
 			BaseDelay: retryBase,
 			OnRetry: func(attempt int, delay time.Duration, cause error) {
-				fmt.Fprintf(os.Stderr, "attempt %d failed (%v); retrying in %s\n", attempt, cause, delay)
+				logger.Warn("attempt failed; retrying",
+					"attempt", attempt, "delay", delay.String(), "err", cause)
 			},
 		})
 	if err != nil {

@@ -7,11 +7,20 @@
 //	engarde-gatewayd -listen 127.0.0.1:7779 \
 //	                 -policies stack-protector,ifcc \
 //	                 -max-concurrent 16 -cache-entries 4096 \
-//	                 -stats-addr 127.0.0.1:7780
+//	                 -stats-addr 127.0.0.1:7780 \
+//	                 -log-level info -log-format text -trace-dir /tmp/traces
 //
-// The stats endpoint serves a JSON snapshot at /statsz: admissions,
-// verdict counts, cache hit rate, per-phase cycle totals across all
-// tenants, and a session latency histogram.
+// The stats address serves three telemetry endpoints: /statsz (JSON
+// snapshot: admissions, verdict counts, cache hit rates, per-phase cycle
+// totals, latency histogram), /metricsz (the same registry in Prometheus
+// text exposition format), and /tracez (recent per-session trace span
+// timelines; add ?format=chrome for a chrome://tracing document).
+// -trace-dir additionally writes every session's trace to disk, as
+// append-only JSONL plus one Chrome trace_event file per session.
+//
+// Logs are structured (log/slog, text or JSON) and every session record
+// carries the session's trace ID, so a slow span seen in /tracez joins to
+// the log line of the session that produced it.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: listeners close, in-flight
 // and queued sessions finish (up to -drain-timeout), then the process
@@ -34,6 +43,7 @@ import (
 	"engarde"
 	"engarde/internal/cycles"
 	"engarde/internal/gateway"
+	"engarde/internal/obs"
 )
 
 func main() {
@@ -59,7 +69,11 @@ func main() {
 		idleTimeout   = flag.Duration("idle-timeout", gateway.DefaultIdleTimeout, "per-frame idle deadline: a session must make read/write progress within this (negative disables)")
 		sessionBudget = flag.Duration("session-budget", gateway.DefaultSessionBudget, "total time budget per session, regardless of progress (negative disables)")
 		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight sessions; expiring it exits non-zero")
-		statsAddr     = flag.String("stats-addr", "", "serve the JSON stats snapshot at http://<stats-addr>/statsz (empty disables)")
+		statsAddr     = flag.String("stats-addr", "", "serve telemetry at http://<stats-addr>/statsz, /metricsz, /tracez (empty disables)")
+
+		logLevel  = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		logFormat = flag.String("log-format", "text", "log record format (text, json)")
+		traceDir  = flag.String("trace-dir", "", "write every session's trace here: traces.jsonl plus one Chrome trace_event file per session (empty = in-memory /tracez only)")
 	)
 	flag.Parse()
 
@@ -73,6 +87,7 @@ func main() {
 		fnCacheEntries: *fnCacheEntries, fnCachePath: *fnCachePath,
 		fnCacheReprobe: *fnCacheReprobe,
 		drainTimeout:   *drainTimeout, statsAddr: *statsAddr,
+		logLevel: *logLevel, logFormat: *logFormat, traceDir: *traceDir,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "engarde-gatewayd:", err)
 		os.Exit(1)
@@ -92,9 +107,19 @@ type config struct {
 	idleTimeout, sessionBudget              time.Duration
 	drainTimeout                            time.Duration
 	statsAddr                               string
+	logLevel, logFormat, traceDir           string
 }
 
 func run(cfg config) error {
+	level, err := obs.ParseLevel(cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, cfg.logFormat)
+	if err != nil {
+		return err
+	}
+
 	pols, err := engarde.ParsePolicies(cfg.policies)
 	if err != nil {
 		return err
@@ -102,7 +127,7 @@ func run(cfg config) error {
 	version := engarde.SGXv2
 	if cfg.sgxv1 {
 		version = engarde.SGXv1
-		fmt.Println("WARNING: SGXv1 mode; W^X is enforced only in host page tables (paper §3)")
+		logger.Warn("SGXv1 mode; W^X is enforced only in host page tables (paper §3)")
 	}
 
 	// A shared counter aggregates per-phase cycle totals across all tenant
@@ -125,7 +150,7 @@ func run(cfg config) error {
 		if err := os.WriteFile(cfg.keyOut, block, 0o644); err != nil {
 			return err
 		}
-		fmt.Println("platform attestation key written to", cfg.keyOut)
+		logger.Info("platform attestation key written", "path", cfg.keyOut)
 	}
 
 	expected, err := engarde.ExpectedMeasurement(version, engarde.EnclaveConfig{
@@ -134,8 +159,15 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("EnGarde enclave measurement: %x\n", expected[:])
-	fmt.Printf("policies: %v\n", pols.Names())
+	logger.Info("EnGarde enclave ready",
+		"mrenclave", fmt.Sprintf("%x", expected[:]), "policies", pols.Names())
+
+	// The sink always exists so /tracez serves the recent-session ring even
+	// without a trace directory.
+	sink, err := obs.NewSink(0, cfg.traceDir)
+	if err != nil {
+		return err
+	}
 
 	gw, err := gateway.New(gateway.Config{
 		Provider:       provider,
@@ -153,22 +185,15 @@ func run(cfg config) error {
 		IdleTimeout:    cfg.idleTimeout,
 		SessionBudget:  cfg.sessionBudget,
 		Counter:        counter,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
+		Logger:         logger,
+		TraceSink:      sink,
 		OnServed: func(conn net.Conn, _ *engarde.Enclave, rep *engarde.Report, err error) {
-			switch {
-			case err != nil:
-				fmt.Fprintf(os.Stderr, "%s: provisioning failed: %v\n", conn.RemoteAddr(), err)
-			case rep.Compliant:
-				hit := ""
-				if rep.CacheHit {
-					hit = " [cache hit]"
-				}
-				fmt.Printf("%s: COMPLIANT%s (%d instructions, %d exec pages)\n",
-					conn.RemoteAddr(), hit, rep.NumInsts, len(rep.ExecPages))
-			default:
-				fmt.Printf("%s: REJECTED: %s\n", conn.RemoteAddr(), rep.Reason)
+			// The gateway already logged the session (with its trace ID);
+			// this adds the verdict detail only a compliant report carries.
+			if err == nil && rep.Compliant {
+				logger.Info("tenant provisioned",
+					"remote", connString(conn), "cache_hit", rep.CacheHit,
+					"insts", rep.NumInsts, "exec_pages", len(rep.ExecPages))
 			}
 		},
 	})
@@ -180,7 +205,7 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("serving on", ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String())
 
 	var statsSrv *http.Server
 	if cfg.statsAddr != "" {
@@ -190,9 +215,14 @@ func run(cfg config) error {
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/statsz", gw.StatsHandler())
+		mux.Handle("/metricsz", gw.MetricsHandler())
+		mux.Handle("/tracez", sink.Handler())
 		statsSrv = &http.Server{Handler: mux}
 		go func() { _ = statsSrv.Serve(statsLn) }()
-		fmt.Printf("stats on http://%s/statsz\n", statsLn.Addr())
+		logger.Info("telemetry endpoints up",
+			"statsz", fmt.Sprintf("http://%s/statsz", statsLn.Addr()),
+			"metricsz", fmt.Sprintf("http://%s/metricsz", statsLn.Addr()),
+			"tracez", fmt.Sprintf("http://%s/tracez", statsLn.Addr()))
 	}
 
 	serveErr := make(chan error, 1)
@@ -204,7 +234,8 @@ func run(cfg config) error {
 	var result error
 	select {
 	case sig := <-sigs:
-		fmt.Printf("received %s, draining (up to %s; signal again to force)\n", sig, cfg.drainTimeout)
+		logger.Info("draining", "signal", sig.String(),
+			"timeout", cfg.drainTimeout.String(), "hint", "signal again to force")
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 		go func() {
 			<-sigs
@@ -230,7 +261,16 @@ func run(cfg config) error {
 	}
 
 	s := gw.Stats()
-	fmt.Printf("served %d sessions (%d compliant, %d rejected-by-policy, %d errors); cache hit rate %.0f%%\n",
-		s.Served, s.Compliant, s.NonCompliant, s.Errors, 100*s.CacheHitRate)
+	logger.Info("shutdown complete",
+		"served", s.Served, "compliant", s.Compliant,
+		"non_compliant", s.NonCompliant, "errors", s.Errors,
+		"cache_hit_rate", fmt.Sprintf("%.2f", s.CacheHitRate))
 	return result
+}
+
+func connString(conn net.Conn) string {
+	if addr := conn.RemoteAddr(); addr != nil {
+		return addr.String()
+	}
+	return "<unknown>"
 }

@@ -32,6 +32,7 @@ import (
 
 	"engarde"
 	"engarde/internal/gateway"
+	"engarde/internal/obs"
 )
 
 func main() {
@@ -42,15 +43,26 @@ func main() {
 	clientPages := flag.Int("client-pages", 1024, "enclave client-region pages")
 	sgxv1 := flag.Bool("sgxv1", false, "emulate SGX version 1 (insecure; for the AsyncShock demo)")
 	once := flag.Bool("once", false, "serve a single connection and exit; non-zero status if provisioning fails or is rejected")
+	logLevel := flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+	logFormat := flag.String("log-format", "text", "log record format (text, json)")
 	flag.Parse()
 
-	if err := run(*listen, *policies, *keyOut, *heapPages, *clientPages, *sgxv1, *once); err != nil {
+	if err := run(*listen, *policies, *keyOut, *heapPages, *clientPages, *sgxv1, *once, *logLevel, *logFormat); err != nil {
 		fmt.Fprintln(os.Stderr, "engarde-host:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, policyList, keyOut string, heapPages, clientPages int, sgxv1, once bool) error {
+func run(listen, policyList, keyOut string, heapPages, clientPages int, sgxv1, once bool, logLevel, logFormat string) error {
+	level, err := obs.ParseLevel(logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, logFormat)
+	if err != nil {
+		return err
+	}
+
 	pols, err := engarde.ParsePolicies(policyList)
 	if err != nil {
 		return err
@@ -58,7 +70,7 @@ func run(listen, policyList, keyOut string, heapPages, clientPages int, sgxv1, o
 	version := engarde.SGXv2
 	if sgxv1 {
 		version = engarde.SGXv1
-		fmt.Println("WARNING: SGXv1 mode; W^X is enforced only in host page tables (paper §3)")
+		logger.Warn("SGXv1 mode; W^X is enforced only in host page tables (paper §3)")
 	}
 	provider, err := engarde.NewProvider(engarde.ProviderConfig{Version: version})
 	if err != nil {
@@ -74,7 +86,7 @@ func run(listen, policyList, keyOut string, heapPages, clientPages int, sgxv1, o
 		if err := os.WriteFile(keyOut, block, 0o644); err != nil {
 			return err
 		}
-		fmt.Println("platform attestation key written to", keyOut)
+		logger.Info("platform attestation key written", "path", keyOut)
 	}
 
 	expected, err := engarde.ExpectedMeasurement(version, engarde.EnclaveConfig{
@@ -83,8 +95,8 @@ func run(listen, policyList, keyOut string, heapPages, clientPages int, sgxv1, o
 	if err != nil {
 		return err
 	}
-	fmt.Printf("EnGarde enclave measurement: %x\n", expected[:])
-	fmt.Printf("policies: %v\n", pols.Names())
+	logger.Info("EnGarde enclave ready",
+		"mrenclave", fmt.Sprintf("%x", expected[:]), "policies", pols.Names())
 
 	// -once delivers the first session's outcome here so the process can
 	// exit with it instead of swallowing failures (exit status matters to
@@ -95,9 +107,7 @@ func run(listen, policyList, keyOut string, heapPages, clientPages int, sgxv1, o
 		Policies:    pols,
 		HeapPages:   heapPages,
 		ClientPages: clientPages,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
+		Logger:      logger,
 		OnServed: func(conn net.Conn, encl *engarde.Enclave, rep *engarde.Report, err error) {
 			res := report(conn, encl, rep, err)
 			if once {
@@ -116,7 +126,7 @@ func run(listen, policyList, keyOut string, heapPages, clientPages int, sgxv1, o
 	if err != nil {
 		return err
 	}
-	fmt.Println("serving on", ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- gw.Serve(context.Background(), ln) }()

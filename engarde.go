@@ -34,6 +34,7 @@ import (
 	"engarde/internal/attest"
 	"engarde/internal/core"
 	"engarde/internal/cycles"
+	"engarde/internal/obs"
 	"engarde/internal/policy"
 	"engarde/internal/policy/asan"
 	"engarde/internal/policy/ifcc"
@@ -159,6 +160,11 @@ type EnclaveConfig struct {
 	// reuses. Share one cache across enclaves to amortize checking of the
 	// common approved libc.
 	FnCache *FnCache
+	// Trace, when non-nil, records this enclave's provisioning timeline:
+	// cycle-metered spans for enclave creation and every pipeline phase.
+	// Serving layers thread the same trace through the protocol context
+	// (obs.WithTrace) so the protocol steps land on the same timeline.
+	Trace *obs.Trace
 }
 
 // Provider is the cloud provider's side: one SGX machine with its quoting
@@ -236,6 +242,7 @@ func (p *Provider) CreateEnclave(cfg EnclaveConfig) (*Enclave, error) {
 		DisasmWorkers: cfg.DisasmWorkers,
 		PolicyWorkers: cfg.PolicyWorkers,
 		FnMemo:        cfg.FnCache,
+		Trace:         cfg.Trace,
 	}, p.dev)
 	if err != nil {
 		return nil, err

@@ -16,7 +16,9 @@ import (
 	"time"
 
 	"engarde"
+	"engarde/internal/cycles"
 	"engarde/internal/gateway"
+	"engarde/internal/obs"
 	"engarde/internal/toolchain"
 )
 
@@ -96,11 +98,31 @@ type GatewayLoadConfig struct {
 	PolicyWorkers int
 }
 
+// LatencyQuantiles summarizes a load run's per-session latency
+// distribution: upper-bound estimates from a log₂ histogram, in
+// milliseconds, as seen by the clients (connect to verdict, including
+// shed-and-retry backoff).
+type LatencyQuantiles struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_ms"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+}
+
 // GatewayLoadResult reports one load run.
 type GatewayLoadResult struct {
 	Elapsed        time.Duration
 	SessionsPerSec float64
-	Stats          gateway.Stats
+	// Latency is the client-observed per-session latency distribution.
+	Latency LatencyQuantiles
+	// SpanMillis totals wall-clock time per trace span name across all
+	// sessions — where the run's time went (attest, disasm, policy:*, ...).
+	SpanMillis map[string]float64
+	// SpanCycles totals the cycle-model charges attributed to phase spans,
+	// keyed by pipeline phase name.
+	SpanCycles map[string]uint64
+	Stats      gateway.Stats
 }
 
 // RunGatewayLoad drives cfg.Sessions provisioning sessions through a
@@ -126,7 +148,10 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 		cfg.ClientPages = 512
 	}
 
-	provider, err := engarde.NewProvider(engarde.ProviderConfig{EPCPages: 32000})
+	// A run-private counter meters the provisioning work so the traces'
+	// phase spans carry cycle attributions (SpanCycles in the result).
+	counter := cycles.NewCounter(cycles.DefaultModel())
+	provider, err := engarde.NewProvider(engarde.ProviderConfig{EPCPages: 32000, Counter: counter})
 	if err != nil {
 		return nil, err
 	}
@@ -134,6 +159,14 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 	if fnEntries <= 0 {
 		fnEntries = -1
 	}
+	// The sink retains every session's trace so span totals cover the whole
+	// run; the latency histogram records client-side microseconds.
+	sink, err := obs.NewSink(cfg.Sessions, "")
+	if err != nil {
+		return nil, err
+	}
+	latReg := obs.NewRegistry()
+	latHist := latReg.Histogram("bench_session_micros", "", obs.HistogramOpts{Buckets: 32})
 	gw, err := gateway.New(gateway.Config{
 		Provider:       provider,
 		Policies:       cfg.Policies,
@@ -146,6 +179,7 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 		FnCacheEntries: fnEntries,
 		IdleTimeout:    -1, // in-memory pipes; deadlines only add noise
 		SessionBudget:  -1,
+		TraceSink:      sink,
 	})
 	if err != nil {
 		return nil, err
@@ -183,11 +217,13 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 			}
 			for i := range next {
 				image := cfg.Images[i%len(cfg.Images)]
+				t0 := time.Now()
 				v, err := client.ProvisionRetry(ln.dial, image, policy)
 				if err != nil {
 					errs <- fmt.Errorf("session %d: %w", i, err)
 					return
 				}
+				latHist.Observe(uint64(time.Since(t0) / time.Microsecond))
 				if !v.Compliant {
 					errs <- fmt.Errorf("session %d rejected: %s", i, v.Reason)
 					return
@@ -216,11 +252,32 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 	default:
 	}
 
-	return &GatewayLoadResult{
+	res := &GatewayLoadResult{
 		Elapsed:        elapsed,
 		SessionsPerSec: float64(cfg.Sessions) / elapsed.Seconds(),
+		SpanMillis:     make(map[string]float64),
+		SpanCycles:     make(map[string]uint64),
 		Stats:          gw.Stats(),
-	}, nil
+	}
+	if n := latHist.Count(); n > 0 {
+		res.Latency = LatencyQuantiles{
+			Count: n,
+			Mean:  float64(latHist.Sum()) / float64(n) / 1e3,
+			P50:   float64(latHist.Quantile(0.50)) / 1e3,
+			P95:   float64(latHist.Quantile(0.95)) / 1e3,
+			P99:   float64(latHist.Quantile(0.99)) / 1e3,
+		}
+	}
+	for _, td := range sink.Recent() {
+		for i := range td.Spans {
+			sp := &td.Spans[i]
+			res.SpanMillis[sp.Name] += float64(sp.Dur) / float64(time.Millisecond)
+			for phase, cyc := range sp.Cycles {
+				res.SpanCycles[phase] += cyc
+			}
+		}
+	}
+	return res, nil
 }
 
 // DistinctImages builds n byte-distinct stack-protected executables, so a

@@ -32,6 +32,7 @@ import (
 	"engarde/internal/hostos"
 	"engarde/internal/loader"
 	"engarde/internal/nacl"
+	"engarde/internal/obs"
 	"engarde/internal/policy"
 	"engarde/internal/policy/memo"
 	"engarde/internal/secchan"
@@ -119,6 +120,13 @@ type Config struct {
 	// re-checking them. Verdicts are identical with or without it; only
 	// the metered cost changes. Nil (the default) means cold checking.
 	FnMemo *memo.Cache
+	// Trace, when non-nil, records the provisioning timeline: one
+	// cycle-metered phase span per pipeline stage (enclave creation,
+	// staging, disassembly, policy checking, loading, finalization) plus
+	// wall-clock sub-spans from the sharded passes. When the trace shares
+	// Counter with this config and the counter started at zero, the spans'
+	// per-phase cycle sums equal Report.Phases exactly.
+	Trace *obs.Trace
 }
 
 func (c *Config) applyDefaults() {
@@ -219,6 +227,10 @@ func New(cfg Config) (*EnGarde, error) {
 // enclaves can share one device, as in the multi-tenant example).
 func NewOnDevice(cfg Config, dev *sgx.Device) (*EnGarde, error) {
 	cfg.applyDefaults()
+	// Enclave creation charges (EADD/EEXTEND/EINIT/EENTER, RSA keygen) land
+	// in the provisioning phase; the span attributes them to this session.
+	sp := cfg.Trace.StartPhase("create-enclave")
+	defer sp.End()
 	g := &EnGarde{cfg: cfg, dev: dev}
 	g.drv = hostos.NewDriver(dev)
 	g.proc = hostos.NewProcess()
@@ -448,6 +460,13 @@ func (g *EnGarde) provision(image []byte, prior *Report) (*Report, error) {
 		return nil, ErrAlreadyProvisioned
 	}
 
+	// Each pipeline stage runs under a cycle-metered phase span. The stages
+	// are strictly sequential, so `cur` always holds the one open span; the
+	// deferred End closes it on every early return (End is idempotent).
+	tr := g.cfg.Trace
+	cur := tr.StartPhase("stage")
+	defer func() { cur.End() }()
+
 	// Stage the received image in the enclave heap.
 	g.dev.SetPhase(cycles.PhaseProvision)
 	if _, err := g.heapAlloc(uint64(len(image)), cycles.PhaseProvision); err != nil {
@@ -493,8 +512,10 @@ func (g *EnGarde) provision(image []byte, prior *Report) (*Report, error) {
 		// accounting (§4). For stripped binaries, function boundaries are
 		// recovered from the decoded program before the reachability rule
 		// runs (the §6 extension).
+		cur.End()
+		cur = tr.StartPhase("disasm")
 		g.dev.SetPhase(cycles.PhaseDisasm)
-		prog, err := nacl.DecodeProgramParallel(text.Data, text.Addr, g.cfg.Counter, g.cfg.DisasmWorkers)
+		prog, err := nacl.DecodeProgramTraced(text.Data, text.Addr, g.cfg.Counter, g.cfg.DisasmWorkers, tr)
 		if err != nil {
 			return g.reject(fmt.Sprintf("disassembly: %v", err), nil), nil
 		}
@@ -510,8 +531,10 @@ func (g *EnGarde) provision(image []byte, prior *Report) (*Report, error) {
 		numInsts = len(prog.Insts)
 
 		// Policy checking (§3, §5).
+		cur.End()
+		cur = tr.StartPhase("policy")
 		g.dev.SetPhase(cycles.PhasePolicy)
-		pctx := &policy.Context{Program: prog, Symbols: tab, Counter: g.cfg.Counter}
+		pctx := &policy.Context{Program: prog, Symbols: tab, Counter: g.cfg.Counter, Trace: tr}
 		if g.cfg.FnMemo != nil && tab != nil && g.cfg.Policies.AnyMemoizable() {
 			// Warm path: one serial fingerprint pass computes every
 			// function's content digest, then the module hit sets are fixed
@@ -544,6 +567,8 @@ func (g *EnGarde) provision(image []byte, prior *Report) (*Report, error) {
 	}
 
 	// Loading and relocation (§4).
+	cur.End()
+	cur = tr.StartPhase("load")
 	g.dev.SetPhase(cycles.PhaseLoad)
 	res, err := loader.Load(f, enclaveMemory{g: g}, loader.Config{
 		Base:    g.layout.ClientBase,
@@ -558,6 +583,8 @@ func (g *EnGarde) provision(image []byte, prior *Report) (*Report, error) {
 	// Hand the executable-page list to the host kernel component, which
 	// pins W^X, drops the stack guard to read-only, and locks the enclave
 	// (§3).
+	cur.End()
+	cur = tr.StartPhase("finalize")
 	g.dev.SetPhase(cycles.PhaseProvision)
 	if err := g.kern.ProtectGuardPages(g.proc, g.encl, []uint64{res.GuardPage}); err != nil {
 		return nil, fmt.Errorf("core: guard setup: %w", err)

@@ -32,6 +32,11 @@ const (
 	numPhases
 )
 
+// NumPhases is the exclusive upper bound of valid Phase values: phases are
+// 1..NumPhases-1, so a [NumPhases]uint64 indexed by Phase has one unused
+// slot at 0. Telemetry code sizes fixed per-phase arrays with it.
+const NumPhases = int(numPhases)
+
 var phaseNames = map[Phase]string{
 	PhaseProvision: "Provisioning",
 	PhaseDisasm:    "Disassembly",
@@ -254,6 +259,17 @@ func (c *Counter) SnapshotNamed() map[string]uint64 {
 		if v := c.cycles[p].Load(); v > 0 {
 			out[p.String()] = v
 		}
+	}
+	return out
+}
+
+// SnapshotArray returns the per-phase cycle totals as a fixed array indexed
+// by Phase (slot 0 unused). It allocates nothing, so span instrumentation
+// can snapshot the counter on the hot path without GC pressure.
+func (c *Counter) SnapshotArray() [NumPhases]uint64 {
+	var out [NumPhases]uint64
+	for p := 1; p < int(numPhases); p++ {
+		out[p] = c.cycles[p].Load()
 	}
 	return out
 }

@@ -16,6 +16,7 @@ package faults
 
 import (
 	"errors"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"time"
@@ -31,6 +32,14 @@ const (
 	OpRead Op = iota
 	OpWrite
 )
+
+// String names the operation class for logs and failure reports.
+func (o Op) String() string {
+	if o == OpRead {
+		return "read"
+	}
+	return "write"
+}
 
 // Action is one kind of injected fault.
 type Action int
@@ -110,6 +119,15 @@ type Schedule struct {
 	ErrorProb    float64
 
 	Triggers []Trigger
+
+	// Logger, when set, records every injected fault (action, operation
+	// class, operation index) — the same structured handler the serving
+	// layer logs through, so a chaos run's faults interleave with the
+	// sessions they hit.
+	Logger *slog.Logger
+	// TraceID, when set, tags this schedule's fault records with the
+	// session trace the faulted stream belongs to.
+	TraceID string
 }
 
 // injector is the shared decision engine: a seeded stream of fault
@@ -133,12 +151,23 @@ func newInjector(s Schedule) *injector {
 	return &injector{rng: rand.New(rand.NewSource(s.Seed)), sched: s}
 }
 
-// decide picks the fault for the next operation of class op.
+// decide picks the fault for the next operation of class op, logging any
+// non-trivial decision outside the lock.
 func (in *injector) decide(op Op) Action {
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	n := in.counts[op]
 	in.counts[op]++
+	act := in.pickLocked(op, n)
+	in.mu.Unlock()
+	if act != ActNone && in.sched.Logger != nil {
+		in.sched.Logger.Warn("faults: injecting",
+			"action", act.String(), "op", op.String(), "n", n,
+			"trace", in.sched.TraceID)
+	}
+	return act
+}
+
+func (in *injector) pickLocked(op Op, n int) Action {
 	for _, t := range in.sched.Triggers {
 		if t.Op == op && t.N == n {
 			return t.Do

@@ -18,9 +18,12 @@
 //     identical policy set skips disassembly and policy checking entirely
 //     (sound because the check is a pure function of both inputs); the
 //     Report records the hit.
-//   - Observability and lifecycle: an atomic Stats snapshot (admissions,
-//     verdicts, cache hit rate, per-phase cycle totals, latency histogram)
-//     exposed as a /statsz JSON handler, a Logf hook, and
+//   - Observability and lifecycle: a metrics registry (internal/obs) behind
+//     both a Prometheus /metricsz exposition and the /statsz JSON snapshot
+//     (admissions, verdicts, cache hit rates, per-phase cycle totals,
+//     latency/queue-wait/frame-size histograms), a per-session trace with
+//     spans for every protocol step and pipeline phase (Config.TraceSink,
+//     /tracez), structured logs carrying the trace ID, and
 //     Serve(ctx)/Shutdown(ctx) with connection draining.
 //
 // Every connection still gets its own freshly measured enclave — that is
@@ -35,12 +38,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	"engarde"
 	"engarde/internal/cycles"
+	"engarde/internal/obs"
 	"engarde/internal/secchan"
 )
 
@@ -116,9 +121,18 @@ type Config struct {
 	// feeds the stats endpoint. If nil, the Provider's counter is used;
 	// phase stats are empty when both are nil.
 	Counter *cycles.Counter
-	// Logf, when set, receives one line per notable event (admission
-	// rejection, serve failure, shutdown). Printf-style.
+	// Logger receives structured session records (admission rejection,
+	// serve outcome, shutdown), each carrying the session's trace ID. Nil
+	// falls back to a Logf adapter when Logf is set, else logging is off.
+	Logger *slog.Logger
+	// Logf, when set and Logger is nil, receives one rendered line per log
+	// record at info level and above. Printf-style; kept for callers
+	// predating Logger.
 	Logf func(format string, args ...any)
+	// TraceSink, when set, receives every session's finished trace (span
+	// timeline plus per-phase cycle attribution) — serve its Handler at
+	// /tracez and point it at a directory for Chrome trace files.
+	TraceSink *obs.Sink
 	// OnServed, when set, is called after each admitted connection is
 	// served: rep/err are ServeProvision's results (encl is nil when
 	// enclave creation itself failed). It runs on the worker goroutine
@@ -135,9 +149,10 @@ type Gateway struct {
 	policyFP [sha256.Size]byte
 	cache    *verdictCache    // nil when disabled
 	fnCache  *engarde.FnCache // shared across enclaves; nil when disabled
-	stats    counters
+	metrics  *metrics
+	log      *slog.Logger
 
-	queue    chan net.Conn
+	queue    chan queuedConn
 	stop     chan struct{}
 	stopOnce sync.Once
 
@@ -148,6 +163,13 @@ type Gateway struct {
 
 	connWG   sync.WaitGroup // admitted connections
 	workerWG sync.WaitGroup // worker goroutines
+}
+
+// queuedConn is one admitted connection waiting for a worker, stamped at
+// admission so the queue-wait histogram records how long it sat.
+type queuedConn struct {
+	conn net.Conn
+	at   time.Time
 }
 
 // New builds a gateway and starts its worker pool.
@@ -183,11 +205,19 @@ func New(cfg Config) (*Gateway, error) {
 	if counter == nil {
 		counter = cfg.Provider.Counter()
 	}
+	logger := cfg.Logger
+	if logger == nil && cfg.Logf != nil {
+		logger = obs.LogfLogger(slog.LevelInfo, cfg.Logf)
+	}
+	if logger == nil {
+		logger = obs.DiscardLogger()
+	}
 	g := &Gateway{
 		cfg:       cfg,
 		counter:   counter,
+		log:       logger,
 		policyFP:  cfg.Policies.Fingerprint(),
-		queue:     make(chan net.Conn, cfg.QueueDepth),
+		queue:     make(chan queuedConn, cfg.QueueDepth),
 		stop:      make(chan struct{}),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
@@ -212,17 +242,15 @@ func New(cfg Config) (*Gateway, error) {
 		}
 		g.fnCache = fc
 	}
+	// After the caches and counter so the registry's live-read series match
+	// what this gateway actually has, before the workers so no instrument is
+	// ever nil on the hot path.
+	g.metrics = newMetrics(g)
 	g.workerWG.Add(cfg.MaxConcurrent)
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		go g.worker()
 	}
 	return g, nil
-}
-
-func (g *Gateway) logf(format string, args ...any) {
-	if g.cfg.Logf != nil {
-		g.cfg.Logf(format, args...)
-	}
 }
 
 // Serve accepts connections on ln until the listener fails, ctx is
@@ -285,16 +313,16 @@ func (g *Gateway) admit(conn net.Conn) {
 	g.mu.Lock()
 	if g.shutdown {
 		g.mu.Unlock()
-		g.stats.rejected.Add(1)
+		g.metrics.rejected.Inc()
 		conn.Close()
 		return
 	}
 	select {
-	case g.queue <- conn:
+	case g.queue <- queuedConn{conn: conn, at: time.Now()}:
 		// connWG.Add happens under g.mu so Shutdown's Wait cannot race it.
 		g.connWG.Add(1)
 		g.mu.Unlock()
-		g.stats.accepted.Add(1)
+		g.metrics.accepted.Inc()
 	default:
 		// Shed: tell the peer it was turned away and when to come back,
 		// off the accept loop so a slow rejected peer cannot stall accepts.
@@ -302,8 +330,9 @@ func (g *Gateway) admit(conn net.Conn) {
 		// a short write deadline, so Shutdown still terminates promptly.
 		g.connWG.Add(1)
 		g.mu.Unlock()
-		g.stats.shed.Add(1)
-		g.logf("gateway: shedding %s: pool and queue full", connAddr(conn))
+		g.metrics.shed.Inc()
+		g.log.Warn("gateway: shedding connection",
+			"remote", connAddr(conn), "reason", "pool and queue full")
 		go func() {
 			defer g.connWG.Done()
 			defer conn.Close()
@@ -347,8 +376,8 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 		g.mu.Unlock()
 		for {
 			select {
-			case c := <-g.queue:
-				c.Close()
+			case q := <-g.queue:
+				q.conn.Close()
 				g.connWG.Done()
 				continue
 			default:
@@ -369,7 +398,7 @@ func (g *Gateway) closeFnCache() {
 		return
 	}
 	if err := g.fnCache.Close(); err != nil {
-		g.logf("gateway: closing function-result cache: %v", err)
+		g.log.Error("gateway: closing function-result cache", "err", err)
 	}
 }
 
@@ -379,13 +408,13 @@ func (g *Gateway) worker() {
 	defer g.workerWG.Done()
 	for {
 		select {
-		case conn := <-g.queue:
-			g.handle(conn)
+		case q := <-g.queue:
+			g.handle(q)
 		case <-g.stop:
 			for {
 				select {
-				case conn := <-g.queue:
-					g.handle(conn)
+				case q := <-g.queue:
+					g.handle(q)
 				default:
 					return
 				}
@@ -407,14 +436,22 @@ func (g *Gateway) untrackConn(conn net.Conn) {
 }
 
 // handle serves one admitted connection: fresh enclave, protocol, verdict
-// cache, stats, teardown.
-func (g *Gateway) handle(conn net.Conn) {
+// cache, telemetry, teardown.
+func (g *Gateway) handle(q queuedConn) {
+	conn := q.conn
 	defer g.connWG.Done()
 	defer conn.Close()
 	g.trackConn(conn)
 	defer g.untrackConn(conn)
-	g.stats.active.Add(1)
-	defer g.stats.active.Add(-1)
+	g.metrics.queueWait.Observe(uint64(time.Since(q.at) / time.Microsecond))
+	g.metrics.active.Inc()
+	defer g.metrics.active.Dec()
+
+	// The session trace spans the protocol steps and pipeline phases. The
+	// counter is shared across workers, so per-phase cycle deltas are an
+	// attribution estimate under concurrency (see obs.Trace); wall-clock
+	// spans are exact either way.
+	tr := obs.NewTrace("provision", g.counter)
 
 	// Per-frame idle deadline + total session budget (internal/secchan):
 	// silence kills a session within IdleTimeout, and no amount of 1-byte
@@ -430,6 +467,7 @@ func (g *Gateway) handle(conn net.Conn) {
 		}
 		rw = secchan.NewLimited(conn, idle, budget)
 	}
+	rw = secchan.ObserveFrames(rw, g.metrics)
 	start := time.Now()
 
 	encl, err := g.cfg.Provider.CreateEnclave(engarde.EnclaveConfig{
@@ -439,10 +477,13 @@ func (g *Gateway) handle(conn net.Conn) {
 		DisasmWorkers: g.cfg.DisasmWorkers,
 		PolicyWorkers: g.cfg.PolicyWorkers,
 		FnCache:       g.fnCache,
+		Trace:         tr,
 	})
 	if err != nil {
-		g.stats.errs.Add(1)
-		g.logf("gateway: creating enclave for %s: %v", connAddr(conn), err)
+		g.metrics.errs.Inc()
+		g.log.Error("gateway: creating enclave",
+			"trace", tr.ID(), "remote", connAddr(conn), "err", err)
+		g.finishTrace(tr)
 		if g.cfg.OnServed != nil {
 			g.cfg.OnServed(conn, nil, nil, err)
 		}
@@ -450,28 +491,48 @@ func (g *Gateway) handle(conn net.Conn) {
 	}
 	defer encl.Destroy()
 
-	rep, err := encl.ServeProvisionFunc(rw, func(image []byte) (*engarde.Report, error) {
+	ctx := obs.WithTrace(context.Background(), tr)
+	rep, err := encl.ServeProvisionFuncCtx(ctx, rw, func(image []byte) (*engarde.Report, error) {
 		return g.provision(encl, image)
 	})
-	g.stats.served.Add(1)
-	g.stats.hist.observe(time.Since(start))
+	dur := time.Since(start)
+	g.metrics.served.Inc()
+	g.metrics.latency.Observe(uint64(dur / time.Millisecond))
 	switch {
 	case err != nil:
-		g.stats.errs.Add(1)
+		g.metrics.errs.Inc()
 		if reason := timeoutReason(err); reason != "" {
-			g.stats.timeouts.Add(1)
-			g.logf("gateway: serving %s: %s: %v", connAddr(conn), reason, err)
+			g.metrics.timeouts.Inc()
+			g.log.Warn("gateway: session timed out",
+				"trace", tr.ID(), "remote", connAddr(conn), "reason", reason, "err", err)
 		} else {
-			g.logf("gateway: serving %s: %v", connAddr(conn), err)
+			g.log.Warn("gateway: session failed",
+				"trace", tr.ID(), "remote", connAddr(conn), "err", err)
 		}
 	case rep.Compliant:
-		g.stats.compliant.Add(1)
+		g.metrics.compliant.Inc()
+		g.log.Info("gateway: session served",
+			"trace", tr.ID(), "remote", connAddr(conn), "verdict", "compliant",
+			"cache_hit", rep.CacheHit, "dur_ms", dur.Milliseconds())
 	default:
-		g.stats.nonCompliant.Add(1)
+		g.metrics.nonCompliant.Inc()
+		g.log.Info("gateway: session served",
+			"trace", tr.ID(), "remote", connAddr(conn), "verdict", "non-compliant",
+			"cache_hit", rep.CacheHit, "dur_ms", dur.Milliseconds())
 	}
+	g.finishTrace(tr)
 	if g.cfg.OnServed != nil {
 		g.cfg.OnServed(conn, encl, rep, err)
 	}
+}
+
+// finishTrace closes the session trace, feeds its spans into the aggregate
+// span-duration histograms, and hands it to the configured sink — all off
+// the protocol path, after the verdict went out.
+func (g *Gateway) finishTrace(tr *obs.Trace) {
+	tr.Finish()
+	g.metrics.observeTrace(tr.Snapshot())
+	g.cfg.TraceSink.Record(tr)
 }
 
 // provision is the cache-aware provisioning step handed to
@@ -484,7 +545,7 @@ func (g *Gateway) provision(encl *engarde.Enclave, image []byte) (*engarde.Repor
 	}
 	key := cacheKey{image: sha256.Sum256(image), policy: g.policyFP}
 	if prior, ok := g.cache.get(key); ok {
-		g.stats.cacheHits.Add(1)
+		g.metrics.cacheHits.Inc()
 		if !prior.Compliant {
 			// A cached rejection needs no enclave work at all: the verdict
 			// is the whole outcome.
@@ -497,7 +558,7 @@ func (g *Gateway) provision(encl *engarde.Enclave, image []byte) (*engarde.Repor
 		// checking, the dominant cost (paper Figures 3-5).
 		return encl.ProvisionPrechecked(image, prior)
 	}
-	g.stats.cacheMisses.Add(1)
+	g.metrics.cacheMisses.Inc()
 	rep, err := encl.Provision(image)
 	if err == nil {
 		g.cache.put(key, rep)

@@ -2,49 +2,15 @@ package gateway
 
 import (
 	"encoding/json"
-	"math/bits"
 	"net/http"
-	"sync/atomic"
-	"time"
 
 	"engarde"
+	"engarde/internal/obs"
 )
-
-// counters holds the gateway's hot-path metrics. All fields are atomic so
-// workers never contend on a stats lock.
-type counters struct {
-	accepted     atomic.Uint64
-	rejected     atomic.Uint64
-	shed         atomic.Uint64
-	timeouts     atomic.Uint64
-	served       atomic.Uint64
-	compliant    atomic.Uint64
-	nonCompliant atomic.Uint64
-	errs         atomic.Uint64
-	cacheHits    atomic.Uint64
-	cacheMisses  atomic.Uint64
-	active       atomic.Int64
-	hist         latencyHist
-}
 
 // numLatencyBuckets covers sessions up to ~2^20 ms (≈17 min) with
 // power-of-two bounds; the last bucket is unbounded.
 const numLatencyBuckets = 22
-
-// latencyHist is a lock-free histogram of session latencies. Bucket i
-// counts latencies in [2^(i-1), 2^i) milliseconds (bucket 0: < 1 ms).
-type latencyHist struct {
-	buckets [numLatencyBuckets]atomic.Uint64
-}
-
-func (h *latencyHist) observe(d time.Duration) {
-	ms := uint64(d / time.Millisecond)
-	i := bits.Len64(ms)
-	if i >= numLatencyBuckets {
-		i = numLatencyBuckets - 1
-	}
-	h.buckets[i].Add(1)
-}
 
 // LatencyBucket is one histogram bucket: Count sessions took less than
 // LEMillis milliseconds (cumulative, Prometheus-style).
@@ -56,49 +22,25 @@ type LatencyBucket struct {
 // LatencySnapshot summarizes the latency histogram.
 type LatencySnapshot struct {
 	Count    uint64          `json:"count"`
-	P50Milli float64         `json:"p50_ms"` // upper bound of the median bucket
-	P95Milli float64         `json:"p95_ms"` // upper bound of the p95 bucket
+	P50Milli float64         `json:"p50_ms"`           // upper bound of the median bucket
+	P95Milli float64         `json:"p95_ms"`           // upper bound of the p95 bucket
+	P99Milli float64         `json:"p99_ms,omitempty"` // upper bound of the p99 bucket
 	Buckets  []LatencyBucket `json:"buckets,omitempty"`
 }
 
-func (h *latencyHist) snapshot() LatencySnapshot {
-	var raw [numLatencyBuckets]uint64
-	var total uint64
-	last := -1
-	for i := range raw {
-		raw[i] = h.buckets[i].Load()
-		total += raw[i]
-		if raw[i] > 0 {
-			last = i
-		}
-	}
-	out := LatencySnapshot{Count: total}
-	if total == 0 {
+// latencySnapshot derives the /statsz latency view from the registry's
+// session-duration histogram — the same instrument /metricsz exposes as
+// engarde_gateway_session_seconds, read in its native milliseconds.
+func latencySnapshot(h *obs.Histogram) LatencySnapshot {
+	out := LatencySnapshot{Count: h.Count()}
+	if out.Count == 0 {
 		return out
 	}
-	bound := func(i int) float64 {
-		if i == 0 {
-			return 1
-		}
-		return float64(uint64(1) << uint(i))
-	}
-	quantile := func(q float64) float64 {
-		target := uint64(q * float64(total))
-		var cum uint64
-		for i := 0; i <= last; i++ {
-			cum += raw[i]
-			if cum > target {
-				return bound(i)
-			}
-		}
-		return bound(last)
-	}
-	out.P50Milli = quantile(0.50)
-	out.P95Milli = quantile(0.95)
-	var cum uint64
-	for i := 0; i <= last; i++ {
-		cum += raw[i]
-		out.Buckets = append(out.Buckets, LatencyBucket{LEMillis: bound(i), Count: cum})
+	out.P50Milli = float64(h.Quantile(0.50))
+	out.P95Milli = float64(h.Quantile(0.95))
+	out.P99Milli = float64(h.Quantile(0.99))
+	for _, b := range h.Snapshot() {
+		out.Buckets = append(out.Buckets, LatencyBucket{LEMillis: float64(b.Le), Count: b.Count})
 	}
 	return out
 }
@@ -138,22 +80,25 @@ type Stats struct {
 }
 
 // Stats returns a consistent-enough snapshot for monitoring: each field is
-// read atomically, though the set is not a single atomic cut.
+// read atomically, though the set is not a single atomic cut. The snapshot
+// is a read-through view over the same registry instruments /metricsz
+// serves, so the two endpoints can never drift apart.
 func (g *Gateway) Stats() Stats {
+	m := g.metrics
 	s := Stats{
-		Accepted:     g.stats.accepted.Load(),
-		Shed:         g.stats.shed.Load(),
-		Rejected:     g.stats.rejected.Load(),
-		TimedOut:     g.stats.timeouts.Load(),
-		Active:       g.stats.active.Load(),
+		Accepted:     m.accepted.Value(),
+		Shed:         m.shed.Value(),
+		Rejected:     m.rejected.Value(),
+		TimedOut:     m.timeouts.Value(),
+		Active:       m.active.Value(),
 		Queued:       len(g.queue),
-		Served:       g.stats.served.Load(),
-		Compliant:    g.stats.compliant.Load(),
-		NonCompliant: g.stats.nonCompliant.Load(),
-		Errors:       g.stats.errs.Load(),
-		CacheHits:    g.stats.cacheHits.Load(),
-		CacheMisses:  g.stats.cacheMisses.Load(),
-		Latency:      g.stats.hist.snapshot(),
+		Served:       m.served.Value(),
+		Compliant:    m.compliant.Value(),
+		NonCompliant: m.nonCompliant.Value(),
+		Errors:       m.errs.Value(),
+		CacheHits:    m.cacheHits.Value(),
+		CacheMisses:  m.cacheMisses.Value(),
+		Latency:      latencySnapshot(m.latency),
 	}
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
@@ -184,4 +129,16 @@ func (g *Gateway) StatsHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(g.Stats())
 	})
+}
+
+// MetricsHandler serves the Prometheus text exposition (version 0.0.4) of
+// the gateway's registry — mount it at /metricsz.
+func (g *Gateway) MetricsHandler() http.Handler {
+	return g.metrics.reg.Handler()
+}
+
+// Registry exposes the gateway's metrics registry so a serving binary can
+// register additional process-level series on the same exposition.
+func (g *Gateway) Registry() *obs.Registry {
+	return g.metrics.reg
 }

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"engarde/internal/cycles"
+	"engarde/internal/obs"
 	"engarde/internal/symtab"
 	"engarde/internal/x86"
 )
@@ -123,10 +124,20 @@ func DecodeProgram(code []byte, base uint64, counter *cycles.Counter) (*Program,
 // sequential path and charges the same cycle totals: speculative decode
 // work thrown away at seam reconciliation is never charged.
 func DecodeProgramParallel(code []byte, base uint64, counter *cycles.Counter, workers int) (*Program, error) {
+	return DecodeProgramTraced(code, base, counter, workers, nil)
+}
+
+// DecodeProgramTraced is DecodeProgramParallel with one wall-clock span per
+// validation pass recorded on tr (nil tr is a no-op). The passes run
+// sequentially, but cycle attribution stays with the caller's enclosing
+// disassembly phase span, so the pass spans are timing-only.
+func DecodeProgramTraced(code []byte, base uint64, counter *cycles.Counter, workers int, tr *obs.Trace) (*Program, error) {
 	p := &Program{Base: base, End: base + uint64(len(code))}
 
 	// Pass 1: full decode (rejects mixed code/data).
+	sp := tr.StartSpan("disasm:decode")
 	insts, err := decodeSharded(code, base, normalizeWorkers(workers, len(code)))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -136,20 +147,26 @@ func DecodeProgramParallel(code []byte, base uint64, counter *cycles.Counter, wo
 	}
 
 	// Pass 2: bundle rule.
-	if i := firstIndex(len(p.Insts), workers, func(i int) bool {
+	sp = tr.StartSpan("disasm:bundle-check")
+	i := firstIndex(len(p.Insts), workers, func(i int) bool {
 		in := &p.Insts[i]
 		return in.Addr/BundleSize != (in.Addr+uint64(in.Len)-1)/BundleSize
-	}); i >= 0 {
+	})
+	sp.End()
+	if i >= 0 {
 		in := &p.Insts[i]
 		return nil, fmt.Errorf("%w: %s at %#x (%d bytes)", ErrBundleCrossing, in.String(), in.Addr, in.Len)
 	}
 
 	// Pass 3: control-transfer targets. Targets outside the region (e.g.
 	// into a runtime the enclave doesn't have) are invalid too.
-	if i := firstIndex(len(p.Insts), workers, func(i int) bool {
+	sp = tr.StartSpan("disasm:branch-check")
+	i = firstIndex(len(p.Insts), workers, func(i int) bool {
 		tgt, ok := p.Insts[i].BranchTarget()
 		return ok && (!p.Contains(tgt) || !p.IsInstStart(tgt))
-	}); i >= 0 {
+	})
+	sp.End()
+	if i >= 0 {
 		in := &p.Insts[i]
 		tgt, _ := in.BranchTarget()
 		return nil, fmt.Errorf("%w: %s at %#x targets %#x", ErrBadBranchTarget, in.String(), in.Addr, tgt)

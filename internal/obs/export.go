@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSONL appends one trace as a single JSON line — the on-disk format
+// of -trace-dir's traces.jsonl and the default /tracez body. One line per
+// trace keeps the file greppable by trace_id and tailable while the
+// gateway runs.
+func WriteJSONL(w io.Writer, d *TraceData) error {
+	if d == nil {
+		return nil
+	}
+	enc, err := json.Marshal(d)
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array format,
+// the subset understood by chrome://tracing and Perfetto: complete events
+// ("ph":"X") with microsecond timestamps plus thread-name metadata events
+// ("ph":"M").
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // µs since trace epoch
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders traces in Chrome trace_event format. Each trace
+// becomes one "thread" (tid = its index, labeled name [id] via a metadata
+// event), so concurrent sessions render as parallel rows; spans become
+// complete events carrying per-phase cycle deltas in args.cycles. Open the
+// output in chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, traces []*TraceData) error {
+	var f chromeFile
+	// Timestamps are relative to the earliest trace start so the viewer
+	// opens at t=0 rather than 56 years into a Unix-epoch timeline.
+	var epoch int64
+	for _, d := range traces {
+		if d == nil {
+			continue
+		}
+		if epoch == 0 || d.StartUnixNano < epoch {
+			epoch = d.StartUnixNano
+		}
+	}
+	for tid, d := range traces {
+		if d == nil {
+			continue
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": d.Name + " [" + d.ID + "]"},
+		})
+		for _, sp := range d.Spans {
+			ev := chromeEvent{
+				Name: sp.Name,
+				Ph:   "X",
+				Ts:   float64(sp.StartUnixNano-epoch) / 1e3,
+				Dur:  float64(sp.Dur) / 1e3,
+				Pid:  1,
+				Tid:  tid,
+				Args: map[string]any{"trace_id": d.ID},
+			}
+			if len(sp.Cycles) > 0 {
+				ev.Args["cycles"] = sp.Cycles
+			}
+			f.TraceEvents = append(f.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// ReadChromeTrace parses a file written by WriteChromeTrace back into its
+// events' name/args form — enough for tests (and offline tooling) to
+// recover the per-phase cycle attributions without a browser.
+func ReadChromeTrace(r io.Reader) ([]ChromeSpan, error) {
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Args struct {
+				TraceID string            `json:"trace_id"`
+				Cycles  map[string]uint64 `json:"cycles"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, err
+	}
+	out := make([]ChromeSpan, 0, len(f.TraceEvents))
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		out = append(out, ChromeSpan{Name: ev.Name, TraceID: ev.Args.TraceID, Cycles: ev.Args.Cycles})
+	}
+	return out, nil
+}
+
+// ChromeSpan is one complete event recovered by ReadChromeTrace.
+type ChromeSpan struct {
+	Name    string
+	TraceID string
+	Cycles  map[string]uint64
+}

@@ -1,0 +1,379 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint strictly validates a Prometheus text exposition (format 0.0.4) and
+// returns every problem found. It is an independent re-implementation of
+// the format rules — not a call back into the Registry's writer — so it
+// can catch the writer's own bugs; the CI metrics-conformance job and the
+// scrape tests both run scrape output through it.
+//
+// Checks: comment/sample grammar, metric and label name charsets, escape
+// sequences in label values, TYPE declared once and before samples, known
+// TYPE values, every sample belonging to a declared family, no duplicate
+// series, parseable values, and histogram shape (le on every bucket, an
+// le="+Inf" bucket equal to _count, _sum present, cumulative bucket counts
+// non-decreasing in le order).
+func Lint(r io.Reader) []error {
+	l := &linter{
+		typ:     make(map[string]string),
+		help:    make(map[string]bool),
+		seen:    make(map[string]int),
+		sampled: make(map[string]bool),
+		hists:   make(map[string]*histState),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		l.line(n, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		l.errs = append(l.errs, fmt.Errorf("read: %w", err))
+	}
+	l.finish()
+	return l.errs
+}
+
+type histState struct {
+	line    int
+	buckets map[float64]float64 // le → cumulative count
+	sum     *float64
+	count   *float64
+}
+
+type linter struct {
+	errs    []error
+	typ     map[string]string
+	help    map[string]bool
+	seen    map[string]int        // name + canonical labels → first line
+	sampled map[string]bool       // family names that already emitted samples
+	hists   map[string]*histState // histogram base + "|" + labels sans le
+}
+
+func (l *linter) errf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (l *linter) line(n int, s string) {
+	if strings.TrimSpace(s) == "" {
+		return
+	}
+	if strings.HasPrefix(s, "#") {
+		l.comment(n, s)
+		return
+	}
+	l.sample(n, s)
+}
+
+func (l *linter) comment(n int, s string) {
+	fields := strings.SplitN(s, " ", 4)
+	if len(fields) < 2 {
+		return // bare comment, legal and ignored
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			l.errf(n, "malformed HELP line %q", s)
+			return
+		}
+		if l.help[fields[2]] {
+			l.errf(n, "second HELP for metric %s", fields[2])
+		}
+		l.help[fields[2]] = true
+	case "TYPE":
+		if len(fields) != 4 || !validMetricName(fields[2]) {
+			l.errf(n, "malformed TYPE line %q", s)
+			return
+		}
+		name, typ := fields[2], fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errf(n, "unknown TYPE %q for metric %s", typ, name)
+			return
+		}
+		if _, dup := l.typ[name]; dup {
+			l.errf(n, "second TYPE for metric %s", name)
+			return
+		}
+		if l.sampled[name] {
+			l.errf(n, "TYPE for %s appears after its samples", name)
+		}
+		l.typ[name] = typ
+	default:
+		// other comments are ignored
+	}
+}
+
+// sampleFamily maps a sample name to its declared family, folding
+// histogram/summary suffixes onto the base name.
+func sampleFamily(name string, typ map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := typ[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func (l *linter) sample(n int, s string) {
+	name, labels, value, ok := l.parseSample(n, s)
+	if !ok {
+		return
+	}
+	fam := sampleFamily(name, l.typ)
+	l.sampled[name] = true
+	l.sampled[fam] = true
+	t, declared := l.typ[fam]
+	if !declared {
+		l.errf(n, "sample %s has no TYPE declaration", name)
+		return
+	}
+
+	key := name + "{" + canonicalLintLabels(labels) + "}"
+	if first, dup := l.seen[key]; dup {
+		l.errf(n, "duplicate series %s (first at line %d)", key, first)
+		return
+	}
+	l.seen[key] = n
+
+	if t != "histogram" {
+		for _, lb := range labels {
+			if lb.Key == "le" {
+				l.errf(n, "label le on non-histogram metric %s", name)
+			}
+		}
+		return
+	}
+
+	// Histogram bookkeeping, grouped by base name + labels without le.
+	var le *float64
+	rest := make([]Label, 0, len(labels))
+	for _, lb := range labels {
+		if lb.Key == "le" {
+			v, err := parseLintFloat(lb.Value)
+			if err != nil {
+				l.errf(n, "unparseable le=%q on %s", lb.Value, name)
+				return
+			}
+			le = &v
+			continue
+		}
+		rest = append(rest, lb)
+	}
+	hk := fam + "|" + canonicalLintLabels(rest)
+	h := l.hists[hk]
+	if h == nil {
+		h = &histState{line: n, buckets: make(map[float64]float64)}
+		l.hists[hk] = h
+	}
+	switch {
+	case name == fam+"_bucket":
+		if le == nil {
+			l.errf(n, "histogram bucket %s missing le label", name)
+			return
+		}
+		h.buckets[*le] = value
+	case name == fam+"_sum":
+		h.sum = &value
+	case name == fam+"_count":
+		h.count = &value
+	default:
+		l.errf(n, "sample %s under histogram %s is not _bucket/_sum/_count", name, fam)
+	}
+}
+
+func (l *linter) finish() {
+	keys := make([]string, 0, len(l.hists))
+	for k := range l.hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := l.hists[k]
+		fam := strings.SplitN(k, "|", 2)[0]
+		inf, hasInf := h.buckets[math.Inf(1)]
+		if !hasInf {
+			l.errf(h.line, "histogram %s has no le=\"+Inf\" bucket", fam)
+		}
+		if h.count == nil {
+			l.errf(h.line, "histogram %s missing _count", fam)
+		} else if hasInf && *h.count != inf {
+			l.errf(h.line, "histogram %s: _count %v != +Inf bucket %v", fam, *h.count, inf)
+		}
+		if h.sum == nil {
+			l.errf(h.line, "histogram %s missing _sum", fam)
+		}
+		les := make([]float64, 0, len(h.buckets))
+		for le := range h.buckets {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		for i := 1; i < len(les); i++ {
+			if h.buckets[les[i]] < h.buckets[les[i-1]] {
+				l.errf(h.line, "histogram %s: bucket counts not cumulative (le=%v count %v < le=%v count %v)",
+					fam, les[i], h.buckets[les[i]], les[i-1], h.buckets[les[i-1]])
+				break
+			}
+		}
+	}
+}
+
+// parseSample parses `name{labels} value [timestamp]`.
+func (l *linter) parseSample(n int, s string) (string, []Label, float64, bool) {
+	i := 0
+	for i < len(s) && isNameChar(s[i], i == 0) {
+		i++
+	}
+	name := s[:i]
+	if !validMetricName(name) {
+		l.errf(n, "invalid metric name in sample %q", s)
+		return "", nil, 0, false
+	}
+	var labels []Label
+	if i < len(s) && s[i] == '{' {
+		var ok bool
+		labels, i, ok = l.parseLabels(n, s, i+1)
+		if !ok {
+			return "", nil, 0, false
+		}
+	}
+	rest := strings.Fields(s[i:])
+	if len(rest) < 1 || len(rest) > 2 {
+		l.errf(n, "expected value [timestamp] after series in %q", s)
+		return "", nil, 0, false
+	}
+	value, err := parseLintFloat(rest[0])
+	if err != nil {
+		l.errf(n, "unparseable value %q in %q", rest[0], s)
+		return "", nil, 0, false
+	}
+	if len(rest) == 2 {
+		if _, err := strconv.ParseInt(rest[1], 10, 64); err != nil {
+			l.errf(n, "unparseable timestamp %q in %q", rest[1], s)
+			return "", nil, 0, false
+		}
+	}
+	return name, labels, value, true
+}
+
+// parseLabels parses from just after '{' through '}', handling the three
+// escape sequences the format defines for label values (\\ \" \n).
+func (l *linter) parseLabels(n int, s string, i int) ([]Label, int, bool) {
+	var out []Label
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return out, i + 1, true
+		}
+		j := i
+		for j < len(s) && isLabelChar(s[j], j == i) {
+			j++
+		}
+		key := s[i:j]
+		if !validLintLabelName(key) {
+			l.errf(n, "invalid label name at column %d in %q", i+1, s)
+			return nil, 0, false
+		}
+		if j >= len(s) || s[j] != '=' {
+			l.errf(n, "expected = after label %s in %q", key, s)
+			return nil, 0, false
+		}
+		j++
+		if j >= len(s) || s[j] != '"' {
+			l.errf(n, "label value for %s not quoted in %q", key, s)
+			return nil, 0, false
+		}
+		j++
+		var val strings.Builder
+		for j < len(s) && s[j] != '"' {
+			if s[j] == '\\' {
+				j++
+				if j >= len(s) {
+					break
+				}
+				switch s[j] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					l.errf(n, "invalid escape \\%c in label %s of %q", s[j], key, s)
+					return nil, 0, false
+				}
+				j++
+				continue
+			}
+			val.WriteByte(s[j])
+			j++
+		}
+		if j >= len(s) {
+			l.errf(n, "unterminated label value for %s in %q", key, s)
+			return nil, 0, false
+		}
+		out = append(out, Label{Key: key, Value: val.String()})
+		i = j + 1
+	}
+}
+
+func parseLintFloat(s string) (float64, error) {
+	// strconv accepts "+Inf"/"-Inf"/"NaN" in the casings Prometheus emits.
+	return strconv.ParseFloat(s, 64)
+}
+
+func canonicalLintLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "=" + l.Value
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func isLabelChar(c byte, first bool) bool {
+	if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+// validLintLabelName is validLabelName without the registry-side "le is
+// reserved" rule: scraped output legitimately contains le on buckets.
+func validLintLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isLabelChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}

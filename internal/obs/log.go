@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value to a slog.Level. Accepted:
+// debug, info, warn, error (case-insensitive).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds the process logger from the -log-level/-log-format flag
+// pair. format is "text" or "json"; anything else errors so a typo'd flag
+// fails loudly at startup instead of silently logging in the wrong shape.
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text|json)", format)
+}
+
+// DiscardLogger returns a logger that drops everything — the default for
+// library code (gateway, tests, benchmarks) when no logger is configured,
+// so instrumentation never nil-checks. (slog.DiscardHandler needs go 1.24;
+// this module targets 1.22, hence the hand-rolled handler.)
+func DiscardLogger() *slog.Logger {
+	return slog.New(discardHandler{})
+}
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// LogfLogger adapts a printf-style sink (the gateway's historical
+// Config.Logf hook) into a slog.Logger, so code migrated to structured
+// logging keeps feeding tests and embedders that still capture lines.
+func LogfLogger(level slog.Level, logf func(format string, args ...any)) *slog.Logger {
+	return slog.New(&logfHandler{level: level, logf: logf})
+}
+
+type logfHandler struct {
+	level slog.Level
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+}
+
+func (h *logfHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= h.level
+}
+
+func (h *logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Message)
+	emit := func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value.Any())
+		return true
+	}
+	for _, a := range h.attrs {
+		emit(a)
+	}
+	r.Attrs(emit)
+	h.logf("%s", b.String())
+	return nil
+}
+
+func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	n := &logfHandler{level: h.level, logf: h.logf}
+	n.attrs = append(append(n.attrs, h.attrs...), attrs...)
+	return n
+}
+
+func (h *logfHandler) WithGroup(string) slog.Handler { return h }

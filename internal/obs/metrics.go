@@ -1,0 +1,462 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a process-local metrics registry rendering the Prometheus
+// text exposition format (version 0.0.4). It is deliberately tiny: three
+// instrument kinds (Counter, Gauge/GaugeFunc, Histogram), registration
+// panics on programmer errors (bad names, type clashes, duplicate series),
+// and reads are lock-free atomics so instruments can sit on the gateway's
+// hot path.
+//
+// Multiple series under one metric name are allowed as long as their label
+// sets differ — register each with its own Label values and the registry
+// groups them into one family with a single HELP/TYPE header.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+	byN  map[string]*family
+}
+
+// Label is one metric label pair. Labels are rendered in registration
+// order, not sorted, so pass them consistently.
+type Label struct {
+	Key, Value string
+}
+
+type metricType int
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	series []*series
+}
+
+type series struct {
+	labels string // pre-rendered {k="v",...} or ""
+	keys   string // canonical sorted key=value form for duplicate detection
+	write  func(w io.Writer, name, labels string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byN: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help string, typ metricType, labels []Label, write func(io.Writer, string, string)) {
+	if !validMetricName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l.Key) {
+			panic("obs: invalid label name " + strconv.Quote(l.Key) + " on " + name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byN[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.byN[name] = f
+		r.fams = append(r.fams, f)
+	} else if f.typ != typ {
+		panic("obs: metric " + name + " registered as both " + f.typ.String() + " and " + typ.String())
+	}
+	keys := canonicalLabels(labels)
+	for _, s := range f.series {
+		if s.keys == keys {
+			panic("obs: duplicate series " + name + "{" + keys + "}")
+		}
+	}
+	f.series = append(f.series, &series{
+		labels: renderLabels(labels),
+		keys:   keys,
+		write:  write,
+	})
+}
+
+// Counter registers and returns a monotonically increasing counter. The
+// name should end in _total per Prometheus convention.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, typeCounter, labels, func(w io.Writer, n, l string) {
+		fmt.Fprintf(w, "%s%s %d\n", n, l, c.Value())
+	})
+	return c
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, typeGauge, labels, func(w io.Writer, n, l string) {
+		fmt.Fprintf(w, "%s%s %d\n", n, l, g.Value())
+	})
+	return g
+}
+
+// CounterFunc registers a counter whose value is read live at scrape time,
+// for monotone totals owned by another object (cache eviction counts,
+// cycle-model phase totals). The function must be monotonically
+// non-decreasing over the process lifetime, or scrapers will see resets.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.register(name, help, typeCounter, labels, func(w io.Writer, n, l string) {
+		fmt.Fprintf(w, "%s%s %d\n", n, l, fn())
+	})
+}
+
+// GaugeFunc registers a gauge whose value is read live at scrape time —
+// the mechanism that keeps /metricsz and /statsz views of shared state
+// (cache sizes, phase cycle totals, queue depth) from ever diverging:
+// both read the same underlying object.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, typeGauge, labels, func(w io.Writer, n, l string) {
+		fmt.Fprintf(w, "%s%s %s\n", n, l, formatFloat(fn()))
+	})
+}
+
+// HistogramOpts configures a log₂-bucketed histogram.
+type HistogramOpts struct {
+	// Buckets is the number of finite buckets (default 22, matching the
+	// gateway's historical latency histogram). Bucket i counts observations
+	// v with bits.Len64(v) == i, i.e. v < 2^i, so finite upper bounds are
+	// 1, 2, 4, ... 2^(Buckets-1); larger observations land in the last
+	// bucket, whose rendered bound still undercounts them — the +Inf bucket
+	// carries the true total.
+	Buckets int
+	// Scale multiplies bucket bounds and _sum at exposition time, so an
+	// instrument can record in its natural integer unit (ms, µs, bytes)
+	// while the exposition follows Prometheus base-unit conventions
+	// (seconds): record ms with Scale 1e-3, µs with Scale 1e-6. Default 1.
+	Scale float64
+}
+
+// maxHistBuckets bounds the fixed bucket array; 64 covers every power of
+// two a uint64 observation can reach.
+const maxHistBuckets = 64
+
+// Histogram registers and returns a histogram with log₂ buckets backed by
+// atomic counters — Observe is a few atomic adds, no locks, no allocation.
+func (r *Registry) Histogram(name, help string, opts HistogramOpts, labels ...Label) *Histogram {
+	n := opts.Buckets
+	if n <= 0 {
+		n = 22
+	}
+	if n > maxHistBuckets {
+		n = maxHistBuckets
+	}
+	scale := opts.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	h := &Histogram{n: n, scale: scale}
+	r.register(name, help, typeHistogram, labels, func(w io.Writer, nm, l string) {
+		h.expose(w, nm, l)
+	})
+	return h
+}
+
+// Handler returns an http.Handler serving the exposition, for mounting at
+// /metricsz.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// WriteText renders the full exposition.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := &errWriter{w: w}
+	for _, f := range r.fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			s.write(bw, f.name, s.labels)
+		}
+	}
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, nil
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current total.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-size log₂-bucketed histogram with atomic buckets.
+// Observation i lands in bucket bits.Len64(v) (clamped), giving power-of-two
+// upper bounds — coarse but allocation-free and mergeable, the same scheme
+// the gateway has always used for /statsz latency.
+type Histogram struct {
+	n       int
+	scale   float64
+	buckets [maxHistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one observation in the histogram's native integer unit.
+func (h *Histogram) Observe(v uint64) {
+	i := bits.Len64(v)
+	if i >= h.n {
+		i = h.n - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations in the native unit.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Bucket is one (upper bound, cumulative count) pair of a histogram
+// snapshot, in the histogram's native unit.
+type Bucket struct {
+	Le    uint64 `json:"le_ms"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot returns cumulative buckets in the native unit, trailing empty
+// buckets trimmed — the shape /statsz has always served.
+func (h *Histogram) Snapshot() []Bucket {
+	counts := h.counts()
+	last := 0
+	for i, c := range counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	out := make([]Bucket, 0, last+1)
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += counts[i]
+		out = append(out, Bucket{Le: leBound(i), Count: cum})
+	}
+	return out
+}
+
+// Quantile returns the upper bound (native unit) of the first bucket whose
+// cumulative count exceeds q of the total — an upper-bound estimate, like
+// any bucketed quantile. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	counts := h.counts()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if c > 0 && cum > target {
+			return leBound(i)
+		}
+	}
+	return leBound(h.n - 1)
+}
+
+func (h *Histogram) counts() []uint64 {
+	out := make([]uint64, h.n)
+	for i := 0; i < h.n; i++ {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// leBound is the inclusive upper bound of bucket i in the native unit:
+// bucket i holds v with bits.Len64(v)==i, i.e. v <= 2^i - 1... except
+// bucket 0, which holds exactly v==0 but is bounded by 1 for continuity
+// with the historical /statsz rendering.
+func leBound(i int) uint64 {
+	if i >= 63 {
+		return 1 << 63
+	}
+	return 1 << uint(i)
+}
+
+// expose renders the histogram's exposition lines. Buckets are cumulative;
+// the count of observations past the last finite bound is carried by +Inf,
+// as the format requires.
+func (h *Histogram) expose(w io.Writer, name, labels string) {
+	counts := h.counts()
+	var cum uint64
+	for i := 0; i < h.n; i++ {
+		cum += counts[i]
+		le := float64(leBound(i)) * h.scale
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(labels, formatFloat(le)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(labels, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(float64(h.sum.Load())*h.scale))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, cum)
+}
+
+// bucketLabels merges a series' label block with the le label.
+func bucketLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func canonicalLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "=" + l.Value
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "le" { // le is reserved for histogram buckets
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,63 @@
+// Command promlint validates a Prometheus text exposition against the
+// strict checks of obs.Lint. It reads stdin by default, or scrapes a URL:
+//
+//	curl -s http://127.0.0.1:7780/metricsz | go run ./internal/obs/promlint
+//	go run ./internal/obs/promlint -url http://127.0.0.1:7780/metricsz
+//
+// Exit status is non-zero if the exposition is malformed or (with -url)
+// the scrape fails. CI's metrics-conformance job runs it against a live
+// gatewayd.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"os"
+	"time"
+
+	"engarde/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this URL instead of reading stdin")
+	flag.Parse()
+
+	if err := run(*url); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url string) error {
+	var in io.Reader = os.Stdin
+	if url != "" {
+		c := &http.Client{Timeout: 10 * time.Second}
+		resp, err := c.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("scrape %s: status %s", url, resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			mt, params, err := mime.ParseMediaType(ct)
+			if err != nil || mt != "text/plain" || params["version"] != "0.0.4" {
+				return fmt.Errorf("scrape %s: content type %q is not text/plain; version=0.0.4", url, ct)
+			}
+		}
+		in = resp.Body
+	}
+	errs := obs.Lint(in)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, e)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("%d exposition problem(s)", len(errs))
+	}
+	fmt.Println("exposition OK")
+	return nil
+}

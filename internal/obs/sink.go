@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Sink collects finished traces: the newest keep-count live in a ring
+// buffer served by /tracez, and, when a directory is configured
+// (-trace-dir), every trace is appended to <dir>/traces.jsonl and written
+// as <dir>/<name>-<id>.trace.json in Chrome trace_event format.
+//
+// Record is called once per session off the hot provisioning path (after
+// the verdict is sent), so the file writes cost the session nothing it
+// would notice; a nil *Sink is a valid no-op sink.
+type Sink struct {
+	dir string
+
+	mu   sync.Mutex
+	ring []*TraceData // newest last, len <= keep
+	keep int
+	errs int // file-write failures, reported once via /tracez header
+}
+
+// DefaultSinkKeep is how many recent traces /tracez serves from memory.
+const DefaultSinkKeep = 64
+
+// NewSink returns a sink retaining keep recent traces (0 = DefaultSinkKeep)
+// in memory. dir, when non-empty, is created and receives JSONL + Chrome
+// files for every recorded trace.
+func NewSink(keep int, dir string) (*Sink, error) {
+	if keep <= 0 {
+		keep = DefaultSinkKeep
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("trace dir: %w", err)
+		}
+	}
+	return &Sink{dir: dir, keep: keep}, nil
+}
+
+// Record finishes t (idempotent) and stores its snapshot. Safe on nil Sink
+// and nil Trace.
+func (s *Sink) Record(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	t.Finish()
+	d := t.Snapshot()
+
+	s.mu.Lock()
+	s.ring = append(s.ring, d)
+	if len(s.ring) > s.keep {
+		// Shift rather than reslice so the backing array doesn't pin every
+		// trace ever recorded.
+		copy(s.ring, s.ring[len(s.ring)-s.keep:])
+		s.ring = s.ring[:s.keep]
+	}
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		return
+	}
+	if err := s.writeFiles(d); err != nil {
+		s.mu.Lock()
+		s.errs++
+		s.mu.Unlock()
+	}
+}
+
+func (s *Sink) writeFiles(d *TraceData) error {
+	jl, err := os.OpenFile(filepath.Join(s.dir, "traces.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	werr := WriteJSONL(jl, d)
+	if cerr := jl.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+
+	name := d.Name
+	if name == "" {
+		name = "trace"
+	}
+	cf, err := os.Create(filepath.Join(s.dir, name+"-"+d.ID+".trace.json"))
+	if err != nil {
+		return err
+	}
+	werr = WriteChromeTrace(cf, []*TraceData{d})
+	if cerr := cf.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// Recent returns the retained traces, oldest first.
+func (s *Sink) Recent() []*TraceData {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*TraceData, len(s.ring))
+	copy(out, s.ring)
+	return out
+}
+
+// Handler serves the retained traces: JSONL by default (one trace per
+// line, newest last), or a single Chrome trace_event document with
+// ?format=chrome — pipe that straight into chrome://tracing or Perfetto.
+func (s *Sink) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traces := s.Recent()
+		if s != nil {
+			s.mu.Lock()
+			errs := s.errs
+			s.mu.Unlock()
+			if errs > 0 {
+				w.Header().Set("X-Trace-Write-Errors", fmt.Sprint(errs))
+			}
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteChromeTrace(w, traces)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, d := range traces {
+			_ = WriteJSONL(w, d)
+		}
+	})
+}

@@ -158,6 +158,8 @@ func (s *Set) CheckParallel(ctx *Context, workers int) error {
 		go func(mi int, m Module) {
 			defer wg.Done()
 			res := &results[mi]
+			sp := ctx.Trace.StartSpan("policy:" + m.Name())
+			defer sp.End()
 
 			sh, ok := m.(Sharded)
 			if !ok {

@@ -18,6 +18,7 @@ import (
 
 	"engarde/internal/cycles"
 	"engarde/internal/nacl"
+	"engarde/internal/obs"
 	"engarde/internal/policy/memo"
 	"engarde/internal/symtab"
 )
@@ -36,6 +37,10 @@ type Context struct {
 	// cache: the digest table plus the per-module hit sets fixed by
 	// Set.ProbeMemo. Nil means cold checking (the default).
 	Memo *memo.Session
+	// Trace, when non-nil, receives one wall-clock span per policy module.
+	// Module spans may run concurrently under CheckParallel, so they carry
+	// no cycle attribution — the enclosing pipeline phase span does.
+	Trace *obs.Trace
 	// JumpTableHint carries binary metadata some policies need (unused by
 	// the built-in modules, reserved for extensions).
 	JumpTableHint uint64
@@ -168,7 +173,10 @@ func (s *Set) Fingerprint() [sha256.Size]byte {
 // Check runs every module in order, stopping at the first violation.
 func (s *Set) Check(ctx *Context) error {
 	for _, m := range s.modules {
-		if err := m.Check(ctx); err != nil {
+		sp := ctx.Trace.StartSpan("policy:" + m.Name())
+		err := m.Check(ctx)
+		sp.End()
+		if err != nil {
 			if _, isViolation := AsViolation(err); isViolation {
 				// Violations already carry the module name.
 				return err

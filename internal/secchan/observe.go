@@ -1,0 +1,54 @@
+package secchan
+
+import "io"
+
+// FrameObserver receives one callback per framed block moved over an
+// observed stream, with the frame's full wire size (4-byte length header +
+// body). The telemetry layer implements it with histograms; observations
+// happen on the session's serving goroutine, so implementations must be
+// cheap and need only be as concurrent as the stream itself.
+type FrameObserver interface {
+	ObserveReadFrame(bytes int)
+	ObserveWriteFrame(bytes int)
+}
+
+// Observed couples a stream with a FrameObserver. The framing functions
+// (WriteBlock/ReadBlock and the streaming receive path) type-assert their
+// io.Reader/io.Writer against FrameObserver, so wrapping a connection with
+// ObserveFrames is all a serving layer does to get per-frame size
+// telemetry — the protocol code itself stays observer-free.
+type Observed struct {
+	io.ReadWriter
+	obs FrameObserver
+}
+
+// ObserveFrames wraps rw so every framed block read or written through it
+// is reported to obs. A nil obs returns rw unchanged.
+func ObserveFrames(rw io.ReadWriter, obs FrameObserver) io.ReadWriter {
+	if obs == nil {
+		return rw
+	}
+	return &Observed{ReadWriter: rw, obs: obs}
+}
+
+// ObserveReadFrame implements FrameObserver by delegation, which is what
+// lets the framing functions discover the observer via type assertion.
+func (o *Observed) ObserveReadFrame(n int) { o.obs.ObserveReadFrame(n) }
+
+// ObserveWriteFrame implements FrameObserver by delegation.
+func (o *Observed) ObserveWriteFrame(n int) { o.obs.ObserveWriteFrame(n) }
+
+// frameHeaderBytes is the wire overhead counted into observed frame sizes.
+const frameHeaderBytes = 4
+
+func observeRead(r io.Reader, body int) {
+	if o, ok := r.(FrameObserver); ok {
+		o.ObserveReadFrame(frameHeaderBytes + body)
+	}
+}
+
+func observeWrite(w io.Writer, body int) {
+	if o, ok := w.(FrameObserver); ok {
+		o.ObserveWriteFrame(frameHeaderBytes + body)
+	}
+}

@@ -202,6 +202,7 @@ func WriteBlock(w io.Writer, data []byte) error {
 	if _, err := w.Write(data); err != nil {
 		return fmt.Errorf("secchan: writing frame body: %w", err)
 	}
+	observeWrite(w, len(data))
 	return nil
 }
 
@@ -219,6 +220,7 @@ func ReadBlock(r io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, data); err != nil {
 		return nil, fmt.Errorf("secchan: reading frame body: %w", err)
 	}
+	observeRead(r, int(n))
 	return data, nil
 }
 
@@ -254,6 +256,7 @@ func readBlockPooled(r io.Reader) (*[]byte, error) {
 		blockPool.Put(bp)
 		return nil, fmt.Errorf("secchan: reading frame body: %w", err)
 	}
+	observeRead(r, int(n))
 	return bp, nil
 }
 

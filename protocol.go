@@ -1,6 +1,7 @@
 package engarde
 
 import (
+	"context"
 	"crypto/rsa"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"engarde/internal/attest"
+	"engarde/internal/obs"
 	"engarde/internal/secchan"
 	"engarde/internal/sgx"
 )
@@ -179,36 +181,67 @@ func failNotify(conn io.Writer, code ReasonCode, reason string, cause error) err
 // into (*Enclave).Provision. The gateway uses this to consult its verdict
 // cache once the plaintext hash is known.
 func (e *Enclave) ServeProvisionFunc(conn io.ReadWriter, provision ProvisionFunc) (*Report, error) {
+	return e.ServeProvisionFuncCtx(context.Background(), conn, provision)
+}
+
+// ServeProvisionFuncCtx is ServeProvisionFunc with a context carrying the
+// session's trace (obs.WithTrace): the protocol steps — attestation, key
+// exchange, content transfer, provisioning, verdict — are recorded as
+// spans on it. Attestation, key-exchange and transfer spans are
+// cycle-metered (their charges fall outside the pipeline's own phase
+// spans); the provision step is wall-clock only, because the pipeline
+// records its own phase spans inside it.
+func (e *Enclave) ServeProvisionFuncCtx(ctx context.Context, conn io.ReadWriter, provision ProvisionFunc) (*Report, error) {
+	tr := obs.FromContext(ctx)
+
+	sp := tr.StartPhase("attest")
 	q, err := e.Quote()
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("engarde: quoting: %w", err)
 	}
 	pub, err := e.PublicKeyDER()
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	if err := sendJSON(conn, hello{Quote: quoteToWire(q), PublicKey: pub}); err != nil {
+	err = sendJSON(conn, hello{Quote: quoteToWire(q), PublicKey: pub})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 
+	sp = tr.StartPhase("key-exchange")
 	wrapped, err := secchan.ReadBlock(conn)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("engarde: receiving session key: %w", err)
 	}
-	if err := e.AcceptSessionKey(wrapped); err != nil {
+	err = e.AcceptSessionKey(wrapped)
+	sp.End()
+	if err != nil {
 		// An unreadable key is a protocol failure; tell the peer.
 		return nil, failNotify(conn, CodeSessionKey, "session key rejected", err)
 	}
 
+	sp = tr.StartPhase("recv-image")
 	image, err := e.core.RecvImage(conn)
+	sp.End()
 	if err != nil {
 		return nil, failNotify(conn, CodeTransfer, "transfer failed", err)
 	}
+
+	psp := tr.StartSpan("provision")
 	rep, err := provision(image)
+	psp.End()
 	if err != nil {
 		return nil, failNotify(conn, CodeInternal, "provisioning failed", err)
 	}
-	if err := sendJSON(conn, VerdictForReport(rep)); err != nil {
+
+	sp = tr.StartPhase("send-verdict")
+	err = sendJSON(conn, VerdictForReport(rep))
+	sp.End()
+	if err != nil {
 		return rep, err
 	}
 	return rep, nil
