@@ -67,10 +67,30 @@ type gatewayPoint struct {
 	SpanCycles map[string]uint64  `json:"span_cycles,omitempty"`
 }
 
+// fleetPoint is one router-fronted fleet load run in the JSON report:
+// N gatewayd backends behind an engarde-router, sessions announced so
+// routing is digest-affine. "cold" points disable the verdict cache, so
+// every session runs the full pipeline; "warm" points leave it on, so
+// affine repeats hit the ring owner's cache.
+type fleetPoint struct {
+	Backends       int     `json:"backends"`
+	Sessions       int     `json:"sessions"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	Announced      uint64  `json:"announced"`
+	Affine         uint64  `json:"affine"`
+	Rebalances     uint64  `json:"rebalances,omitempty"`
+	// PerBackend breaks the run down by backend: sessions spliced, verdict
+	// and fn-cache behaviour, peer traffic.
+	PerBackend map[string]bench.FleetBackendLoad `json:"per_backend"`
+}
+
 // jsonReport is the -json output schema.
 type jsonReport struct {
 	WarmPath *bench.WarmPathResult   `json:"warm_path"`
 	Gateway  map[string]gatewayPoint `json:"gateway"`
+	// Fleet maps "<backends>-cold" / "<backends>-warm" to fleet load runs
+	// (BENCH_6.json's scaling curve).
+	Fleet map[string]fleetPoint `json:"fleet,omitempty"`
 }
 
 func runJSON() error {
@@ -108,7 +128,7 @@ func runJSON() error {
 		return pt, nil
 	}
 
-	rep := jsonReport{WarmPath: warm, Gateway: map[string]gatewayPoint{}}
+	rep := jsonReport{WarmPath: warm, Gateway: map[string]gatewayPoint{}, Fleet: map[string]fleetPoint{}}
 	for name, cfg := range map[string]bench.GatewayLoadConfig{
 		"cold":      {Images: images, CacheEntries: -1},
 		"cache-hit": {Images: images[:1]},
@@ -119,6 +139,50 @@ func runJSON() error {
 			return fmt.Errorf("gateway load %q: %w", name, err)
 		}
 		rep.Gateway[name] = pt
+	}
+
+	// Fleet scaling curve: 1/2/4 router-fronted backends, cold (verdict
+	// caches off, every session runs the pipeline) vs digest-affine warm
+	// (caches on, announced repeats hit the ring owner's cache, backends
+	// share fn-memo state over the peer mesh). The workload checks the
+	// full four-module policy set over large images, so the cacheable
+	// pipeline work dominates the fixed per-session handshake and the
+	// warm/cold contrast measures the caches, not connection setup.
+	fleetImages, fleetPolicies, fleetHeap, err := bench.FleetBenchWorkload()
+	if err != nil {
+		return err
+	}
+	for _, n := range []int{1, 2, 4} {
+		for _, mode := range []string{"cold", "warm"} {
+			cfg := bench.FleetLoadConfig{
+				Backends:  n,
+				Images:    fleetImages,
+				Sessions:  sessions,
+				Clients:   2,
+				Announce:  true,
+				Tenant:    "bench",
+				Policies:  fleetPolicies,
+				HeapPages: fleetHeap,
+			}
+			if mode == "cold" {
+				cfg.CacheEntries = -1
+			} else {
+				cfg.SharedFnCache = true
+			}
+			res, err := bench.RunFleetLoad(cfg)
+			if err != nil {
+				return fmt.Errorf("fleet load %d-%s: %w", n, mode, err)
+			}
+			rep.Fleet[fmt.Sprintf("%d-%s", n, mode)] = fleetPoint{
+				Backends:       n,
+				Sessions:       sessions,
+				SessionsPerSec: res.SessionsPerSec,
+				Announced:      res.Announced,
+				Affine:         res.Affine,
+				Rebalances:     res.Rebalances,
+				PerBackend:     res.PerBackend,
+			}
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -9,6 +9,13 @@
 //	               -attest-key /tmp/platform.pub \
 //	               -binary /tmp/bins/nginx-stackprot.elf
 //
+// Against an engarde-router fleet, repeat -attest-key once per backend
+// platform key (attestation succeeds if any key verifies the quote) and
+// pass -announce so the router can steer the session to the gatewayd
+// whose caches are warm for this binary's digest. The announcement is a
+// plaintext routing hint — it never weakens attestation, which still runs
+// end-to-end against whichever backend answers.
+//
 // The client's executable is never visible to the provider in plaintext:
 // it is encrypted under a fresh AES-256 key that only the attested enclave
 // can unwrap.
@@ -30,9 +37,15 @@ import (
 )
 
 func main() {
-	connect := flag.String("connect", "127.0.0.1:7779", "engarde-host address")
-	keyPath := flag.String("attest-key", "", "platform attestation public key (PEM), as written by engarde-host")
+	var keyPaths []string
+	flag.Func("attest-key", "platform attestation public key (PEM), as written by engarde-host; repeat once per fleet backend", func(s string) error {
+		keyPaths = append(keyPaths, s)
+		return nil
+	})
+	connect := flag.String("connect", "127.0.0.1:7779", "engarde-host or engarde-router address")
 	binPath := flag.String("binary", "", "ELF64 PIE executable to provision")
+	announce := flag.Bool("announce", false, "send the plaintext routing preamble (image digest + tenant) so an engarde-router can pick the digest-affine backend")
+	tenant := flag.String("tenant", "", "tenant label for the routing preamble (router quota accounting; implies nothing about identity)")
 	heapPages := flag.Int("heap-pages", 5000, "expected enclave heap pages (must match the host)")
 	clientPages := flag.Int("client-pages", 1024, "expected enclave client-region pages (must match the host)")
 	retries := flag.Int("retries", engarde.DefaultRetryAttempts, "provisioning attempts before giving up (busy gateways and transient errors are retried; attestation failures are not)")
@@ -41,40 +54,63 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log record format (text, json)")
 	flag.Parse()
 
-	if err := run(*connect, *keyPath, *binPath, *heapPages, *clientPages, *retries, *retryBase, *logLevel, *logFormat); err != nil {
+	if err := run(clientFlags{
+		connect: *connect, keyPaths: keyPaths, binPath: *binPath,
+		announce: *announce, tenant: *tenant,
+		heapPages: *heapPages, clientPages: *clientPages,
+		retries: *retries, retryBase: *retryBase,
+		logLevel: *logLevel, logFormat: *logFormat,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "engarde-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(connect, keyPath, binPath string, heapPages, clientPages, retries int, retryBase time.Duration, logLevel, logFormat string) error {
-	level, err := obs.ParseLevel(logLevel)
+type clientFlags struct {
+	connect  string
+	keyPaths []string
+	binPath  string
+	announce bool
+	tenant   string
+
+	heapPages, clientPages int
+	retries                int
+	retryBase              time.Duration
+	logLevel, logFormat    string
+}
+
+func run(cfg clientFlags) error {
+	level, err := obs.ParseLevel(cfg.logLevel)
 	if err != nil {
 		return err
 	}
-	logger, err := obs.NewLogger(os.Stderr, level, logFormat)
+	logger, err := obs.NewLogger(os.Stderr, level, cfg.logFormat)
 	if err != nil {
 		return err
 	}
-	if binPath == "" {
+	if cfg.binPath == "" {
 		return errors.New("-binary is required")
 	}
-	if keyPath == "" {
+	if len(cfg.keyPaths) == 0 {
 		return errors.New("-attest-key is required")
 	}
-	image, err := os.ReadFile(binPath)
+	image, err := os.ReadFile(cfg.binPath)
 	if err != nil {
 		return err
 	}
-	platformKey, err := readPlatformKey(keyPath)
-	if err != nil {
-		return err
+	var keys []*rsa.PublicKey
+	for _, path := range cfg.keyPaths {
+		key, err := readPlatformKey(path)
+		if err != nil {
+			return err
+		}
+		keys = append(keys, key)
 	}
 
 	// The client computes the expected EnGarde measurement itself, from
 	// the EnGarde code both parties inspected (paper §3).
 	expected, err := engarde.ExpectedMeasurement(engarde.SGXv2, engarde.EnclaveConfig{
-		HeapPages: heapPages, ClientPages: clientPages,
+		HeapPages: cfg.heapPages, ClientPages: cfg.clientPages,
 	})
 	if err != nil {
 		return err
@@ -82,13 +118,21 @@ func run(connect, keyPath, binPath string, heapPages, clientPages, retries int, 
 	logger.Info("expecting EnGarde measurement",
 		"mrenclave_prefix", fmt.Sprintf("%x", expected[:8]))
 
-	client := &engarde.Client{Expected: expected, PlatformKey: platformKey}
+	client := &engarde.Client{
+		Expected:     expected,
+		PlatformKey:  keys[0],
+		PlatformKeys: keys[1:],
+	}
+	if cfg.announce || cfg.tenant != "" {
+		// ImageDigest is filled in by the client from the binary itself.
+		client.Route = &engarde.RouteHello{Tenant: cfg.tenant}
+	}
 	verdict, err := client.ProvisionRetry(
-		func() (net.Conn, error) { return net.Dial("tcp", connect) },
+		func() (net.Conn, error) { return net.Dial("tcp", cfg.connect) },
 		image,
 		engarde.RetryPolicy{
-			Attempts:  retries,
-			BaseDelay: retryBase,
+			Attempts:  cfg.retries,
+			BaseDelay: cfg.retryBase,
 			OnRetry: func(attempt int, delay time.Duration, cause error) {
 				logger.Warn("attempt failed; retrying",
 					"attempt", attempt, "delay", delay.String(), "err", cause)
@@ -98,7 +142,7 @@ func run(connect, keyPath, binPath string, heapPages, clientPages, retries int, 
 		return err
 	}
 	if verdict.Compliant {
-		fmt.Printf("COMPLIANT: %s accepted (%d bytes)\n", binPath, len(image))
+		fmt.Printf("COMPLIANT: %s accepted (%d bytes)\n", cfg.binPath, len(image))
 		return nil
 	}
 	fmt.Printf("REJECTED: %s\n", verdict.Reason)

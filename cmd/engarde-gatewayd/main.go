@@ -18,6 +18,12 @@
 // -trace-dir additionally writes every session's trace to disk, as
 // append-only JSONL plus one Chrome trace_event file per session.
 //
+// The same mux serves the fleet plumbing: /healthz (liveness), /readyz
+// (readiness — 503 while draining, which is what engarde-router's health
+// prober keys off), and /memoz/ (the function-result cache peer protocol;
+// point other gatewayds at it with -fn-cache-peers to share warm-path
+// state across a fleet).
+//
 // Logs are structured (log/slog, text or JSON) and every session record
 // carries the session's trace ID, so a slow span seen in /tracez joins to
 // the log line of the session that produced it.
@@ -37,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,6 +73,9 @@ func main() {
 		fnCachePath    = flag.String("fn-cache-path", "", "persist the function-result cache to this append log so restarts provision warm (empty = in-memory only)")
 		fnCacheReprobe = flag.Duration("fn-cache-reprobe", 0, "how long the fn-cache disk tier's tripped circuit breaker waits before re-probing the disk (0 = default)")
 
+		fnCachePeers         = flag.String("fn-cache-peers", "", "comma-separated peer /memoz base URLs (e.g. http://10.0.0.2:7780/memoz) to share memoized function results with (empty disables the remote tier)")
+		fnCacheRemoteTimeout = flag.Duration("fn-cache-remote-timeout", 0, "deadline for one fn-cache peer round-trip (0 = default)")
+
 		idleTimeout   = flag.Duration("idle-timeout", gateway.DefaultIdleTimeout, "per-frame idle deadline: a session must make read/write progress within this (negative disables)")
 		sessionBudget = flag.Duration("session-budget", gateway.DefaultSessionBudget, "total time budget per session, regardless of progress (negative disables)")
 		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight sessions; expiring it exits non-zero")
@@ -85,8 +95,10 @@ func main() {
 		cacheEntries: *cacheEntries,
 		idleTimeout:  *idleTimeout, sessionBudget: *sessionBudget,
 		fnCacheEntries: *fnCacheEntries, fnCachePath: *fnCachePath,
-		fnCacheReprobe: *fnCacheReprobe,
-		drainTimeout:   *drainTimeout, statsAddr: *statsAddr,
+		fnCacheReprobe:       *fnCacheReprobe,
+		fnCachePeers:         *fnCachePeers,
+		fnCacheRemoteTimeout: *fnCacheRemoteTimeout,
+		drainTimeout:         *drainTimeout, statsAddr: *statsAddr,
 		logLevel: *logLevel, logFormat: *logFormat, traceDir: *traceDir,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "engarde-gatewayd:", err)
@@ -104,6 +116,8 @@ type config struct {
 	fnCacheEntries                          int
 	fnCachePath                             string
 	fnCacheReprobe                          time.Duration
+	fnCachePeers                            string
+	fnCacheRemoteTimeout                    time.Duration
 	idleTimeout, sessionBudget              time.Duration
 	drainTimeout                            time.Duration
 	statsAddr                               string
@@ -170,23 +184,25 @@ func run(cfg config) error {
 	}
 
 	gw, err := gateway.New(gateway.Config{
-		Provider:       provider,
-		Policies:       pols,
-		HeapPages:      cfg.heapPages,
-		ClientPages:    cfg.clientPages,
-		DisasmWorkers:  cfg.disasmWorkers,
-		PolicyWorkers:  cfg.policyWorkers,
-		MaxConcurrent:  cfg.maxConcurrent,
-		QueueDepth:     cfg.queueDepth,
-		CacheEntries:   cfg.cacheEntries,
-		FnCacheEntries: cfg.fnCacheEntries,
-		FnCachePath:    cfg.fnCachePath,
-		FnCacheReprobe: cfg.fnCacheReprobe,
-		IdleTimeout:    cfg.idleTimeout,
-		SessionBudget:  cfg.sessionBudget,
-		Counter:        counter,
-		Logger:         logger,
-		TraceSink:      sink,
+		Provider:             provider,
+		Policies:             pols,
+		HeapPages:            cfg.heapPages,
+		ClientPages:          cfg.clientPages,
+		DisasmWorkers:        cfg.disasmWorkers,
+		PolicyWorkers:        cfg.policyWorkers,
+		MaxConcurrent:        cfg.maxConcurrent,
+		QueueDepth:           cfg.queueDepth,
+		CacheEntries:         cfg.cacheEntries,
+		FnCacheEntries:       cfg.fnCacheEntries,
+		FnCachePath:          cfg.fnCachePath,
+		FnCacheReprobe:       cfg.fnCacheReprobe,
+		FnCachePeers:         splitPeers(cfg.fnCachePeers),
+		FnCacheRemoteTimeout: cfg.fnCacheRemoteTimeout,
+		IdleTimeout:          cfg.idleTimeout,
+		SessionBudget:        cfg.sessionBudget,
+		Counter:              counter,
+		Logger:               logger,
+		TraceSink:            sink,
 		OnServed: func(conn net.Conn, _ *engarde.Enclave, rep *engarde.Report, err error) {
 			// The gateway already logged the session (with its trace ID);
 			// this adds the verdict detail only a compliant report carries.
@@ -217,12 +233,16 @@ func run(cfg config) error {
 		mux.Handle("/statsz", gw.StatsHandler())
 		mux.Handle("/metricsz", gw.MetricsHandler())
 		mux.Handle("/tracez", sink.Handler())
+		mux.Handle("/healthz", gw.HealthzHandler())
+		mux.Handle("/readyz", gw.ReadyzHandler())
+		mux.Handle("/memoz/", gw.FnMemoHandler())
 		statsSrv = &http.Server{Handler: mux}
 		go func() { _ = statsSrv.Serve(statsLn) }()
 		logger.Info("telemetry endpoints up",
 			"statsz", fmt.Sprintf("http://%s/statsz", statsLn.Addr()),
 			"metricsz", fmt.Sprintf("http://%s/metricsz", statsLn.Addr()),
-			"tracez", fmt.Sprintf("http://%s/tracez", statsLn.Addr()))
+			"tracez", fmt.Sprintf("http://%s/tracez", statsLn.Addr()),
+			"readyz", fmt.Sprintf("http://%s/readyz", statsLn.Addr()))
 	}
 
 	serveErr := make(chan error, 1)
@@ -266,6 +286,18 @@ func run(cfg config) error {
 		"non_compliant", s.NonCompliant, "errors", s.Errors,
 		"cache_hit_rate", fmt.Sprintf("%.2f", s.CacheHitRate))
 	return result
+}
+
+// splitPeers parses the comma-separated -fn-cache-peers list, dropping
+// empty elements so a trailing comma is harmless.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 func connString(conn net.Conn) string {

@@ -1,0 +1,375 @@
+package bench
+
+// Fleet load generation: RunFleetLoad stands up N internal/gateway
+// backends on real loopback TCP sockets — each with its own provider,
+// platform key, admin endpoints (/readyz, /memoz/) — behind one
+// internal/cluster router, and drives provisioning sessions through the
+// router exactly as a fleet deployment would: clients announce their
+// image digest, the router splices them to the ring owner, and backends
+// share warm-path state over the fn-cache peer protocol. It is the
+// engine behind BENCH_6.json and the fleet acceptance tests.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"engarde"
+	"engarde/internal/cluster"
+	"engarde/internal/gateway"
+	"engarde/internal/toolchain"
+)
+
+// FleetLoadConfig configures one fleet load run.
+type FleetLoadConfig struct {
+	// Backends is the number of gatewayd backends behind the router.
+	// Required.
+	Backends int
+	// Images are provisioned round-robin across sessions. All must be
+	// compliant under Policies. Required.
+	Images [][]byte
+	// Sessions is the total number of provisioning sessions. Required.
+	Sessions int
+	// Clients is the number of concurrent client goroutines; 0 means 2.
+	Clients int
+	// Announce sends the RouteHello preamble so the router can route each
+	// session to its digest's ring owner. False exercises the anonymous
+	// least-loaded fallback.
+	Announce bool
+	// Tenant labels announced sessions for the router's quota accounting.
+	Tenant string
+	// SharedFnCache wires every backend's fn-cache remote tier at all the
+	// other backends' /memoz endpoints, so warm-path state crosses nodes.
+	SharedFnCache bool
+	// FnCacheEntries is each backend's function-result cache capacity
+	// (gateway semantics: 0 default, negative disables). SharedFnCache
+	// requires the cache to be enabled.
+	FnCacheEntries int
+	// CacheEntries configures each backend's verdict cache (gateway
+	// semantics: 0 default, negative disabled).
+	CacheEntries int
+	// MaxConcurrent is each backend's worker-pool size; 0 means the
+	// gateway default.
+	MaxConcurrent int
+	// Policies is the policy set; nil means stack-protector.
+	Policies *engarde.PolicySet
+	// HeapPages/ClientPages size each session's enclave; 0 means 1500/512.
+	HeapPages   int
+	ClientPages int
+}
+
+// FleetBackendLoad is one backend's share of a fleet run, joining the
+// router's view (sessions spliced, dial errors) with the gateway's own
+// accounting (verdicts, cache behaviour, peer traffic).
+type FleetBackendLoad struct {
+	Sessions         uint64 `json:"sessions"`
+	Errors           uint64 `json:"errors"`
+	Served           uint64 `json:"served"`
+	Compliant        uint64 `json:"compliant"`
+	VerdictCacheHits uint64 `json:"verdict_cache_hits"`
+	FnCacheHits      uint64 `json:"fn_cache_hits,omitempty"`
+	FnRemoteHits     uint64 `json:"fn_remote_hits,omitempty"`
+	FnRemotePuts     uint64 `json:"fn_remote_puts,omitempty"`
+	FnPeerServed     uint64 `json:"fn_peer_served,omitempty"`
+	FnPeerStored     uint64 `json:"fn_peer_stored,omitempty"`
+}
+
+// FleetLoadResult reports one fleet run.
+type FleetLoadResult struct {
+	Elapsed        time.Duration
+	SessionsPerSec float64
+	// Announced/Affine count sessions that carried a routing preamble and
+	// the subset the router landed on the digest's ring owner.
+	Announced  uint64
+	Affine     uint64
+	Rebalances uint64
+	PerBackend map[string]FleetBackendLoad
+	Router     cluster.RouterStats
+}
+
+// FleetBenchWorkload builds the BENCH_6.json fleet workload: two large
+// byte-distinct executables instrumented for the full four-module policy
+// set (approved-musl linking, stack protector, IFCC, no-forbidden), plus
+// that set and a heap sized to just fit them. Checking four modules over
+// ~75k instructions makes the cacheable pipeline work dominate the fixed
+// per-session cost (attestation, transfer, enclave measurement), so the
+// warm/cold contrast measures the caches rather than connection setup.
+func FleetBenchWorkload() (images [][]byte, policies *engarde.PolicySet, heapPages int, err error) {
+	images = make([][]byte, 2)
+	for i := range images {
+		bin, err := toolchain.Build(toolchain.Config{
+			Name: fmt.Sprintf("fleetbench%d", i), Seed: int64(8300 + i),
+			NumFuncs: 300, AvgFuncInsts: 250,
+			LibcCallRate: 0.05, StackProtector: true, IFCC: true, IndirectRate: 0.02,
+		})
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		images[i] = bin.Image
+	}
+	musl, err := engarde.MuslLinkingPolicy(engarde.MuslApprovedVersion, true)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	policies = engarde.NewPolicySet(engarde.NoForbiddenInstructionsPolicy(), musl,
+		engarde.StackProtectorPolicy(), engarde.IFCCPolicy())
+	return images, policies, 1750, nil
+}
+
+// fleetBackend is one running gatewayd-shaped backend.
+type fleetBackend struct {
+	name     string
+	gw       *gateway.Gateway
+	ln       net.Listener
+	adminLn  net.Listener
+	adminSrv *http.Server
+	serveErr chan error
+}
+
+// RunFleetLoad drives cfg.Sessions provisioning sessions through a
+// router-fronted fleet and returns throughput plus per-backend breakdown.
+// Any non-compliant verdict or protocol error fails the run.
+func RunFleetLoad(cfg FleetLoadConfig) (*FleetLoadResult, error) {
+	if cfg.Backends <= 0 {
+		return nil, fmt.Errorf("bench: FleetLoadConfig.Backends must be positive")
+	}
+	if len(cfg.Images) == 0 {
+		return nil, fmt.Errorf("bench: FleetLoadConfig.Images is required")
+	}
+	if cfg.Sessions <= 0 {
+		return nil, fmt.Errorf("bench: FleetLoadConfig.Sessions must be positive")
+	}
+	if cfg.Policies == nil {
+		cfg.Policies = engarde.NewPolicySet(engarde.StackProtectorPolicy())
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 2
+	}
+	if cfg.HeapPages == 0 {
+		cfg.HeapPages = 1500
+	}
+	if cfg.ClientPages == 0 {
+		cfg.ClientPages = 512
+	}
+
+	// Admin listeners come up first: the peer URLs they determine are part
+	// of each gateway's configuration.
+	adminURLs := make([]string, cfg.Backends)
+	backends := make([]*fleetBackend, cfg.Backends)
+	defer func() {
+		for _, b := range backends {
+			if b == nil {
+				continue
+			}
+			if b.adminSrv != nil {
+				b.adminSrv.Close()
+			} else if b.adminLn != nil {
+				b.adminLn.Close()
+			}
+			if b.ln != nil {
+				b.ln.Close()
+			}
+		}
+	}()
+	for i := range backends {
+		adminLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		backends[i] = &fleetBackend{
+			name:     fmt.Sprintf("b%d", i),
+			adminLn:  adminLn,
+			serveErr: make(chan error, 1),
+		}
+		adminURLs[i] = "http://" + adminLn.Addr().String()
+	}
+
+	// One client template serves every goroutine: it carries all the
+	// backends' platform keys, since an announced session can legitimately
+	// land on (or fail over to) any node in the fleet.
+	client := &engarde.Client{}
+	routerBackends := make([]cluster.Backend, cfg.Backends)
+	for i, b := range backends {
+		provider, err := engarde.NewProvider(engarde.ProviderConfig{EPCPages: 32000})
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			client.PlatformKey = provider.AttestationPublicKey()
+		} else {
+			client.PlatformKeys = append(client.PlatformKeys, provider.AttestationPublicKey())
+		}
+		var peers []string
+		if cfg.SharedFnCache {
+			for j, u := range adminURLs {
+				if j != i {
+					peers = append(peers, u+"/memoz")
+				}
+			}
+		}
+		fnEntries := cfg.FnCacheEntries
+		if fnEntries <= 0 {
+			// A shared fn-cache implies the cache itself: 0 takes the
+			// gateway default capacity. Without sharing, runs keep the
+			// cache off so they isolate what they measure.
+			if cfg.SharedFnCache {
+				fnEntries = 0
+			} else {
+				fnEntries = -1
+			}
+		}
+		gw, err := gateway.New(gateway.Config{
+			Provider:       provider,
+			Policies:       cfg.Policies,
+			HeapPages:      cfg.HeapPages,
+			ClientPages:    cfg.ClientPages,
+			MaxConcurrent:  cfg.MaxConcurrent,
+			CacheEntries:   cfg.CacheEntries,
+			FnCacheEntries: fnEntries,
+			FnCachePeers:   peers,
+			IdleTimeout:    time.Minute,
+			SessionBudget:  2 * time.Minute,
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.gw = gw
+		mux := http.NewServeMux()
+		mux.Handle("/statsz", gw.StatsHandler())
+		mux.Handle("/healthz", gw.HealthzHandler())
+		mux.Handle("/readyz", gw.ReadyzHandler())
+		mux.Handle("/memoz/", gw.FnMemoHandler())
+		b.adminSrv = &http.Server{Handler: mux}
+		go func(srv *http.Server, ln net.Listener) { _ = srv.Serve(ln) }(b.adminSrv, b.adminLn)
+
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		b.ln = ln
+		go func(b *fleetBackend) { b.serveErr <- b.gw.Serve(context.Background(), b.ln) }(b)
+		routerBackends[i] = cluster.Backend{
+			Name: b.name, Addr: ln.Addr().String(), AdminURL: adminURLs[i],
+		}
+	}
+
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Backends:       routerBackends,
+		HealthInterval: -1, // dial results police health; no prober jitter in runs
+	})
+	if err != nil {
+		return nil, err
+	}
+	routerLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	routerErr := make(chan error, 1)
+	go func() { routerErr <- router.Serve(context.Background(), routerLn) }()
+	routerAddr := routerLn.Addr().String()
+
+	expected, err := engarde.ExpectedMeasurement(engarde.SGXv2, engarde.EnclaveConfig{
+		HeapPages: cfg.HeapPages, ClientPages: cfg.ClientPages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	client.Expected = expected
+	if cfg.Announce {
+		client.Route = &engarde.RouteHello{Tenant: cfg.Tenant}
+	}
+
+	next := make(chan int)
+	errs := make(chan error, cfg.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			policy := engarde.RetryPolicy{
+				Attempts:  10,
+				BaseDelay: time.Millisecond,
+				MaxDelay:  100 * time.Millisecond,
+				Seed:      int64(c + 1),
+			}
+			dial := func() (net.Conn, error) { return net.Dial("tcp", routerAddr) }
+			for i := range next {
+				image := cfg.Images[i%len(cfg.Images)]
+				v, err := client.ProvisionRetry(dial, image, policy)
+				if err != nil {
+					errs <- fmt.Errorf("session %d: %w", i, err)
+					break
+				}
+				if !v.Compliant {
+					errs <- fmt.Errorf("session %d rejected: %s", i, v.Reason)
+					break
+				}
+			}
+			// Drain so the producer never blocks on a dead worker set.
+			for range next {
+			}
+		}(c)
+	}
+	for i := 0; i < cfg.Sessions; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := router.Shutdown(shutCtx); err != nil {
+		return nil, fmt.Errorf("bench: router shutdown: %w", err)
+	}
+	if err := <-routerErr; err != nil {
+		return nil, fmt.Errorf("bench: router serve: %w", err)
+	}
+	for _, b := range backends {
+		if err := b.gw.Shutdown(shutCtx); err != nil {
+			return nil, fmt.Errorf("bench: backend %s shutdown: %w", b.name, err)
+		}
+		if err := <-b.serveErr; err != nil {
+			return nil, fmt.Errorf("bench: backend %s serve: %w", b.name, err)
+		}
+	}
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	rs := router.Stats()
+	res := &FleetLoadResult{
+		Elapsed:        elapsed,
+		SessionsPerSec: float64(cfg.Sessions) / elapsed.Seconds(),
+		Announced:      rs.Announced,
+		Affine:         rs.Affine,
+		Rebalances:     rs.Rebalances,
+		PerBackend:     make(map[string]FleetBackendLoad, cfg.Backends),
+		Router:         rs,
+	}
+	for _, b := range backends {
+		gs := b.gw.Stats()
+		load := FleetBackendLoad{
+			Sessions:         rs.Backends[b.name].Sessions,
+			Errors:           rs.Backends[b.name].Errors,
+			Served:           gs.Served,
+			Compliant:        gs.Compliant,
+			VerdictCacheHits: gs.CacheHits,
+		}
+		if gs.FnCache != nil {
+			load.FnCacheHits = gs.FnCache.Hits
+			load.FnRemoteHits = gs.FnCache.RemoteHits
+			load.FnRemotePuts = gs.FnCache.RemotePuts
+			load.FnPeerServed = gs.FnCache.PeerServed
+			load.FnPeerStored = gs.FnCache.PeerStored
+		}
+		res.PerBackend[b.name] = load
+	}
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"engarde/internal/toolchain"
+)
+
+// fleetImages builds n small, byte-distinct compliant executables — small
+// because fleet tests pay for real TCP and multiple gateways per session.
+func fleetImages(t *testing.T, n int) [][]byte {
+	t.Helper()
+	images := make([][]byte, n)
+	for i := range images {
+		bin, err := toolchain.Build(toolchain.Config{
+			Name: fmt.Sprintf("fleet%d", i), Seed: int64(8200 + i),
+			NumFuncs: 6, AvgFuncInsts: 40,
+			StackProtector: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[i] = bin.Image
+	}
+	return images
+}
+
+// TestFleetDigestAffinity is the tentpole acceptance test: across a
+// 4-backend fleet with announced sessions, at least 95% of sessions must
+// land on their image digest's ring owner. With every backend healthy the
+// router has no reason to divert, so in practice this is 100% — the
+// margin only absorbs scheduling accidents, never systematic misrouting.
+func TestFleetDigestAffinity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet topology is not short")
+	}
+	images := fleetImages(t, 8)
+	res, err := RunFleetLoad(FleetLoadConfig{
+		Backends: 4,
+		Images:   images,
+		Sessions: 24,
+		Clients:  3,
+		Announce: true,
+		Tenant:   "affinity-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Announced != 24 {
+		t.Fatalf("announced sessions = %d, want 24", res.Announced)
+	}
+	affinity := float64(res.Affine) / float64(res.Announced)
+	t.Logf("affinity: %d/%d = %.2f; per-backend %v", res.Affine, res.Announced, affinity, res.PerBackend)
+	if affinity < 0.95 {
+		t.Fatalf("digest affinity = %.2f, want >= 0.95", affinity)
+	}
+	// Sessions must actually spread: 8 distinct digests over a 4-node ring
+	// essentially never all hash to one owner.
+	busy := 0
+	for _, b := range res.PerBackend {
+		if b.Sessions > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("all sessions on %d backend(s); ring is not spreading", busy)
+	}
+	// Affine repeats of the same image hit the owner's verdict cache: the
+	// whole point of digest-affine routing.
+	var hits uint64
+	for _, b := range res.PerBackend {
+		hits += b.VerdictCacheHits
+	}
+	if hits == 0 {
+		t.Error("no verdict-cache hits despite digest-affine repeats")
+	}
+}
+
+// TestFleetRemoteMemoSharing proves warm-path state crosses nodes: with
+// the fn-cache peer mesh wired and announcements off, sessions for the
+// same image land on different backends, and later backends fetch the
+// memoized function results a peer already computed.
+func TestFleetRemoteMemoSharing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet topology is not short")
+	}
+	images := fleetImages(t, 1)
+	res, err := RunFleetLoad(FleetLoadConfig{
+		Backends:      2,
+		Images:        images,
+		Sessions:      6,
+		Clients:       1, // sequential, so the anonymous rotation alternates backends
+		SharedFnCache: true,
+		CacheEntries:  -1, // no verdict cache: every session runs the pipeline
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remoteHits, peerStored uint64
+	busy := 0
+	for _, b := range res.PerBackend {
+		remoteHits += b.FnRemoteHits
+		peerStored += b.FnPeerStored
+		if b.Sessions > 0 {
+			busy++
+		}
+	}
+	t.Logf("per-backend: %v", res.PerBackend)
+	if busy != 2 {
+		t.Fatalf("sessions landed on %d backends, want both", busy)
+	}
+	// State crosses nodes through either direction of the peer protocol:
+	// pull (a probe batch-fetches what a peer computed → remote hits) or
+	// push (the flusher lands records on the peer before its first session
+	// → peer-stored). Which one wins is a race between the async flusher
+	// and the next session; both prove the mesh works.
+	if remoteHits == 0 && peerStored == 0 {
+		t.Fatal("no remote fn-memo transfer in either direction: warm-path state did not cross nodes")
+	}
+}

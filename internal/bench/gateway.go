@@ -221,13 +221,16 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 				v, err := client.ProvisionRetry(ln.dial, image, policy)
 				if err != nil {
 					errs <- fmt.Errorf("session %d: %w", i, err)
-					return
+					break
 				}
 				latHist.Observe(uint64(time.Since(t0) / time.Microsecond))
 				if !v.Compliant {
 					errs <- fmt.Errorf("session %d rejected: %s", i, v.Reason)
-					return
+					break
 				}
+			}
+			// Drain so the producer never blocks on a dead worker set.
+			for range next {
 			}
 		}()
 	}
@@ -283,11 +286,19 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 // DistinctImages builds n byte-distinct stack-protected executables, so a
 // load run over them never hits the verdict cache.
 func DistinctImages(n int) ([][]byte, error) {
+	return DistinctImagesSized(n, 60, 200)
+}
+
+// DistinctImagesSized is DistinctImages with an explicit image size, for
+// runs that need the provisioning pipeline (disassembly + policy checks,
+// which scale with instruction count) to dominate the fixed per-session
+// handshake cost.
+func DistinctImagesSized(n, numFuncs, avgFuncInsts int) ([][]byte, error) {
 	images := make([][]byte, n)
 	for i := range images {
 		bin, err := toolchain.Build(toolchain.Config{
 			Name: fmt.Sprintf("load%d", i), Seed: int64(7000 + i),
-			NumFuncs: 60, AvgFuncInsts: 200,
+			NumFuncs: numFuncs, AvgFuncInsts: avgFuncInsts,
 			StackProtector: true,
 		})
 		if err != nil {

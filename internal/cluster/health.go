@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DefaultMarkdownCooldown is how long a backend stays marked down after a
+// dial or proxy error before the router tries it again, when
+// RouterConfig leaves the cooldown zero.
+const DefaultMarkdownCooldown = 2 * time.Second
+
+// Health tracks per-backend availability for routing decisions. Two
+// orthogonal conditions are tracked: *down* (dial/probe failures — skip
+// the backend until a cooldown expires or a probe succeeds) and
+// *saturated* (the backend answered with a Busy verdict — it is alive but
+// shedding, and its Retry-After hint says for how long). Everything fails
+// open: with every backend down, routing proceeds as if all were up,
+// because a stale "down" must never turn a working fleet away.
+type Health struct {
+	cooldown time.Duration
+	now      func() time.Time
+
+	mu sync.Mutex
+	st map[string]*backendState
+}
+
+type backendState struct {
+	downUntil      time.Time
+	saturatedUntil time.Time
+	lastHint       time.Duration
+}
+
+// NewHealth builds an empty tracker; cooldown 0 means
+// DefaultMarkdownCooldown.
+func NewHealth(cooldown time.Duration) *Health {
+	if cooldown <= 0 {
+		cooldown = DefaultMarkdownCooldown
+	}
+	return &Health{cooldown: cooldown, now: time.Now, st: make(map[string]*backendState)}
+}
+
+func (h *Health) state(name string) *backendState {
+	s, ok := h.st[name]
+	if !ok {
+		s = &backendState{}
+		h.st[name] = s
+	}
+	return s
+}
+
+// MarkDown records a failed dial or probe: the backend is skipped until
+// the cooldown expires.
+func (h *Health) MarkDown(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.state(name).downUntil = h.now().Add(h.cooldown)
+}
+
+// MarkUp clears a down mark (a probe succeeded).
+func (h *Health) MarkUp(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.state(name).downUntil = time.Time{}
+}
+
+// Healthy reports whether the backend is currently routable.
+func (h *Health) Healthy(name string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.now().After(h.st[name].getDownUntil())
+}
+
+func (s *backendState) getDownUntil() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.downUntil
+}
+
+// MarkSaturated records a Busy verdict with its Retry-After hint: the
+// backend is expected to shed until the hint elapses.
+func (h *Health) MarkSaturated(name string, hint time.Duration) {
+	if hint <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.state(name)
+	s.saturatedUntil = h.now().Add(hint)
+	s.lastHint = hint
+}
+
+// SaturationHint returns the backend's remaining Busy horizon: how long
+// until its last Retry-After hint elapses. 0 means not saturated.
+func (h *Health) SaturationHint(name string) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.st[name]
+	if !ok {
+		return 0
+	}
+	if d := s.saturatedUntil.Sub(h.now()); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// CountHealthy reports how many of names are currently routable.
+func (h *Health) CountHealthy(names []string) int {
+	n := 0
+	for _, name := range names {
+		if h.Healthy(name) {
+			n++
+		}
+	}
+	return n
+}
+
+// Probe checks one backend's /readyz and updates the tracker; client
+// must have a timeout. Used by the router's background prober against
+// gatewayd's admin mux (satellite: /healthz | /readyz).
+func (h *Health) Probe(client *http.Client, name, readyzURL string) bool {
+	resp, err := client.Get(readyzURL)
+	if err != nil {
+		h.MarkDown(name)
+		return false
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		h.MarkDown(name)
+		return false
+	}
+	h.MarkUp(name)
+	return true
+}

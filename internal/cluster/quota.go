@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// QuotaConfig configures per-tenant admission quotas at the router.
+type QuotaConfig struct {
+	// Rate is the sustained sessions/sec each tenant may open; <= 0
+	// disables quotas entirely (every Allow passes).
+	Rate float64
+	// Burst is the bucket depth — how many sessions a tenant may open
+	// back-to-back after an idle period. 0 means max(1, ceil(Rate)).
+	Burst int
+	// MaxTenants bounds the tracked bucket map so unauthenticated traffic
+	// cannot grow it without bound; at the cap, unknown tenants share one
+	// overflow bucket. 0 means DefaultMaxTenants.
+	MaxTenants int
+}
+
+// DefaultMaxTenants bounds the quota table when QuotaConfig leaves it zero.
+const DefaultMaxTenants = 4096
+
+// overflowTenant is the shared bucket unknown tenants land in once the
+// table is full.
+const overflowTenant = "\x00overflow"
+
+// Quotas is a table of per-tenant token buckets. A session costs one
+// token; tokens refill continuously at Rate up to Burst. Denials come
+// with the wait until one token exists — the Retry-After hint the router
+// sheds with.
+type Quotas struct {
+	rate  float64
+	burst float64
+	max   int
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuotas builds the table; returns nil (meaning "no quotas") when cfg
+// disables them, which Allow on a nil receiver honors.
+func NewQuotas(cfg QuotaConfig) *Quotas {
+	if cfg.Rate <= 0 {
+		return nil
+	}
+	burst := float64(cfg.Burst)
+	if cfg.Burst <= 0 {
+		burst = math.Max(1, math.Ceil(cfg.Rate))
+	}
+	max := cfg.MaxTenants
+	if max <= 0 {
+		max = DefaultMaxTenants
+	}
+	return &Quotas{
+		rate:    cfg.Rate,
+		burst:   burst,
+		max:     max,
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow charges one session to tenant's bucket. When denied, retryAfter
+// is how long until the bucket holds a full token again.
+func (q *Quotas) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b, exists := q.buckets[tenant]
+	if !exists {
+		if len(q.buckets) >= q.max {
+			tenant = overflowTenant
+			b = q.buckets[tenant]
+		}
+		if b == nil {
+			b = &bucket{tokens: q.burst, last: now}
+			q.buckets[tenant] = b
+		}
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens = math.Min(q.burst, b.tokens+elapsed*q.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := (1 - b.tokens) / q.rate
+	return false, time.Duration(wait * float64(time.Second))
+}

@@ -1,0 +1,163 @@
+// Package cluster is EnGarde's fleet tier: the pieces a front door needs
+// to spread provisioning sessions over several gatewayd backends while
+// keeping the warm path warm. BENCH_5 showed function-memo reuse only pays
+// when sessions for the same image digest land on the same cache, so the
+// core of the package is a consistent-hash ring keyed by image digest
+// (ring.go); around it sit backend health tracking with fail-open
+// rebalancing (health.go), per-tenant token-bucket quotas (quota.go), and
+// the L4 router that proxies the secchan byte stream to the chosen
+// backend (router.go). The package is the substrate of cmd/engarde-router
+// and of the in-process fleet harness in internal/bench.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultVnodes is the virtual-node count per backend when RingConfig
+// leaves it zero. 64 keeps the remap fraction on membership change within
+// a few percent of the ideal 1/N for small fleets.
+const DefaultVnodes = 64
+
+// Ring is a consistent-hash ring over named backends. Lookup keys are
+// image digests, so every session for one image hashes to the same
+// backend — the digest's "owner" — and adding or removing a backend only
+// remaps ~1/N of the digest space. Safe for concurrent use; membership
+// changes rebuild the point table under the writer lock.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []ringPoint // ascending hash
+	names  []string    // sorted member names
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner string
+}
+
+// NewRing builds a ring with vnodes virtual nodes per backend (0 means
+// DefaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes}
+}
+
+// pointHash places one virtual node: the first 8 bytes of
+// SHA-256(name "#" index). SHA-256 keeps placement uniform and — unlike a
+// seeded runtime hash — identical across processes, so every router in a
+// fleet computes the same ownership.
+func pointHash(name string, idx int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", name, idx)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash places a lookup key (an image digest, already uniform — but
+// hashed again so arbitrary keys are too).
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a backend; adding an existing name is a no-op.
+func (r *Ring) Add(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range r.names {
+		if n == name {
+			return
+		}
+	}
+	r.names = append(r.names, name)
+	sort.Strings(r.names)
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: pointHash(name, i), owner: name})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a backend; removing an absent name is a no-op. The
+// departed backend's arcs fall to their ring successors; every other
+// assignment is untouched — the property ring_test.go pins down.
+func (r *Ring) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.names[:0]
+	for _, n := range r.names {
+		if n != name {
+			out = append(out, n)
+		}
+	}
+	r.names = out
+	pts := r.points[:0]
+	for _, p := range r.points {
+		if p.owner != name {
+			pts = append(pts, p)
+		}
+	}
+	r.points = pts
+}
+
+// Members returns the sorted backend names.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.names...)
+}
+
+// Size returns the number of backends.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.names)
+}
+
+// Owner returns the backend owning key: the first virtual node at or
+// clockwise of the key's hash. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.search(keyHash(key))].owner, true
+}
+
+// Sequence returns every backend in preference order for key: the owner
+// first, then each distinct backend encountered walking clockwise. The
+// router uses it as a failover order, so a down owner degrades to the
+// same successor on every router instance.
+func (r *Ring) Sequence(key string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.names))
+	seen := make(map[string]bool, len(r.names))
+	start := r.search(keyHash(key))
+	for i := 0; i < len(r.points) && len(out) < len(r.names); i++ {
+		owner := r.points[(start+i)%len(r.points)].owner
+		if !seen[owner] {
+			seen[owner] = true
+			out = append(out, owner)
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point with hash >= h, wrapping to
+// 0 past the last point. Callers hold at least the read lock.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}

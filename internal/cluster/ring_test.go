@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// sampleDigests fabricates n image-digest-shaped keys.
+func sampleDigests(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("image-%d", i)))
+		out[i] = hex.EncodeToString(sum[:])
+	}
+	return out
+}
+
+func ringWith(vnodes int, names ...string) *Ring {
+	r := NewRing(vnodes)
+	for _, n := range names {
+		r.Add(n)
+	}
+	return r
+}
+
+// TestRingRebalanceBound: removing 1 of N backends must remap at most
+// 1/N + ε of a 10k-digest sample, and re-adding it must restore the
+// original assignment exactly — the minimal-disruption property that
+// makes rolling restarts cheap for the fleet's caches.
+func TestRingRebalanceBound(t *testing.T) {
+	// With 64 vnodes a backend's share deviates from 1/N by up to
+	// ~1/√vnodes ≈ 12% of the share; ε covers that deterministic skew.
+	const eps = 0.07
+	digests := sampleDigests(10_000)
+	for _, n := range []int{2, 3, 4, 8} {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("gw-%d", i)
+		}
+		r := ringWith(64, names...)
+
+		before := make(map[string]string, len(digests))
+		for _, d := range digests {
+			owner, ok := r.Owner(d)
+			if !ok {
+				t.Fatal("empty ring")
+			}
+			before[d] = owner
+		}
+
+		victim := names[n/2]
+		r.Remove(victim)
+		remapped, orphaned := 0, 0
+		for _, d := range digests {
+			owner, _ := r.Owner(d)
+			if owner == before[d] {
+				continue
+			}
+			if before[d] == victim {
+				orphaned++ // had to move; not disruption
+			} else {
+				remapped++ // moved although its owner is still present
+			}
+		}
+		if remapped != 0 {
+			t.Errorf("N=%d: %d digests not owned by %s changed owner on its removal", n, remapped, victim)
+		}
+		bound := int((1.0/float64(n) + eps) * float64(len(digests)))
+		if orphaned > bound {
+			t.Errorf("N=%d: removal remapped %d of %d digests, bound %d (1/N+ε)", n, orphaned, len(digests), bound)
+		}
+		if orphaned == 0 {
+			t.Errorf("N=%d: removal remapped nothing; victim owned no digests?", n)
+		}
+
+		r.Add(victim)
+		for _, d := range digests {
+			owner, _ := r.Owner(d)
+			if owner != before[d] {
+				t.Fatalf("N=%d: digest %s owned by %s after re-add, was %s", n, d[:8], owner, before[d])
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// With 64 vnodes each backend should own a roughly fair share: no
+	// backend under half or over double the ideal 1/N on a 10k sample.
+	r := ringWith(64, "a", "b", "c", "d")
+	counts := map[string]int{}
+	digests := sampleDigests(10_000)
+	for _, d := range digests {
+		owner, _ := r.Owner(d)
+		counts[owner]++
+	}
+	ideal := len(digests) / 4
+	for name, c := range counts {
+		if c < ideal/2 || c > ideal*2 {
+			t.Errorf("backend %s owns %d of %d, ideal %d", name, c, len(digests), ideal)
+		}
+	}
+}
+
+func TestRingSequence(t *testing.T) {
+	r := ringWith(16, "a", "b", "c")
+	for _, d := range sampleDigests(100) {
+		seq := r.Sequence(d)
+		if len(seq) != 3 {
+			t.Fatalf("Sequence(%s) = %v, want all 3 members", d[:8], seq)
+		}
+		owner, _ := r.Owner(d)
+		if seq[0] != owner {
+			t.Fatalf("Sequence(%s)[0] = %s, owner = %s", d[:8], seq[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, s := range seq {
+			if seen[s] {
+				t.Fatalf("Sequence(%s) repeats %s", d[:8], s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRingEmptyAndDuplicates(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("x"); ok {
+		t.Error("empty ring must not own anything")
+	}
+	if seq := r.Sequence("x"); seq != nil {
+		t.Errorf("empty ring Sequence = %v", seq)
+	}
+	r.Add("a")
+	r.Add("a")
+	if got := r.Members(); len(got) != 1 {
+		t.Errorf("duplicate Add: members = %v", got)
+	}
+	if owner, ok := r.Owner("x"); !ok || owner != "a" {
+		t.Errorf("single-member ring: owner = %s, %v", owner, ok)
+	}
+	r.Remove("missing") // no-op
+	r.Remove("a")
+	if r.Size() != 0 {
+		t.Errorf("Size after removing all = %d", r.Size())
+	}
+}

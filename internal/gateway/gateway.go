@@ -40,12 +40,15 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"engarde"
 	"engarde/internal/cycles"
 	"engarde/internal/obs"
+	"engarde/internal/policy/memo"
 	"engarde/internal/secchan"
 )
 
@@ -116,6 +119,18 @@ type Config struct {
 	// FnCacheFS overrides the filesystem behind the fn-cache disk tier
 	// (fault injection in tests); nil means the real one.
 	FnCacheFS engarde.FnCacheFS
+	// FnCachePeers, when non-empty, enables the fn-cache remote tier:
+	// base URLs of peer gatewayd /memoz endpoints to batch-fetch memoized
+	// outcomes from (and asynchronously push fresh ones to). The tier
+	// sits behind its own circuit breaker, so a sick peer degrades the
+	// gateway to local tiers, never blocks or corrupts a provision.
+	FnCachePeers []string
+	// FnCacheRemoteTimeout bounds one peer round-trip; 0 means the memo
+	// package default.
+	FnCacheRemoteTimeout time.Duration
+	// FnCacheRemoteClient overrides the HTTP client used for peer calls
+	// (fault injection in tests wraps its transport in faults.ChaosConn).
+	FnCacheRemoteClient *http.Client
 
 	// Counter receives per-phase cycle charges from every enclave and
 	// feeds the stats endpoint. If nil, the Provider's counter is used;
@@ -155,6 +170,8 @@ type Gateway struct {
 	queue    chan queuedConn
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	ready atomic.Bool // readiness: true while Serve runs, false during drain
 
 	mu        sync.Mutex
 	shutdown  bool
@@ -236,6 +253,11 @@ func New(cfg Config) (*Gateway, error) {
 			Path:            cfg.FnCachePath,
 			FS:              cfg.FnCacheFS,
 			ReprobeInterval: cfg.FnCacheReprobe,
+			Remote: memo.RemoteConfig{
+				Peers:   cfg.FnCachePeers,
+				Timeout: cfg.FnCacheRemoteTimeout,
+				Client:  cfg.FnCacheRemoteClient,
+			},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("gateway: opening function-result cache: %w", err)
@@ -266,6 +288,7 @@ func (g *Gateway) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	g.listeners[ln] = struct{}{}
 	g.mu.Unlock()
+	g.ready.Store(true)
 	defer func() {
 		g.mu.Lock()
 		delete(g.listeners, ln)
@@ -346,6 +369,7 @@ func (g *Gateway) admit(conn net.Conn) {
 // them. If ctx expires first, remaining connections are force-closed and
 // ctx.Err() is returned once the workers have observed the closures.
 func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.ready.Store(false)
 	g.mu.Lock()
 	g.shutdown = true
 	for ln := range g.listeners {

@@ -6,6 +6,7 @@ import (
 
 	"engarde"
 	"engarde/internal/obs"
+	"engarde/internal/policy/memo"
 )
 
 // numLatencyBuckets covers sessions up to ~2^20 ms (≈17 min) with
@@ -141,4 +142,38 @@ func (g *Gateway) MetricsHandler() http.Handler {
 // register additional process-level series on the same exposition.
 func (g *Gateway) Registry() *obs.Registry {
 	return g.metrics.reg
+}
+
+// HealthzHandler reports liveness — the process is up and the mux is
+// serving — and nothing more. Mount it at /healthz.
+func (g *Gateway) HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+}
+
+// ReadyzHandler reports readiness: 200 only while the gateway is serving,
+// 503 before the first Serve and from the moment Shutdown begins draining
+// — the signal the fleet router's health prober and rolling restarts key
+// off. Mount it at /readyz.
+func (g *Gateway) ReadyzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if !g.ready.Load() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ready\n"))
+	})
+}
+
+// FnMemoHandler serves the function-result cache's peer protocol (batch
+// get/put of memoized outcomes) so fleet peers can share warm-path state.
+// Mount it at /memoz/. Returns 404s when the cache is disabled.
+func (g *Gateway) FnMemoHandler() http.Handler {
+	if g.fnCache == nil {
+		return http.NotFoundHandler()
+	}
+	return memo.Handler(g.fnCache)
 }

@@ -1,0 +1,71 @@
+package memo
+
+import "time"
+
+// breaker is the consecutive-failure circuit breaker shared by the disk
+// tier and the remote (network-peer) tier. Both tiers are strictly
+// optional accelerators: trouble must cost cycles, never verdicts, so
+// after threshold consecutive failures the breaker opens and the tier is
+// skipped entirely — no more syscalls or network round-trips on the
+// provisioning path — until a timed probe succeeds and closes it again.
+//
+// The breaker does not lock itself; the owning tier's mutex guards it.
+type breaker struct {
+	threshold int           // consecutive failures that trip; <0 trips on the first
+	reprobe   time.Duration // how long the open breaker waits before probing
+	now       func() time.Time
+
+	failures  int       // consecutive failures while closed
+	open      bool      // tier suspended
+	nextProbe time.Time // earliest probe while open
+	trips     uint64    // closed→open transitions
+}
+
+// newBreaker applies the shared defaulting rules.
+func newBreaker(threshold int, reprobe time.Duration) breaker {
+	if threshold == 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if reprobe <= 0 {
+		reprobe = DefaultReprobeInterval
+	}
+	return breaker{threshold: threshold, reprobe: reprobe, now: time.Now}
+}
+
+// allow reports whether the tier may attempt an operation. While closed it
+// is always true; while open it is true exactly when the probe timer has
+// expired, and the attempt then doubles as the probe.
+func (b *breaker) allow() (ok, probing bool) {
+	if !b.open {
+		return true, false
+	}
+	if b.now().Before(b.nextProbe) {
+		return false, false
+	}
+	return true, true
+}
+
+// success records a working tier: failures reset and an open breaker
+// closes.
+func (b *breaker) success() {
+	b.open = false
+	b.failures = 0
+}
+
+// failure records one failed operation and reports whether this failure
+// tripped the breaker (closed→open). While open it re-arms the probe
+// timer.
+func (b *breaker) failure() (tripped bool) {
+	if b.open {
+		b.nextProbe = b.now().Add(b.reprobe)
+		return false
+	}
+	b.failures++
+	if b.threshold < 0 || b.failures >= b.threshold {
+		b.open = true
+		b.trips++
+		b.nextProbe = b.now().Add(b.reprobe)
+		return true
+	}
+	return false
+}

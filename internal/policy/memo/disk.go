@@ -57,18 +57,10 @@ const (
 // replayed records and discarded trailing bytes.
 func openDiskTier(cfg Config, fs FS, snapshot func() []Record, emit func(Key, []byte)) (*diskTier, uint64, uint64, error) {
 	d := &diskTier{
-		fs:        fs,
-		path:      cfg.Path,
-		threshold: cfg.BreakerThreshold,
-		reprobe:   cfg.ReprobeInterval,
-		snapshot:  snapshot,
-		now:       time.Now,
-	}
-	if d.threshold == 0 {
-		d.threshold = DefaultBreakerThreshold
-	}
-	if d.reprobe <= 0 {
-		d.reprobe = DefaultReprobeInterval
+		fs:       fs,
+		path:     cfg.Path,
+		brk:      newBreaker(cfg.BreakerThreshold, cfg.ReprobeInterval),
+		snapshot: snapshot,
 	}
 	// A crash between writing the probe file and renaming it leaves a stale
 	// .tmp behind; it is dead weight, never read.
@@ -207,18 +199,11 @@ type diskTier struct {
 	f      File // nil while the breaker is open or after close
 	closed bool
 
-	threshold int           // consecutive failures that trip the breaker; <0 trips on the first
-	reprobe   time.Duration // how long the open breaker waits before probing
-	snapshot  func() []Record
-	now       func() time.Time // test hook
-
-	failures  int       // consecutive append failures while closed
-	open      bool      // breaker open: disk writes suspended
-	nextProbe time.Time // earliest re-probe while open
+	brk      breaker
+	snapshot func() []Record
 
 	faults   uint64 // I/O errors observed (appends and failed probes)
 	skipped  uint64 // appends dropped while the breaker was open
-	trips    uint64 // closed→open transitions
 	rewrites uint64 // successful crash-safe log rewrites
 }
 
@@ -232,46 +217,38 @@ func (d *diskTier) append(k Key, payload []byte) {
 	if d.closed {
 		return
 	}
-	if d.open {
-		if d.now().Before(d.nextProbe) {
-			d.skipped++
-			return
-		}
+	ok, probing := d.brk.allow()
+	if !ok {
+		d.skipped++
+		return
+	}
+	if probing {
 		// Probe: rewrite the whole log from the resident entries (the entry
 		// being appended is already resident, so it is included). Success
 		// closes the breaker; failure re-arms the probe timer.
 		if err := d.rewriteLocked(); err != nil {
 			d.faults++
 			d.skipped++
-			d.nextProbe = d.now().Add(d.reprobe)
+			d.brk.failure()
 			return
 		}
-		d.open = false
-		d.failures = 0
+		d.brk.success()
 		d.rewrites++
 		return
 	}
 	if _, err := d.f.Write(rec); err != nil {
 		d.faults++
-		d.failures++
-		if d.threshold < 0 || d.failures >= d.threshold {
-			d.trip()
+		if d.brk.failure() {
+			// Tripped: the (possibly wedged) file is abandoned and the cache
+			// runs memory-only until a probe succeeds.
+			if d.f != nil {
+				_ = d.f.Close()
+				d.f = nil
+			}
 		}
 		return
 	}
-	d.failures = 0
-}
-
-// trip opens the breaker: the (possibly wedged) file is abandoned and the
-// cache runs memory-only until a probe succeeds.
-func (d *diskTier) trip() {
-	d.open = true
-	d.trips++
-	d.nextProbe = d.now().Add(d.reprobe)
-	if d.f != nil {
-		_ = d.f.Close()
-		d.f = nil
-	}
+	d.brk.success()
 }
 
 // rewriteLocked writes a fresh log containing every resident entry to
@@ -339,8 +316,8 @@ func (d *diskTier) fillStats(st *Stats) {
 	defer d.mu.Unlock()
 	st.DiskFaults = d.faults
 	st.DiskSkipped = d.skipped
-	st.BreakerTrips = d.trips
-	st.BreakerOpen = d.open
+	st.BreakerTrips = d.brk.trips
+	st.BreakerOpen = d.brk.open
 	st.DiskRewrites = d.rewrites
 }
 

@@ -78,6 +78,10 @@ type Config struct {
 	// the disk again (via a crash-safe temp-file+rename log rewrite).
 	// 0 means DefaultReprobeInterval.
 	ReprobeInterval time.Duration
+	// Remote configures the optional peer tier (remote.go): batch gets from
+	// fleet peers between the LRU and the disk log, async puts back to them.
+	// An empty Peers list disables it.
+	Remote RemoteConfig
 }
 
 // Stats is a point-in-time snapshot of cache metrics.
@@ -105,6 +109,19 @@ type Stats struct {
 	// DiskRewrites counts successful crash-safe log rewrites (re-probes
 	// that closed the breaker).
 	DiskRewrites uint64 `json:"disk_rewrites,omitempty"`
+	// Remote-tier client counters: this node asking fleet peers.
+	RemoteHits       uint64 `json:"remote_hits,omitempty"`
+	RemoteMisses     uint64 `json:"remote_misses,omitempty"`
+	RemoteFaults     uint64 `json:"remote_faults,omitempty"`
+	RemoteSkipped    uint64 `json:"remote_skipped,omitempty"`
+	RemoteTrips      uint64 `json:"remote_trips,omitempty"`
+	RemoteOpen       bool   `json:"remote_open,omitempty"`
+	RemotePuts       uint64 `json:"remote_puts,omitempty"`
+	RemotePutDropped uint64 `json:"remote_put_dropped,omitempty"`
+	// Peer-serving counters: fleet peers asking this node (/memoz).
+	PeerGets   uint64 `json:"peer_gets,omitempty"`
+	PeerServed uint64 `json:"peer_served,omitempty"`
+	PeerStored uint64 `json:"peer_stored,omitempty"`
 }
 
 // Cache is the process-wide function-result cache: a sharded bounded LRU
@@ -113,9 +130,12 @@ type Stats struct {
 type Cache struct {
 	shards [numShards]shard
 	disk   *diskTier
+	remote *remoteTier
 
 	hits, misses, evictions, bytes atomic.Uint64
 	diskLoaded, diskDropped        atomic.Uint64
+
+	peerGets, peerServed, peerStored atomic.Uint64
 }
 
 // Open builds the cache, replaying the disk tier when configured. A
@@ -148,6 +168,9 @@ func Open(cfg Config) (*Cache, error) {
 		c.diskLoaded.Store(loaded)
 		c.diskDropped.Store(dropped)
 	}
+	if len(cfg.Remote.Peers) > 0 {
+		c.remote = newRemoteTier(cfg.Remote)
+	}
 	return c, nil
 }
 
@@ -173,7 +196,29 @@ func (c *Cache) Put(k Key, payload []byte) {
 	if c.disk != nil {
 		c.disk.append(k, payload)
 	}
+	if c.remote != nil {
+		c.remote.enqueuePut(Record{Key: k, Payload: payload})
+	}
 }
+
+// FetchRemote asks the fleet peers for the given keys in one batch and
+// installs whatever comes back into the in-process LRU (memory-only —
+// peer-fetched records are the peer's history, not this node's). It
+// returns the installed records; remote trouble returns nil, never an
+// error, and costs at most one bounded round-trip behind the breaker.
+func (c *Cache) FetchRemote(keys []Key) []Record {
+	if c.remote == nil || len(keys) == 0 {
+		return nil
+	}
+	recs := c.remote.fetch(keys)
+	for _, rec := range recs {
+		c.insert(rec.Key, rec.Payload, false)
+	}
+	return recs
+}
+
+// RemoteEnabled reports whether a peer tier is configured.
+func (c *Cache) RemoteEnabled() bool { return c.remote != nil }
 
 // insert adds k to the LRU; fresh reports whether the key was new.
 func (c *Cache) insert(k Key, payload []byte, countEvictions bool) (fresh bool) {
@@ -214,6 +259,12 @@ func (c *Cache) Stats() Stats {
 	if c.disk != nil {
 		c.disk.fillStats(&st)
 	}
+	if c.remote != nil {
+		c.remote.fillStats(&st)
+	}
+	st.PeerGets = c.peerGets.Load()
+	st.PeerServed = c.peerServed.Load()
+	st.PeerStored = c.peerStored.Load()
 	return st
 }
 
@@ -227,8 +278,11 @@ func (c *Cache) dump() []Record {
 	return out
 }
 
-// Close flushes and closes the disk tier, if any.
+// Close flushes and closes the disk and remote tiers, if any.
 func (c *Cache) Close() error {
+	if c.remote != nil {
+		c.remote.close()
+	}
 	if c.disk == nil {
 		return nil
 	}

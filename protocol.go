@@ -3,6 +3,8 @@ package engarde
 import (
 	"context"
 	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,6 +27,69 @@ import (
 //
 // The verdict (and the executable-page list, which stays host-side) is all
 // the provider ever learns about the client's code.
+
+// RouteProto is the protocol marker of a RouteHello preamble frame.
+const RouteProto = "engarde-route/1"
+
+// RouteHello is the optional routing preamble: one JSON frame the client
+// sends immediately on connect, before reading the server hello, announcing
+// which image digest the session is for. A fleet front door
+// (cmd/engarde-router) peeks it to pick the digest's ring owner, then
+// strips it from the stream; it never reaches the owning gatewayd. Because
+// both sides of TCP are independent, sending it before the server hello
+// cannot deadlock — and a gatewayd contacted directly simply discards it.
+//
+// The preamble is advisory plaintext: it routes, it never authorizes. The
+// digest only steers cache affinity (a lie costs the liar their own warm
+// path), and the enclave protocol proper starts after it unchanged.
+type RouteHello struct {
+	// Proto must be RouteProto; routers ignore frames without it.
+	Proto string `json:"proto"`
+	// ImageDigest is the lowercase hex SHA-256 of the image to be
+	// provisioned — the same digest the gateway's verdict cache keys on.
+	// Empty routes by least-loaded instead of affinity.
+	ImageDigest string `json:"image_digest,omitempty"`
+	// Tenant names the quota bucket this session draws from; empty draws
+	// from the shared default bucket.
+	Tenant string `json:"tenant,omitempty"`
+	// DeadlineMillis is how long the client is willing to wait end-to-end;
+	// 0 means no deadline. Routers shed sessions whose deadline cannot
+	// cover a saturated backend's Retry-After hint.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+}
+
+// MaxRouteHelloBytes bounds a preamble frame; anything larger is session
+// traffic, not routing metadata. Routers peeking the first frame use it to
+// decide early that a long frame cannot be a preamble.
+const MaxRouteHelloBytes = 4096
+
+const maxRouteHello = MaxRouteHelloBytes
+
+// PeekBusy reports whether a received hello frame is an overload shed and
+// returns its verdict. The fleet router uses it to recognize a saturated
+// backend — and forward that backend's Retry-After hint — without
+// otherwise participating in the protocol.
+func PeekBusy(frame []byte) (Verdict, bool) {
+	var h hello
+	if err := json.Unmarshal(frame, &h); err != nil || h.Busy == nil {
+		return Verdict{}, false
+	}
+	return *h.Busy, true
+}
+
+// ParseRouteHello reports whether one received frame is a routing preamble.
+// Both the router (to peek the digest) and the server (to discard a
+// preamble that reached it directly) use it.
+func ParseRouteHello(frame []byte) (RouteHello, bool) {
+	var rh RouteHello
+	if len(frame) > maxRouteHello || len(frame) == 0 || frame[0] != '{' {
+		return RouteHello{}, false
+	}
+	if err := json.Unmarshal(frame, &rh); err != nil || rh.Proto != RouteProto {
+		return RouteHello{}, false
+	}
+	return rh, true
+}
 
 // hello is the first protocol message. A gateway under overload sends a
 // hello carrying only Busy — no quote, no key — so a turned-away client
@@ -217,6 +282,17 @@ func (e *Enclave) ServeProvisionFuncCtx(ctx context.Context, conn io.ReadWriter,
 		sp.End()
 		return nil, fmt.Errorf("engarde: receiving session key: %w", err)
 	}
+	if _, ok := ParseRouteHello(wrapped); ok {
+		// A client that announces routing metadata but connected straight to
+		// us (no router in front to strip it): discard the preamble and read
+		// the real first frame. A wrapped session key is RSA ciphertext, so
+		// it cannot be mistaken for the preamble's JSON.
+		wrapped, err = secchan.ReadBlock(conn)
+		if err != nil {
+			sp.End()
+			return nil, fmt.Errorf("engarde: receiving session key: %w", err)
+		}
+	}
 	err = e.AcceptSessionKey(wrapped)
 	sp.End()
 	if err != nil {
@@ -254,11 +330,60 @@ type Client struct {
 	Expected Measurement
 	// PlatformKey is the provider platform's attestation public key.
 	PlatformKey *rsa.PublicKey
+	// PlatformKeys are additional acceptable platform keys. A fleet runs
+	// one platform key per node, and a routed session may land on any of
+	// them; the quote must verify under PlatformKey or any entry here.
+	PlatformKeys []*rsa.PublicKey
+	// Route, when non-nil, is sent as a routing preamble before the
+	// protocol proper, so a fleet router can steer the session to its
+	// digest's cache owner. An empty ImageDigest is filled in from the
+	// image being provisioned.
+	Route *RouteHello
+}
+
+// sendRoutePreamble announces the session's routing metadata. Digest
+// auto-fill keeps callers honest-by-default: announcing a different image
+// than the one streamed only degrades the caller's own cache affinity.
+func (c *Client) sendRoutePreamble(conn io.Writer, image []byte) error {
+	rh := *c.Route
+	rh.Proto = RouteProto
+	if rh.ImageDigest == "" {
+		sum := sha256.Sum256(image)
+		rh.ImageDigest = hex.EncodeToString(sum[:])
+	}
+	return sendJSON(conn, rh)
+}
+
+// verifyAny checks the quote against every configured platform key.
+func (c *Client) verifyAny(q Quote, publicKeyDER []byte) error {
+	keys := make([]*rsa.PublicKey, 0, 1+len(c.PlatformKeys))
+	if c.PlatformKey != nil {
+		keys = append(keys, c.PlatformKey)
+	}
+	keys = append(keys, c.PlatformKeys...)
+	var err error
+	for _, key := range keys {
+		if key == nil {
+			continue
+		}
+		if err = attest.VerifyQuote(q, key, c.Expected, attest.BindPublicKey(publicKeyDER)); err == nil {
+			return nil
+		}
+	}
+	if err == nil {
+		err = errors.New("engarde: no platform key configured")
+	}
+	return err
 }
 
 // Provision runs the client side over conn: verify the quote, wrap a
 // session key, stream the executable, and return the verdict.
 func (c *Client) Provision(conn io.ReadWriter, image []byte) (Verdict, error) {
+	if c.Route != nil {
+		if err := c.sendRoutePreamble(conn, image); err != nil {
+			return Verdict{}, fmt.Errorf("engarde: sending route preamble: %w", err)
+		}
+	}
 	var h hello
 	if err := recvJSON(conn, &h); err != nil {
 		return Verdict{}, fmt.Errorf("engarde: receiving hello: %w", err)
@@ -274,7 +399,7 @@ func (c *Client) Provision(conn io.ReadWriter, image []byte) (Verdict, error) {
 	}
 	// Attestation: genuine EnGarde, on a genuine platform, with this exact
 	// public key bound into the quote (§2, §3).
-	if err := attest.VerifyQuote(q, c.PlatformKey, c.Expected, attest.BindPublicKey(h.PublicKey)); err != nil {
+	if err := c.verifyAny(q, h.PublicKey); err != nil {
 		return Verdict{}, fmt.Errorf("%w: %w", ErrAttestation, err)
 	}
 

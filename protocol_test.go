@@ -2,6 +2,9 @@ package engarde
 
 import (
 	"bytes"
+	"crypto/rsa"
+	"encoding/json"
+	"errors"
 	"math/rand"
 	"net"
 	"testing"
@@ -267,5 +270,115 @@ func TestVerdictReasonCodes(t *testing.T) {
 	}
 	if err := <-done; err == nil {
 		t.Error("server must surface the session-key failure")
+	}
+}
+
+func TestRoutePreambleDiscardedByDirectServer(t *testing.T) {
+	// A client announcing routing metadata straight at a gatewayd (no
+	// router in front to strip the preamble) must still provision: the
+	// server discards the RouteHello frame and reads the real session key.
+	provider, err := NewProvider(ProviderConfig{EPCPages: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected, err := ExpectedMeasurement(SGXv2, smallEnclave())
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := provider.CreateEnclave(smallEnclave())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := toolchain.Build(toolchain.Config{Name: "route", Seed: 11, NumFuncs: 5, AvgFuncInsts: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &Client{
+		Expected: expected,
+		// Multi-key fleet config: a wrong key first, the real one in
+		// PlatformKeys — the client must try all of them.
+		PlatformKey:  nil,
+		PlatformKeys: []*rsa.PublicKey{provider.AttestationPublicKey()},
+		Route:        &RouteHello{Tenant: "t1", DeadlineMillis: 5000},
+	}
+	// Real TCP, not net.Pipe: the preamble is written while the server is
+	// writing its hello, which only a buffered transport permits — exactly
+	// the full-duplex property the preamble design relies on.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		srv, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer srv.Close()
+		_, _ = encl.ServeProvision(srv)
+	}()
+	cli, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	v, err := client.Provision(cli, bin.Image)
+	if err != nil {
+		t.Fatalf("Provision with route preamble: %v", err)
+	}
+	if !v.Compliant {
+		t.Fatalf("verdict = %+v, want compliant", v)
+	}
+}
+
+func TestParseRouteHello(t *testing.T) {
+	rh := RouteHello{Proto: RouteProto, ImageDigest: "abc123", Tenant: "t", DeadlineMillis: 9}
+	frame, err := json.Marshal(rh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ParseRouteHello(frame)
+	if !ok || got != rh {
+		t.Fatalf("ParseRouteHello = %+v, %v; want %+v", got, ok, rh)
+	}
+	for _, bad := range [][]byte{
+		nil,
+		[]byte("garbage"),
+		[]byte(`{"proto":"something-else"}`),
+		[]byte(`{"image_digest":"abc"}`),
+		bytes.Repeat([]byte{'{'}, maxRouteHello+1),
+	} {
+		if _, ok := ParseRouteHello(bad); ok {
+			t.Errorf("ParseRouteHello(%.20q...) accepted, want rejected", bad)
+		}
+	}
+}
+
+func TestClientVerifyAnyRejectsWrongKeys(t *testing.T) {
+	provider, err := NewProvider(ProviderConfig{EPCPages: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewProvider(ProviderConfig{EPCPages: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected, err := ExpectedMeasurement(SGXv2, smallEnclave())
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := provider.CreateEnclave(smallEnclave())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &Client{Expected: expected, PlatformKeys: []*rsa.PublicKey{other.AttestationPublicKey()}}
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	go func() {
+		defer srv.Close()
+		_, _ = encl.ServeProvision(srv)
+	}()
+	if _, err := client.Provision(cli, []byte("img")); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("Provision with only a wrong platform key: err = %v, want ErrAttestation", err)
 	}
 }
