@@ -424,6 +424,76 @@ func BenchmarkGatewayThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkPooledProvision measures enclave acquisition — the cost pooling
+// removes from the session path:
+//
+//	fresh   — the measured build (ECREATE + EADD/EEXTEND of every page +
+//	          EINIT + RSA keygen), what every session paid before pooling.
+//	clone   — snapshot restore into fresh EPC slots + fresh keygen, what a
+//	          pool refill worker pays per enclave.
+//	recycle — in-place scrub back to the snapshot + fresh keygen, what a
+//	          returned enclave costs to re-pool.
+//
+// The fresh/clone ratio is the per-enclave creation speedup the warm pool
+// converts into admit→attest latency (BENCH_7.json's pooled point).
+func BenchmarkPooledProvision(b *testing.B) {
+	const heapPages, clientPages = 1500, 512
+	cfg := core.Config{EPCPages: 16384, HeapPages: heapPages, ClientPages: clientPages}
+	b.Run("fresh", func(b *testing.B) {
+		dev, err := sgx.NewDevice(sgx.Config{EPCPages: 16384, Version: sgx.V2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, err := core.NewOnDevice(cfg, dev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.Destroy()
+		}
+	})
+	b.Run("clone", func(b *testing.B) {
+		dev, err := sgx.NewDevice(sgx.Config{EPCPages: 16384, Version: sgx.V2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap, err := core.NewSnapshotter(cfg, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, err := snap.Clone(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.Destroy()
+		}
+	})
+	b.Run("recycle", func(b *testing.B) {
+		dev, err := sgx.NewDevice(sgx.Config{EPCPages: 16384, Version: sgx.V2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap, err := core.NewSnapshotter(cfg, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := snap.Clone(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, err = snap.Recycle(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkWarmProvision measures warm-path provisioning: the same image
 // is provisioned fully cold and against a function-result cache warmed by
 // a different image sharing the approved musl build. The cycle metrics are

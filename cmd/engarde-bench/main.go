@@ -57,6 +57,10 @@ type gatewayPoint struct {
 	CacheHits      uint64  `json:"verdict_cache_hits"`
 	FnCacheHits    uint64  `json:"fn_cache_hits,omitempty"`
 	FnCacheMisses  uint64  `json:"fn_cache_misses,omitempty"`
+	// Pool carries the enclave warm-pool counters for pooled points: warm
+	// vs cold checkouts plus the amortized snapshot/clone cycle economics
+	// that pooling keeps off individual session spans.
+	Pool *gateway.PoolStats `json:"pool,omitempty"`
 	// Latency is the client-observed per-session distribution (wall-clock,
 	// noisy on shared hardware; quantiles are log₂-bucket upper bounds).
 	Latency bench.LatencyQuantiles `json:"latency"`
@@ -125,6 +129,7 @@ func runJSON() error {
 			pt.FnCacheHits = res.Stats.FnCache.Hits
 			pt.FnCacheMisses = res.Stats.FnCache.Misses
 		}
+		pt.Pool = res.Stats.Pool
 		return pt, nil
 	}
 
@@ -133,6 +138,13 @@ func runJSON() error {
 		"cold":      {Images: images, CacheEntries: -1},
 		"cache-hit": {Images: images[:1]},
 		"fn-warm":   {Images: images, CacheEntries: -1, FnCacheEntries: gateway.DefaultCacheEntries * 16},
+		// "pooled" is "cold" with the enclave warm pool on: every session
+		// still runs the full pipeline, but checks a snapshot-cloned enclave
+		// out of the pool instead of paying the measured build — the
+		// pool-checkout span replaces create-enclave (BENCH_7). The pool is
+		// sized to cover the whole burst (arrival rate × recycle time), so
+		// the steady state has zero cold fallbacks.
+		"pooled": {Images: images, CacheEntries: -1, EnclavePool: 8},
 	} {
 		pt, err := load(cfg)
 		if err != nil {

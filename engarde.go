@@ -250,9 +250,81 @@ func (p *Provider) CreateEnclave(cfg EnclaveConfig) (*Enclave, error) {
 	return &Enclave{provider: p, core: g}, nil
 }
 
+// EnclaveSnapshot is a reusable post-EINIT enclave image on a provider
+// platform: one template enclave is built the measured way and captured,
+// then Clone mints attestation-ready enclaves at page-restore speed and
+// Recycle scrubs used ones back to the pristine image. All clones carry
+// the template's MRENCLAVE (identical to ExpectedMeasurement for the same
+// configuration) with fresh per-instance identities and RSA keys.
+type EnclaveSnapshot struct {
+	provider *Provider
+	snap     *core.Snapshotter
+}
+
+// NewEnclaveSnapshot builds and captures the snapshot template. The
+// one-time measured-build cost is charged to the provider's counter and
+// reported by BuildCycles.
+func (p *Provider) NewEnclaveSnapshot(cfg EnclaveConfig) (*EnclaveSnapshot, error) {
+	s, err := core.NewSnapshotter(core.Config{
+		Version:       p.cfg.Version,
+		EPCPages:      p.cfg.EPCPages,
+		HeapPages:     cfg.HeapPages,
+		ClientPages:   cfg.ClientPages,
+		Policies:      cfg.Policies,
+		Counter:       p.cfg.Counter,
+		DisasmWorkers: cfg.DisasmWorkers,
+		PolicyWorkers: cfg.PolicyWorkers,
+		FnMemo:        cfg.FnCache,
+	}, p.dev)
+	if err != nil {
+		return nil, err
+	}
+	return &EnclaveSnapshot{provider: p, snap: s}, nil
+}
+
+// Clone mints a fresh provisioning-ready enclave from the snapshot,
+// behaviorally identical to CreateEnclave minus the measured-build cost.
+func (s *EnclaveSnapshot) Clone() (*Enclave, error) {
+	g, err := s.snap.Clone(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Enclave{provider: s.provider, core: g}, nil
+}
+
+// Recycle scrubs a used clone back to the snapshot image — erasing all
+// session state including any client page contents — and returns it as a
+// fresh enclave around the same EPC pages. The argument must not be used
+// afterwards; on error it has been destroyed.
+func (s *EnclaveSnapshot) Recycle(e *Enclave) (*Enclave, error) {
+	g, err := s.snap.Recycle(e.core)
+	if err != nil {
+		return nil, err
+	}
+	return &Enclave{provider: s.provider, core: g}, nil
+}
+
+// Measurement returns the MRENCLAVE every clone carries.
+func (s *EnclaveSnapshot) Measurement() Measurement { return s.snap.Measurement() }
+
+// BuildCycles returns the one-time template build-and-capture cycle cost.
+func (s *EnclaveSnapshot) BuildCycles() uint64 { return s.snap.BuildCycles() }
+
+// CloneCycleCost returns the deterministic cycle-model cost of one clone.
+func (s *EnclaveSnapshot) CloneCycleCost() uint64 { return s.snap.CloneCycleCost() }
+
+// SnapshotPages returns the number of pages restored per clone.
+func (s *EnclaveSnapshot) SnapshotPages() int { return s.snap.SnapshotPages() }
+
 // Quote produces the attestation quote binding the enclave measurement and
 // its ephemeral public key.
 func (e *Enclave) Quote() (Quote, error) { return e.core.Quote(e.provider.qe) }
+
+// SetTrace attaches a trace to the enclave so later work (provisioning
+// phases) lands on a session's timeline. Pools use it at checkout: the
+// enclave was cloned untraced in the background, then adopts the session
+// trace of whoever checks it out.
+func (e *Enclave) SetTrace(tr *obs.Trace) { e.core.SetTrace(tr) }
 
 // PublicKeyDER exports the enclave's ephemeral RSA public key.
 func (e *Enclave) PublicKeyDER() ([]byte, error) { return e.core.PublicKeyDER() }

@@ -96,6 +96,13 @@ type GatewayLoadConfig struct {
 	// policy passes (gateway semantics: 0 = GOMAXPROCS, 1 = sequential).
 	DisasmWorkers int
 	PolicyWorkers int
+	// EnclavePool, when positive, runs the gateway with that many warm
+	// snapshot-cloned enclaves (pool-checkout replaces create-enclave on
+	// warm sessions). 0 disables pooling.
+	EnclavePool int
+	// PoolRefillWorkers sizes the pool's background refill worker set
+	// (gateway semantics: 0 = default). Ignored when EnclavePool is 0.
+	PoolRefillWorkers int
 }
 
 // LatencyQuantiles summarizes a load run's per-session latency
@@ -168,18 +175,20 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 	latReg := obs.NewRegistry()
 	latHist := latReg.Histogram("bench_session_micros", "", obs.HistogramOpts{Buckets: 32})
 	gw, err := gateway.New(gateway.Config{
-		Provider:       provider,
-		Policies:       cfg.Policies,
-		HeapPages:      cfg.HeapPages,
-		ClientPages:    cfg.ClientPages,
-		DisasmWorkers:  cfg.DisasmWorkers,
-		PolicyWorkers:  cfg.PolicyWorkers,
-		MaxConcurrent:  cfg.MaxConcurrent,
-		CacheEntries:   cfg.CacheEntries,
-		FnCacheEntries: fnEntries,
-		IdleTimeout:    -1, // in-memory pipes; deadlines only add noise
-		SessionBudget:  -1,
-		TraceSink:      sink,
+		Provider:          provider,
+		Policies:          cfg.Policies,
+		HeapPages:         cfg.HeapPages,
+		ClientPages:       cfg.ClientPages,
+		DisasmWorkers:     cfg.DisasmWorkers,
+		PolicyWorkers:     cfg.PolicyWorkers,
+		MaxConcurrent:     cfg.MaxConcurrent,
+		EnclavePool:       cfg.EnclavePool,
+		PoolRefillWorkers: cfg.PoolRefillWorkers,
+		CacheEntries:      cfg.CacheEntries,
+		FnCacheEntries:    fnEntries,
+		IdleTimeout:       -1, // in-memory pipes; deadlines only add noise
+		SessionBudget:     -1,
+		TraceSink:         sink,
 	})
 	if err != nil {
 		return nil, err
@@ -191,6 +200,24 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 		return nil, err
 	}
 	client := &engarde.Client{Expected: expected, PlatformKey: provider.AttestationPublicKey()}
+
+	// A pooled run measures the steady state of a pre-warmed gateway, so
+	// wait for the initial fill (background keygen per clone) before
+	// opening the floodgates — exactly what a production deployment's
+	// readiness gate does.
+	if cfg.EnclavePool > 0 {
+		fillDeadline := time.Now().Add(time.Minute)
+		for {
+			s := gw.Stats()
+			if s.Pool != nil && s.Pool.Depth >= cfg.EnclavePool {
+				break
+			}
+			if time.Now().After(fillDeadline) {
+				return nil, fmt.Errorf("bench: enclave pool never reached target depth %d", cfg.EnclavePool)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
 
 	ln := newMemListener()
 	serveErr := make(chan error, 1)

@@ -26,10 +26,15 @@
 //     /tracez), structured logs carrying the trace ID, and
 //     Serve(ctx)/Shutdown(ctx) with connection draining.
 //
-// Every connection still gets its own freshly measured enclave — that is
-// the paper's trust model and is not amortized — but the enclave is
-// destroyed when the connection ends, so the EPC is a pooled resource
-// rather than a leak.
+// Every connection still gets its own private enclave. Without pooling it
+// is freshly measured and destroyed at session end. With Config.EnclavePool
+// the measured build itself is amortized: one template enclave is built
+// and snapshotted at startup, sessions check out clones of that snapshot
+// (bit-identical pages, same MRENCLAVE, fresh enclave identity and
+// keypair), and returned enclaves are scrubbed back to the pristine
+// snapshot image before reuse — so the attestation story and the verdict
+// are exactly those of a fresh build (TestPooledProvisionMatchesFresh),
+// and no tenant's bytes survive into the next session.
 package gateway
 
 import (
@@ -132,6 +137,25 @@ type Config struct {
 	// (fault injection in tests wraps its transport in faults.ChaosConn).
 	FnCacheRemoteClient *http.Client
 
+	// EnclavePool, when positive, keeps that many snapshot-cloned,
+	// attestation-ready enclaves checked in: sessions check one out in
+	// microseconds (the pool-checkout span replaces create-enclave),
+	// background workers refill after checkout, and returned enclaves are
+	// scrubbed back to the pristine snapshot image before re-entering the
+	// pool. 0 disables pooling — every session builds its enclave the
+	// measured way, as before.
+	EnclavePool int
+	// PoolRefillWorkers sizes the background clone/refill worker set;
+	// 0 means DefaultPoolRefillWorkers. Ignored when EnclavePool is 0.
+	PoolRefillWorkers int
+	// PoolCheckoutWait bounds how long a session waits for a warm enclave
+	// before falling back to the cold path. 0 means
+	// DefaultPoolCheckoutWait; negative means never wait (warm only when
+	// one is ready instantly). Ignored when EnclavePool is 0.
+	PoolCheckoutWait time.Duration
+	// PoolHooks injects faults into the pool lifecycle (chaos tests).
+	PoolHooks *PoolHooks
+
 	// Counter receives per-phase cycle charges from every enclave and
 	// feeds the stats endpoint. If nil, the Provider's counter is used;
 	// phase stats are empty when both are nil.
@@ -164,6 +188,7 @@ type Gateway struct {
 	policyFP [sha256.Size]byte
 	cache    *verdictCache    // nil when disabled
 	fnCache  *engarde.FnCache // shared across enclaves; nil when disabled
+	pool     *enclavePool     // warm enclave pool; nil when disabled
 	metrics  *metrics
 	log      *slog.Logger
 
@@ -264,10 +289,21 @@ func New(cfg Config) (*Gateway, error) {
 		}
 		g.fnCache = fc
 	}
-	// After the caches and counter so the registry's live-read series match
-	// what this gateway actually has, before the workers so no instrument is
-	// ever nil on the hot path.
+	if cfg.EnclavePool > 0 {
+		pool, err := newEnclavePool(g)
+		if err != nil {
+			g.closeFnCache()
+			return nil, fmt.Errorf("gateway: building enclave pool: %w", err)
+		}
+		g.pool = pool
+	}
+	// After the caches, pool and counter so the registry's live-read series
+	// match what this gateway actually has, before the workers so no
+	// instrument is ever nil on the hot path.
 	g.metrics = newMetrics(g)
+	if g.pool != nil {
+		g.pool.start(cfg.PoolRefillWorkers)
+	}
 	g.workerWG.Add(cfg.MaxConcurrent)
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		go g.worker()
@@ -388,6 +424,7 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		g.closePool()
 		g.closeFnCache()
 		return nil
 	case <-ctx.Done():
@@ -409,8 +446,18 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 			break
 		}
 		<-done
+		g.closePool()
 		g.closeFnCache()
 		return ctx.Err()
+	}
+}
+
+// closePool drains the warm pool once every worker has exited: in-flight
+// clone and scrub goroutines are waited for, pooled enclaves destroyed, so
+// the device's EPC slot balance returns to its pre-pool state.
+func (g *Gateway) closePool() {
+	if g.pool != nil {
+		g.pool.close()
 	}
 }
 
@@ -494,26 +541,52 @@ func (g *Gateway) handle(q queuedConn) {
 	rw = secchan.ObserveFrames(rw, g.metrics)
 	start := time.Now()
 
-	encl, err := g.cfg.Provider.CreateEnclave(engarde.EnclaveConfig{
-		Policies:      g.cfg.Policies,
-		HeapPages:     g.cfg.HeapPages,
-		ClientPages:   g.cfg.ClientPages,
-		DisasmWorkers: g.cfg.DisasmWorkers,
-		PolicyWorkers: g.cfg.PolicyWorkers,
-		FnCache:       g.fnCache,
-		Trace:         tr,
-	})
-	if err != nil {
-		g.metrics.errs.Inc()
-		g.log.Error("gateway: creating enclave",
-			"trace", tr.ID(), "remote", connAddr(conn), "err", err)
-		g.finishTrace(tr)
-		if g.cfg.OnServed != nil {
-			g.cfg.OnServed(conn, nil, nil, err)
+	// Warm path: check a cloned, attestation-ready enclave out of the pool
+	// (microseconds; the pool-checkout span stands where create-enclave
+	// would). A drained pool falls through to the cold path below, so
+	// pooling changes latency, never availability.
+	var encl *engarde.Enclave
+	var warm bool
+	if g.pool != nil {
+		sp := tr.StartPhase("pool-checkout")
+		encl, warm = g.pool.checkout()
+		sp.End()
+		if warm {
+			encl.SetTrace(tr)
 		}
-		return
 	}
-	defer encl.Destroy()
+	if encl == nil {
+		var err error
+		encl, err = g.cfg.Provider.CreateEnclave(engarde.EnclaveConfig{
+			Policies:      g.cfg.Policies,
+			HeapPages:     g.cfg.HeapPages,
+			ClientPages:   g.cfg.ClientPages,
+			DisasmWorkers: g.cfg.DisasmWorkers,
+			PolicyWorkers: g.cfg.PolicyWorkers,
+			FnCache:       g.fnCache,
+			Trace:         tr,
+		})
+		if err != nil {
+			g.metrics.errs.Inc()
+			g.log.Error("gateway: creating enclave",
+				"trace", tr.ID(), "remote", connAddr(conn), "err", err)
+			g.finishTrace(tr)
+			if g.cfg.OnServed != nil {
+				g.cfg.OnServed(conn, nil, nil, err)
+			}
+			return
+		}
+	}
+	defer func() {
+		if warm {
+			// Detach the session trace before the enclave outlives it, then
+			// hand the enclave back for scrubbing and reuse.
+			encl.SetTrace(nil)
+			g.pool.release(encl)
+			return
+		}
+		encl.Destroy()
+	}()
 
 	ctx := obs.WithTrace(context.Background(), tr)
 	rep, err := encl.ServeProvisionFuncCtx(ctx, rw, func(image []byte) (*engarde.Report, error) {

@@ -439,8 +439,11 @@ func TestGatewayRetryAfterShed(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		// Generous attempt budget: under -race the stalled session's
+		// provision (which frees the worker) can take a couple of seconds,
+		// and the retrier must still be alive when it does.
 		v, err := client.ProvisionRetry(ln.Dial, image, engarde.RetryPolicy{
-			Attempts:  20,
+			Attempts:  100,
 			BaseDelay: 5 * time.Millisecond,
 			MaxDelay:  50 * time.Millisecond,
 			Seed:      1,

@@ -1,0 +1,313 @@
+package gateway
+
+// The enclave warm pool. BENCH_5/BENCH_6 showed the create-enclave span
+// (EADD/EEXTEND/EINIT of every page plus RSA keygen) dwarfing the actual
+// provisioning work, so the gateway keeps N snapshot-cloned,
+// attestation-ready enclaves checked in. A session checks one out in
+// microseconds (the pool-checkout span replaces create-enclave on warm
+// sessions), refill workers clone replacements in the background, and
+// returned enclaves are scrubbed back to the snapshot image — erasing all
+// client residue — before re-entering the pool. A drained pool degrades to
+// the cold path; it never blocks admission control.
+
+import (
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"engarde"
+	"engarde/internal/obs"
+)
+
+// Pool defaults.
+const (
+	DefaultPoolRefillWorkers = 2
+	DefaultPoolCheckoutWait  = 100 * time.Millisecond
+)
+
+// PoolHooks are fault-injection points for the chaos tests. Each hook may
+// be nil. A non-nil error from BeforeClone or AfterClone makes that refill
+// attempt fail (AfterClone's enclave is destroyed first — "enclave died
+// mid-refill"); an error from BeforeScrub discards the returned enclave
+// instead of recycling it.
+type PoolHooks struct {
+	BeforeClone func() error
+	AfterClone  func(e *engarde.Enclave) error
+	BeforeScrub func() error
+}
+
+// enclavePool keeps Config.EnclavePool cloned enclaves ready.
+type enclavePool struct {
+	snap   *engarde.EnclaveSnapshot
+	hooks  *PoolHooks
+	log    *slog.Logger
+	target int
+	wait   time.Duration
+
+	slots    chan *engarde.Enclave // checked-in, ready enclaves
+	kick     chan struct{}         // refill nudge (buffered 1, never closed)
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	waitHist *obs.Histogram // checkout wait, µs; set by newMetrics
+
+	// outstanding counts enclaves checked out and not yet returned. Refill
+	// tops up to target counting these, so a checked-out enclave's slot is
+	// held for its scrubbed return — clones only replace true losses
+	// (discards, failures), not enclaves that are coming back.
+	outstanding atomic.Int64
+
+	warm      atomic.Uint64 // checkouts served from the pool
+	cold      atomic.Uint64 // checkouts that timed out (cold fallback)
+	clones    atomic.Uint64 // successful background clones
+	cloneErrs atomic.Uint64 // failed clone attempts
+	scrubs    atomic.Uint64 // enclaves recycled back into the pool
+	discards  atomic.Uint64 // returned enclaves destroyed instead of recycled
+}
+
+// newEnclavePool builds the pool (including the one-time snapshot template)
+// but does not start the refill workers — the gateway starts them after the
+// metrics registry exists, so the wait histogram is never nil mid-flight.
+func newEnclavePool(g *Gateway) (*enclavePool, error) {
+	cfg := &g.cfg
+	snap, err := cfg.Provider.NewEnclaveSnapshot(engarde.EnclaveConfig{
+		Policies:      cfg.Policies,
+		HeapPages:     cfg.HeapPages,
+		ClientPages:   cfg.ClientPages,
+		DisasmWorkers: cfg.DisasmWorkers,
+		PolicyWorkers: cfg.PolicyWorkers,
+		FnCache:       g.fnCache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	wait := cfg.PoolCheckoutWait
+	if wait == 0 {
+		wait = DefaultPoolCheckoutWait
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	return &enclavePool{
+		snap:   snap,
+		hooks:  cfg.PoolHooks,
+		log:    g.log,
+		target: cfg.EnclavePool,
+		wait:   wait,
+		slots:  make(chan *engarde.Enclave, cfg.EnclavePool),
+		kick:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}, nil
+}
+
+// start launches the refill workers and requests the initial fill.
+func (p *enclavePool) start(workers int) {
+	if workers <= 0 {
+		workers = DefaultPoolRefillWorkers
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.refillLoop()
+	}
+	p.kickRefill()
+}
+
+// kickRefill nudges the refill workers without blocking; a full kick
+// channel means a nudge is already pending, which is all that's needed.
+func (p *enclavePool) kickRefill() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (p *enclavePool) refillLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.kick:
+			p.topUp()
+		}
+	}
+}
+
+// population is the pool's enclave count: checked in plus checked out
+// (the latter return after scrubbing, so their slots are spoken for).
+func (p *enclavePool) population() int {
+	return len(p.slots) + int(p.outstanding.Load())
+}
+
+// topUp clones until the pool's population reaches target or cloning
+// keeps failing. Failures back off and eventually yield, but always
+// schedule a delayed re-kick so the pool self-heals to target depth even
+// with no traffic to nudge it.
+func (p *enclavePool) topUp() {
+	consecutive := 0
+	for p.population() < p.target {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		e, err := p.cloneOne()
+		if err != nil {
+			p.cloneErrs.Add(1)
+			consecutive++
+			p.log.Warn("gateway: pool clone failed", "err", err, "consecutive", consecutive)
+			if consecutive >= 5 {
+				// Yield; try again shortly rather than spinning on a
+				// persistent failure (e.g. EPC exhausted by in-flight
+				// sessions — their teardown frees pages).
+				time.AfterFunc(50*time.Millisecond, p.kickRefill)
+				return
+			}
+			backoff := time.Duration(consecutive) * 2 * time.Millisecond
+			select {
+			case <-p.stop:
+				return
+			case <-time.After(backoff):
+			}
+			continue
+		}
+		consecutive = 0
+		select {
+		case p.slots <- e:
+		default:
+			// Raced past target (another worker filled the pool).
+			e.Destroy()
+			return
+		}
+	}
+}
+
+// cloneOne mints one enclave, applying the chaos hooks.
+func (p *enclavePool) cloneOne() (*engarde.Enclave, error) {
+	if p.hooks != nil && p.hooks.BeforeClone != nil {
+		if err := p.hooks.BeforeClone(); err != nil {
+			return nil, err
+		}
+	}
+	e, err := p.snap.Clone()
+	if err != nil {
+		return nil, err
+	}
+	if p.hooks != nil && p.hooks.AfterClone != nil {
+		if err := p.hooks.AfterClone(e); err != nil {
+			e.Destroy()
+			return nil, err
+		}
+	}
+	p.clones.Add(1)
+	return e, nil
+}
+
+// checkout returns a warm enclave, or (nil, false) after the bounded wait
+// so the caller can fall back to the cold path. The wait is bounded (and
+// short) because admission control — not the pool — is where backpressure
+// belongs: a drained pool must degrade to cold provisioning, not stall the
+// worker.
+func (p *enclavePool) checkout() (*engarde.Enclave, bool) {
+	start := time.Now()
+	observe := func() {
+		if p.waitHist != nil {
+			p.waitHist.Observe(uint64(time.Since(start) / time.Microsecond))
+		}
+	}
+	select {
+	case e := <-p.slots:
+		p.outstanding.Add(1)
+		observe()
+		p.warm.Add(1)
+		return e, true
+	default:
+	}
+	p.kickRefill()
+	if p.wait > 0 {
+		timer := time.NewTimer(p.wait)
+		defer timer.Stop()
+		select {
+		case e := <-p.slots:
+			p.outstanding.Add(1)
+			observe()
+			p.warm.Add(1)
+			return e, true
+		case <-timer.C:
+		case <-p.stop:
+		}
+	}
+	observe()
+	p.cold.Add(1)
+	return nil, false
+}
+
+// release returns a used enclave. The scrub re-keys the instance (fresh
+// RSA keypair, ~a full keygen), so it runs on its own goroutine rather
+// than the session worker's; the goroutine is tracked so close() waits
+// for it and slot accounting stays exact.
+func (p *enclavePool) release(e *engarde.Enclave) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		// The enclave stops being "coming back" only once it's either in a
+		// slot or destroyed. Decrementing outstanding after the outcome —
+		// and, on discard paths, before the refill kick — keeps refill from
+		// cloning a replacement for an enclave whose scrubbed return is
+		// moments away, while guaranteeing the kick that replaces a real
+		// loss sees the loss.
+		select {
+		case <-p.stop:
+			e.Destroy()
+			p.discards.Add(1)
+			p.outstanding.Add(-1)
+			return
+		default:
+		}
+		if p.hooks != nil && p.hooks.BeforeScrub != nil {
+			if err := p.hooks.BeforeScrub(); err != nil {
+				e.Destroy()
+				p.discards.Add(1)
+				p.outstanding.Add(-1)
+				p.kickRefill()
+				return
+			}
+		}
+		fresh, err := p.snap.Recycle(e)
+		if err != nil {
+			// Recycle destroyed the enclave on failure.
+			p.discards.Add(1)
+			p.outstanding.Add(-1)
+			p.log.Warn("gateway: pool scrub failed", "err", err)
+			p.kickRefill()
+			return
+		}
+		select {
+		case p.slots <- fresh:
+			p.scrubs.Add(1)
+			p.outstanding.Add(-1)
+		default:
+			fresh.Destroy()
+			p.discards.Add(1)
+			p.outstanding.Add(-1)
+		}
+	}()
+}
+
+// close stops refilling, waits for in-flight clone/scrub goroutines, and
+// destroys every pooled enclave so the EPC slot balance returns to what it
+// was before the pool existed.
+func (p *enclavePool) close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+	for {
+		select {
+		case e := <-p.slots:
+			e.Destroy()
+		default:
+			return
+		}
+	}
+}

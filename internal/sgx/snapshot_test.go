@@ -1,0 +1,175 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// snapPages builds a small distinctive page set for snapshot tests.
+func snapPages(n int) [][]byte {
+	pages := make([][]byte, n)
+	for i := range pages {
+		pages[i] = bytes.Repeat([]byte{byte(0x11 * (i + 1))}, PageSize)
+	}
+	return pages
+}
+
+func TestSnapshotCloneMatchesOriginal(t *testing.T) {
+	d := newTestDevice(t, V2)
+	pages := snapPages(3)
+	e := buildEnclave(t, d, 0x10000, pages)
+
+	snap, err := d.SnapshotEnclave(e)
+	if err != nil {
+		t.Fatalf("SnapshotEnclave: %v", err)
+	}
+	if snap.Pages() != len(pages) {
+		t.Fatalf("snapshot has %d pages, want %d", snap.Pages(), len(pages))
+	}
+	if snap.Measurement() != e.Measurement() {
+		t.Fatal("snapshot measurement differs from the enclave's")
+	}
+
+	clone, err := d.CloneEnclave(snap)
+	if err != nil {
+		t.Fatalf("CloneEnclave: %v", err)
+	}
+	if !clone.Initialized() {
+		t.Fatal("clone is not initialized")
+	}
+	if clone.Measurement() != e.Measurement() {
+		t.Fatal("clone measurement differs from the original's")
+	}
+	if clone.ID() == e.ID() {
+		t.Fatal("clone shares the original's enclave identity")
+	}
+	buf := make([]byte, PageSize)
+	for i, want := range pages {
+		va := uint64(0x10000 + i*PageSize)
+		if err := clone.Read(va, buf); err != nil {
+			t.Fatalf("clone Read(%#x): %v", va, err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("clone page %#x content diverges", va)
+		}
+		// Distinct identities must yield distinct EPC ciphertext for the
+		// same plaintext — no cross-enclave ciphertext sharing.
+		origSlot, _ := e.PageSlot(va)
+		cloneSlot, _ := clone.PageSlot(va)
+		origRaw, _ := d.RawEPCPage(origSlot)
+		cloneRaw, _ := d.RawEPCPage(cloneSlot)
+		if bytes.Equal(origRaw, cloneRaw) {
+			t.Fatalf("page %#x: clone ciphertext identical to original's", va)
+		}
+	}
+	// Snapshotting leaves the original untouched.
+	if err := e.Read(0x10000, buf); err != nil || !bytes.Equal(buf, pages[0]) {
+		t.Fatalf("original page disturbed by snapshot/clone (err=%v)", err)
+	}
+}
+
+func TestSnapshotRequiresInitializedUnlocked(t *testing.T) {
+	d := newTestDevice(t, V2)
+	e, err := d.ECreate(0x10000, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SnapshotEnclave(e); !errors.Is(err, ErrNotInitialized) {
+		t.Fatalf("snapshot before EINIT = %v, want ErrNotInitialized", err)
+	}
+
+	done := buildEnclave(t, d, 0x40000, snapPages(1))
+	done.Lock()
+	if _, err := d.SnapshotEnclave(done); !errors.Is(err, ErrEnclaveLocked) {
+		t.Fatalf("snapshot of locked enclave = %v, want ErrEnclaveLocked", err)
+	}
+}
+
+func TestCloneEPCExhaustionRollsBack(t *testing.T) {
+	d := newTestDevice(t, V2) // 64-page EPC
+	e := buildEnclave(t, d, 0x10000, snapPages(40))
+	snap, err := d.SnapshotEnclave(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := d.EPCFree()
+	if _, err := d.CloneEnclave(snap); !errors.Is(err, ErrEPCFull) {
+		t.Fatalf("clone into exhausted EPC = %v, want ErrEPCFull", err)
+	}
+	if got := d.EPCFree(); got != free {
+		t.Fatalf("failed clone leaked slots: %d free, was %d", got, free)
+	}
+	// Destroying the original must make room for a clone of it.
+	d.DestroyEnclave(e)
+	clone, err := d.CloneEnclave(snap)
+	if err != nil {
+		t.Fatalf("clone after destroy: %v", err)
+	}
+	d.DestroyEnclave(clone)
+	if got, want := d.EPCFree(), free+40; got != want {
+		t.Fatalf("EPC balance after clone+destroy: %d free, want %d", got, want)
+	}
+}
+
+func TestScrubRestoresSnapshotState(t *testing.T) {
+	d := newTestDevice(t, V2)
+	pages := snapPages(2)
+	e := buildEnclave(t, d, 0x10000, pages)
+	snap, err := d.SnapshotEnclave(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := d.CloneEnclave(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dirty the clone the way a session would: overwrite content, restrict
+	// permissions, lock against growth.
+	dirty := bytes.Repeat([]byte{0xEE}, PageSize)
+	if err := clone.Write(0x10000, dirty); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := d.EModPR(clone, 0x10000, PermR); err != nil {
+		t.Fatalf("EModPR: %v", err)
+	}
+	if err := d.EAccept(clone, 0x10000); err != nil {
+		t.Fatalf("EAccept: %v", err)
+	}
+	clone.Lock()
+
+	if err := d.ScrubEnclave(clone, snap); err != nil {
+		t.Fatalf("ScrubEnclave: %v", err)
+	}
+	if clone.Locked() {
+		t.Fatal("scrub left the enclave locked")
+	}
+	buf := make([]byte, PageSize)
+	if err := clone.Read(0x10000, buf); err != nil {
+		t.Fatalf("Read after scrub: %v", err)
+	}
+	if !bytes.Equal(buf, pages[0]) {
+		t.Fatal("scrub did not restore snapshot page content")
+	}
+	if perm, err := clone.PagePerm(0x10000); err != nil || perm != PermR|PermW|PermX {
+		t.Fatalf("scrub did not restore EPCM perms: %v %v", perm, err)
+	}
+	// A scrubbed clone accepts writes again (unlocked, perms restored).
+	if err := clone.Write(0x10000, dirty); err != nil {
+		t.Fatalf("Write after scrub: %v", err)
+	}
+}
+
+func TestScrubRejectsMismatchedSnapshot(t *testing.T) {
+	d := newTestDevice(t, V2)
+	a := buildEnclave(t, d, 0x10000, snapPages(2))
+	b := buildEnclave(t, d, 0x40000, snapPages(3))
+	snapA, err := d.SnapshotEnclave(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ScrubEnclave(b, snapA); err == nil {
+		t.Fatal("scrub accepted a snapshot from a different enclave shape")
+	}
+}
