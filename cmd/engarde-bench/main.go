@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"engarde/internal/bench"
 	"engarde/internal/cycles"
@@ -64,6 +65,9 @@ type gatewayPoint struct {
 	// Latency is the client-observed per-session distribution (wall-clock,
 	// noisy on shared hardware; quantiles are log₂-bucket upper bounds).
 	Latency bench.LatencyQuantiles `json:"latency"`
+	// FirstByteToVerdict is the server-side first-byte-to-verdict span
+	// distribution — the streaming pipeline's headline metric (BENCH_8).
+	FirstByteToVerdict *bench.LatencyQuantiles `json:"first_byte_to_verdict,omitempty"`
 	// SpanMillis/SpanCycles total the run's trace spans: wall-clock per
 	// span name and cycle-model charges per pipeline phase. The cycle
 	// totals are deterministic for a fixed image set and worker count.
@@ -111,19 +115,24 @@ func runJSON() error {
 	}
 	const sessions = 8
 	load := func(cfg bench.GatewayLoadConfig) (gatewayPoint, error) {
-		cfg.Sessions = sessions
-		cfg.Clients = 2
+		if cfg.Sessions == 0 {
+			cfg.Sessions = sessions
+		}
+		if cfg.Clients == 0 {
+			cfg.Clients = 2
+		}
 		res, err := bench.RunGatewayLoad(cfg)
 		if err != nil {
 			return gatewayPoint{}, err
 		}
 		pt := gatewayPoint{
-			Sessions:       sessions,
-			SessionsPerSec: res.SessionsPerSec,
-			CacheHits:      res.Stats.CacheHits,
-			Latency:        res.Latency,
-			SpanMillis:     res.SpanMillis,
-			SpanCycles:     res.SpanCycles,
+			Sessions:           cfg.Sessions,
+			SessionsPerSec:     res.SessionsPerSec,
+			CacheHits:          res.Stats.CacheHits,
+			Latency:            res.Latency,
+			FirstByteToVerdict: res.FirstByteToVerdict,
+			SpanMillis:         res.SpanMillis,
+			SpanCycles:         res.SpanCycles,
 		}
 		if res.Stats.FnCache != nil {
 			pt.FnCacheHits = res.Stats.FnCache.Hits
@@ -135,16 +144,18 @@ func runJSON() error {
 
 	rep := jsonReport{WarmPath: warm, Gateway: map[string]gatewayPoint{}, Fleet: map[string]fleetPoint{}}
 	for name, cfg := range map[string]bench.GatewayLoadConfig{
-		"cold":      {Images: images, CacheEntries: -1},
-		"cache-hit": {Images: images[:1]},
-		"fn-warm":   {Images: images, CacheEntries: -1, FnCacheEntries: gateway.DefaultCacheEntries * 16},
+		// The four BENCH_7-era points stay on the buffered path so their
+		// figures remain comparable release over release.
+		"cold":      {Images: images, CacheEntries: -1, DisableStreaming: true},
+		"cache-hit": {Images: images[:1], DisableStreaming: true},
+		"fn-warm":   {Images: images, CacheEntries: -1, FnCacheEntries: gateway.DefaultCacheEntries * 16, DisableStreaming: true},
 		// "pooled" is "cold" with the enclave warm pool on: every session
 		// still runs the full pipeline, but checks a snapshot-cloned enclave
 		// out of the pool instead of paying the measured build — the
 		// pool-checkout span replaces create-enclave (BENCH_7). The pool is
 		// sized to cover the whole burst (arrival rate × recycle time), so
 		// the steady state has zero cold fallbacks.
-		"pooled": {Images: images, CacheEntries: -1, EnclavePool: 8},
+		"pooled": {Images: images, CacheEntries: -1, EnclavePool: 8, DisableStreaming: true},
 	} {
 		pt, err := load(cfg)
 		if err != nil {
@@ -152,6 +163,54 @@ func runJSON() error {
 		}
 		rep.Gateway[name] = pt
 	}
+
+	// The BENCH_8 trio: first-byte-to-verdict with the receive buffered
+	// ("sequential") vs overlapped with the pipeline ("streaming"), and
+	// streaming combined with the warm enclave pool. The transfer arrives
+	// over an emulated ~28 Mbit/s uplink in 32 KiB frames — on an unpaced
+	// in-memory pipe the whole image lands in microseconds and there is no
+	// transfer window for the pipeline to overlap. Images are ≥64 KiB
+	// (many frames per transfer), one session at a time so the
+	// first-byte-to-verdict distribution is a latency measurement rather
+	// than a contention one, and disassembly is sharded 8 ways so chunk
+	// decodes launch frame by frame.
+	bigImages, err := bench.DistinctImagesSized(4, 1920, 100)
+	if err != nil {
+		return err
+	}
+	streamCfg := func(c bench.GatewayLoadConfig) bench.GatewayLoadConfig {
+		c.Images = bigImages
+		c.CacheEntries = -1
+		c.Sessions = 12
+		c.Clients = 1
+		c.HeapPages = 4800 // ~192k-instruction images need a larger staging heap
+		c.DisasmWorkers = 8
+		c.BlockSize = 32 * 1024
+		c.LinkBytesPerSec = 3_500_000
+		return c
+	}
+	// Overlap needs a second scheduler thread: with GOMAXPROCS=1 the
+	// decoder and the receive loop serialize at preemption granularity and
+	// the contrast measures the scheduler, not the pipeline. Restored
+	// afterwards so the BENCH_7-era points above and the fleet curve below
+	// keep their historical execution shape.
+	prevProcs := runtime.GOMAXPROCS(0)
+	if prevProcs < 2 {
+		runtime.GOMAXPROCS(2)
+	}
+	for name, cfg := range map[string]bench.GatewayLoadConfig{
+		"sequential":       streamCfg(bench.GatewayLoadConfig{DisableStreaming: true}),
+		"streaming":        streamCfg(bench.GatewayLoadConfig{}),
+		"streaming+pooled": streamCfg(bench.GatewayLoadConfig{EnclavePool: 2}),
+	} {
+		pt, err := load(cfg)
+		if err != nil {
+			runtime.GOMAXPROCS(prevProcs)
+			return fmt.Errorf("gateway load %q: %w", name, err)
+		}
+		rep.Gateway[name] = pt
+	}
+	runtime.GOMAXPROCS(prevProcs)
 
 	// Fleet scaling curve: 1/2/4 router-fronted backends, cold (verdict
 	// caches off, every session runs the pipeline) vs digest-affine warm

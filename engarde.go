@@ -56,6 +56,10 @@ type (
 	Violation = policy.Violation
 	// Report is the outcome of a provisioning attempt.
 	Report = core.Report
+	// StagedImage is an executable received by the streaming pipeline:
+	// plaintext plus an incrementally computed digest and an in-flight
+	// speculative decode (see ServeProvisionStreaming).
+	StagedImage = core.StagedImage
 	// Measurement is an enclave measurement (MRENCLAVE).
 	Measurement = sgx.Measurement
 	// Quote is a signed attestation statement.
@@ -347,6 +351,18 @@ func (e *Enclave) Provision(image []byte) (*Report, error) {
 // gateway's verdict cache enforces exactly that.
 func (e *Enclave) ProvisionPrechecked(image []byte, prior *Report) (*Report, error) {
 	return e.core.ProvisionPrechecked(image, prior)
+}
+
+// ProvisionStaged runs the pipeline over a streamed image, adopting its
+// speculative decode when it verifiably matches the parsed text section.
+// Verdicts and cycle charges are identical to Provision(st.Image).
+func (e *Enclave) ProvisionStaged(st *StagedImage) (*Report, error) {
+	return e.core.ProvisionStaged(st)
+}
+
+// ProvisionStagedPrechecked is ProvisionPrechecked for a streamed image.
+func (e *Enclave) ProvisionStagedPrechecked(st *StagedImage, prior *Report) (*Report, error) {
+	return e.core.ProvisionStagedPrechecked(st, prior)
 }
 
 // Enter transfers control to the provisioned executable.

@@ -11,7 +11,9 @@ package bench
 import (
 	"context"
 	"fmt"
+	"math"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -103,6 +105,34 @@ type GatewayLoadConfig struct {
 	// PoolRefillWorkers sizes the pool's background refill worker set
 	// (gateway semantics: 0 = default). Ignored when EnclavePool is 0.
 	PoolRefillWorkers int
+	// DisableStreaming runs the gateway on the buffered sequential receive
+	// path instead of the default streaming pipeline — the A/B control for
+	// first-byte-to-verdict comparisons.
+	DisableStreaming bool
+	// BlockSize, when positive, sets the client's secure-channel frame size
+	// in bytes (0 = the 64 KiB default). Smaller frames give the streaming
+	// pipeline finer-grained transfer/decode overlap.
+	BlockSize int
+	// LinkBytesPerSec, when positive, paces every client write to that
+	// bandwidth, emulating a WAN uplink. On an unpaced in-memory pipe the
+	// whole transfer lands in microseconds and there is no receive idle
+	// for the streaming pipeline to fill; a paced link is the deployment
+	// shape the first-byte-to-verdict contrast is about. 0 = unpaced.
+	LinkBytesPerSec int
+}
+
+// pacedConn throttles writes to LinkBytesPerSec: each Write sleeps for
+// the time its bytes would occupy the emulated link before handing them
+// to the pipe, so the receiver sees frames arrive on a bandwidth-bound
+// schedule rather than all at once.
+type pacedConn struct {
+	net.Conn
+	bytesPerSec int
+}
+
+func (p *pacedConn) Write(b []byte) (int, error) {
+	time.Sleep(time.Duration(len(b)) * time.Second / time.Duration(p.bytesPerSec))
+	return p.Conn.Write(b)
 }
 
 // LatencyQuantiles summarizes a load run's per-session latency
@@ -129,7 +159,18 @@ type GatewayLoadResult struct {
 	// SpanCycles totals the cycle-model charges attributed to phase spans,
 	// keyed by pipeline phase name.
 	SpanCycles map[string]uint64
-	Stats      gateway.Stats
+	// FirstByteToVerdict is the distribution of the server-side
+	// first-byte-to-verdict span — arrival of the first image byte to the
+	// verdict hitting the wire. Unlike Latency (log₂ histogram upper
+	// bounds), these quantiles are exact: the sink retains every session's
+	// spans, so they are computed from the raw durations. The streaming
+	// win is a fraction of a session, which log₂ buckets would round
+	// away. Nil when no session recorded the span.
+	FirstByteToVerdict *LatencyQuantiles
+	// FirstByteToVerdictRaw holds the raw per-session durations backing
+	// FirstByteToVerdict, sorted ascending.
+	FirstByteToVerdictRaw []time.Duration
+	Stats                 gateway.Stats
 }
 
 // RunGatewayLoad drives cfg.Sessions provisioning sessions through a
@@ -186,6 +227,7 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 		PoolRefillWorkers: cfg.PoolRefillWorkers,
 		CacheEntries:      cfg.CacheEntries,
 		FnCacheEntries:    fnEntries,
+		DisableStreaming:  cfg.DisableStreaming,
 		IdleTimeout:       -1, // in-memory pipes; deadlines only add noise
 		SessionBudget:     -1,
 		TraceSink:         sink,
@@ -199,7 +241,11 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	client := &engarde.Client{Expected: expected, PlatformKey: provider.AttestationPublicKey()}
+	client := &engarde.Client{
+		Expected:    expected,
+		PlatformKey: provider.AttestationPublicKey(),
+		BlockSize:   cfg.BlockSize,
+	}
 
 	// A pooled run measures the steady state of a pre-warmed gateway, so
 	// wait for the initial fill (background keygen per clone) before
@@ -222,6 +268,16 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 	ln := newMemListener()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- gw.Serve(context.Background(), ln) }()
+	dial := ln.dial
+	if cfg.LinkBytesPerSec > 0 {
+		dial = func() (net.Conn, error) {
+			c, err := ln.dial()
+			if err != nil {
+				return nil, err
+			}
+			return &pacedConn{Conn: c, bytesPerSec: cfg.LinkBytesPerSec}, nil
+		}
+	}
 
 	// Sessions are fanned out to cfg.Clients goroutines; each pulls the
 	// next session index and provisions images[i % len(images)].
@@ -245,7 +301,7 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 			for i := range next {
 				image := cfg.Images[i%len(cfg.Images)]
 				t0 := time.Now()
-				v, err := client.ProvisionRetry(ln.dial, image, policy)
+				v, err := client.ProvisionRetry(dial, image, policy)
 				if err != nil {
 					errs <- fmt.Errorf("session %d: %w", i, err)
 					break
@@ -298,6 +354,7 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 			P99:   float64(latHist.Quantile(0.99)) / 1e3,
 		}
 	}
+	var fbtv []time.Duration
 	for _, td := range sink.Recent() {
 		for i := range td.Spans {
 			sp := &td.Spans[i]
@@ -305,9 +362,40 @@ func RunGatewayLoad(cfg GatewayLoadConfig) (*GatewayLoadResult, error) {
 			for phase, cyc := range sp.Cycles {
 				res.SpanCycles[phase] += cyc
 			}
+			if sp.Name == "first-byte-to-verdict" {
+				fbtv = append(fbtv, sp.Dur)
+			}
 		}
 	}
+	if len(fbtv) > 0 {
+		res.FirstByteToVerdict = exactQuantiles(fbtv)
+		res.FirstByteToVerdictRaw = fbtv
+	}
 	return res, nil
+}
+
+// exactQuantiles summarizes raw durations with nearest-rank quantiles,
+// in milliseconds.
+func exactQuantiles(ds []time.Duration) *LatencyQuantiles {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(ds)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return float64(ds[i]) / float64(time.Millisecond)
+	}
+	return &LatencyQuantiles{
+		Count: uint64(len(ds)),
+		Mean:  float64(sum) / float64(len(ds)) / float64(time.Millisecond),
+		P50:   rank(0.50),
+		P95:   rank(0.95),
+		P99:   rank(0.99),
+	}
 }
 
 // DistinctImages builds n byte-distinct stack-protected executables, so a

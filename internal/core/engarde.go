@@ -31,7 +31,6 @@ import (
 	"engarde/internal/funcid"
 	"engarde/internal/hostos"
 	"engarde/internal/loader"
-	"engarde/internal/nacl"
 	"engarde/internal/obs"
 	"engarde/internal/policy"
 	"engarde/internal/policy/memo"
@@ -435,7 +434,7 @@ func (g *EnGarde) ProvisionStream(r io.Reader) (*Report, error) {
 // image. A non-nil Report with Compliant == false is a *decision*, not an
 // error; errors mean the machinery itself failed.
 func (g *EnGarde) Provision(image []byte) (*Report, error) {
-	return g.provision(image, nil)
+	return g.provision(&StagedImage{Image: image}, nil)
 }
 
 // ProvisionPrechecked provisions an image a prior compliant Report already
@@ -449,13 +448,20 @@ func (g *EnGarde) ProvisionPrechecked(image []byte, prior *Report) (*Report, err
 	if prior == nil || !prior.Compliant {
 		return nil, errors.New("core: prechecked provisioning requires a prior compliant report")
 	}
-	return g.provision(image, prior)
+	return g.provision(&StagedImage{Image: image}, prior)
 }
 
-// provision is the shared pipeline. With prior == nil it runs the full
-// check; with a prior compliant report it skips disassembly and policy
-// evaluation (the verdict-cache fast path).
-func (g *EnGarde) provision(image []byte, prior *Report) (*Report, error) {
+// provision is the shared pipeline — buffered and streaming provisioning
+// both land here, so their verdicts and charges cannot diverge. With
+// prior == nil it runs the full check; with a prior compliant report it
+// skips disassembly and policy evaluation (the verdict-cache fast path).
+// A streamed st may carry a speculative decode, adopted (or discarded) at
+// the disassembly stage by decodeText.
+func (g *EnGarde) provision(st *StagedImage, prior *Report) (*Report, error) {
+	// Whatever path exits, never leave the speculative decoder's chunk
+	// goroutines or pooled buffers in flight.
+	defer st.Release()
+	image := st.Image
 	if g.provisioned {
 		return nil, ErrAlreadyProvisioned
 	}
@@ -515,7 +521,7 @@ func (g *EnGarde) provision(image []byte, prior *Report) (*Report, error) {
 		cur.End()
 		cur = tr.StartPhase("disasm")
 		g.dev.SetPhase(cycles.PhaseDisasm)
-		prog, err := nacl.DecodeProgramTraced(text.Data, text.Addr, g.cfg.Counter, g.cfg.DisasmWorkers, tr)
+		prog, err := g.decodeText(st, text, tr)
 		if err != nil {
 			return g.reject(fmt.Sprintf("disassembly: %v", err), nil), nil
 		}

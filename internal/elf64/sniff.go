@@ -1,0 +1,70 @@
+package elf64
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// ExecSegmentHint locates the unique executable PT_LOAD of an ELF64 image,
+// derived from a prefix of the file — enough for a streaming receiver to
+// know which byte range holds the text before the rest of the image
+// arrives.
+type ExecSegmentHint struct {
+	Off    uint64 // file offset of the segment
+	Filesz uint64 // bytes of the segment present in the file
+	Vaddr  uint64 // link-time virtual address
+}
+
+// SniffExecSegment inspects an image prefix for the executable PT_LOAD.
+// It returns (hint, true, true) once the ELF and program headers are
+// available and name exactly one PF_X load segment; (_, false, true) when
+// the prefix is definitively not such an image (bad magic, wrong class, no
+// or ambiguous executable segment); and (_, false, false) when the prefix
+// is simply too short to tell yet — feed more bytes and retry.
+//
+// This is a hint, not a verification: the streaming pipeline that acts on
+// it re-validates against the full Parse of the completed image and
+// discards speculative work on any mismatch.
+func SniffExecSegment(prefix []byte) (ExecSegmentHint, bool, bool) {
+	if len(prefix) < EhdrSize {
+		return ExecSegmentHint{}, false, false
+	}
+	if string(prefix[:4]) != Magic || prefix[EIClass] != Class64 || prefix[EIData] != Data2LSB {
+		return ExecSegmentHint{}, false, true
+	}
+	var h Ehdr
+	if err := binary.Read(bytes.NewReader(prefix[:EhdrSize]), binary.LittleEndian, &h); err != nil {
+		return ExecSegmentHint{}, false, true
+	}
+	if h.Machine != MachineX8664 || h.Phnum == 0 {
+		return ExecSegmentHint{}, false, true
+	}
+	end := h.Phoff + uint64(h.Phnum)*PhdrSize
+	if end < h.Phoff { // overflow: never satisfiable
+		return ExecSegmentHint{}, false, true
+	}
+	if end > uint64(len(prefix)) {
+		return ExecSegmentHint{}, false, false
+	}
+	var hint ExecSegmentHint
+	found := false
+	r := bytes.NewReader(prefix[h.Phoff:end])
+	for i := 0; i < int(h.Phnum); i++ {
+		var ph Phdr
+		if err := binary.Read(r, binary.LittleEndian, &ph); err != nil {
+			return ExecSegmentHint{}, false, true
+		}
+		if ph.Type != PTLoad || ph.Flags&PFX == 0 {
+			continue
+		}
+		if found { // ambiguous: more than one executable segment
+			return ExecSegmentHint{}, false, true
+		}
+		found = true
+		hint = ExecSegmentHint{Off: ph.Off, Filesz: ph.Filesz, Vaddr: ph.Vaddr}
+	}
+	if !found || hint.Filesz == 0 || hint.Off+hint.Filesz < hint.Off {
+		return ExecSegmentHint{}, false, true
+	}
+	return hint, true, true
+}

@@ -60,15 +60,25 @@ func waitGoroutines(t *testing.T, baseline int) {
 // interleaved with tenants whose connections stall, trickle, truncate,
 // flip bits, and error — all deterministic per-session schedules. Run
 // with -race; CI's chaos-soak job extends it via ENGARDE_SOAK_SECONDS.
-func TestChaosSoak(t *testing.T) {
+// This variant pins the buffered sequential receive path.
+func TestChaosSoak(t *testing.T) { runChaosSoak(t, true) }
+
+// TestStreamingChaosSoak is the same mixed fleet through the streaming
+// receive path, with each session's client frame size varied so chunk
+// launches and fault injections land at different stream offsets — the
+// soak counterpart of FuzzStreamingFrameSchedule's schedule coverage.
+func TestStreamingChaosSoak(t *testing.T) { runChaosSoak(t, false) }
+
+func runChaosSoak(t *testing.T, disableStreaming bool) {
 	baseline := runtime.NumGoroutine()
 	gw, ln, client := testGateway(t, gateway.Config{
-		Policies:       engarde.NewPolicySet(engarde.StackProtectorPolicy()),
-		MaxConcurrent:  4,
-		QueueDepth:     4, // capacity 8 < clients 12, so shedding happens
-		IdleTimeout:    150 * time.Millisecond,
-		SessionBudget:  time.Second,
-		RetryAfterHint: 2 * time.Millisecond,
+		Policies:         engarde.NewPolicySet(engarde.StackProtectorPolicy()),
+		MaxConcurrent:    4,
+		QueueDepth:       4, // capacity 8 < clients 12, so shedding happens
+		IdleTimeout:      150 * time.Millisecond,
+		SessionBudget:    time.Second,
+		RetryAfterHint:   2 * time.Millisecond,
+		DisableStreaming: disableStreaming,
 	})
 	good := buildImage(t, "soak-good", 961, true)
 	bad := buildImage(t, "soak-bad", 962, false)
@@ -93,10 +103,16 @@ func TestChaosSoak(t *testing.T) {
 				if id%2 == 0 {
 					image, wantCompliant = bad, false
 				}
+				// On the streaming path, vary the frame size per session
+				// (512 B up to 64 KiB) so transfers split differently.
+				cl := *client
+				if !disableStreaming {
+					cl.BlockSize = 1 << (9 + id%8)
+				}
 				if id%4 == 0 {
 					// Healthy session: fault-free connection, retries through
 					// shedding. If it completes, the verdict must be exact.
-					v, err := client.ProvisionRetry(ln.Dial, image, engarde.RetryPolicy{
+					v, err := cl.ProvisionRetry(ln.Dial, image, engarde.RetryPolicy{
 						Attempts:  8,
 						BaseDelay: 2 * time.Millisecond,
 						MaxDelay:  20 * time.Millisecond,
@@ -134,7 +150,7 @@ func TestChaosSoak(t *testing.T) {
 					TruncateProb: 0.05,
 					ErrorProb:    0.05,
 				})
-				v, err := client.Provision(cc, image)
+				v, err := cl.Provision(cc, image)
 				cc.Close()
 				switch {
 				case err != nil:

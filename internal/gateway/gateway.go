@@ -82,6 +82,14 @@ type Config struct {
 	// GOMAXPROCS, 1 forces the sequential paths.
 	DisasmWorkers int
 	PolicyWorkers int
+	// DisableStreaming reverts sessions to the sequential pipeline: receive
+	// the whole encrypted image, then hash, disassemble, and policy-check.
+	// By default the gateway streams — decryption, hashing, and speculative
+	// disassembly overlap the transfer, with identical verdicts and cycle
+	// charges (TestStreamingMatchesSequential). The escape hatch exists for
+	// A/B measurement and incident triage, not because the paths can
+	// disagree.
+	DisableStreaming bool
 
 	// MaxConcurrent bounds in-flight provisions (worker-pool size).
 	// Default DefaultMaxConcurrent.
@@ -538,7 +546,10 @@ func (g *Gateway) handle(q queuedConn) {
 		}
 		rw = secchan.NewLimited(conn, idle, budget)
 	}
-	rw = secchan.ObserveFrames(rw, g.metrics)
+	// The per-session observer layers frame-arrival timestamps (inter-frame
+	// gap histogram) over the shared size histograms; observations happen on
+	// this worker goroutine only.
+	rw = secchan.ObserveFrames(rw, &sessionFrames{m: g.metrics})
 	start := time.Now()
 
 	// Warm path: check a cloned, attestation-ready enclave out of the pool
@@ -589,9 +600,17 @@ func (g *Gateway) handle(q queuedConn) {
 	}()
 
 	ctx := obs.WithTrace(context.Background(), tr)
-	rep, err := encl.ServeProvisionFuncCtx(ctx, rw, func(image []byte) (*engarde.Report, error) {
-		return g.provision(encl, image)
-	})
+	var rep *engarde.Report
+	var err error
+	if g.cfg.DisableStreaming {
+		rep, err = encl.ServeProvisionFuncCtx(ctx, rw, func(image []byte) (*engarde.Report, error) {
+			return g.provision(encl, image)
+		})
+	} else {
+		rep, err = encl.ServeProvisionStreamingFuncCtx(ctx, rw, func(st *engarde.StagedImage) (*engarde.Report, error) {
+			return g.provisionStaged(encl, st)
+		})
+	}
 	dur := time.Since(start)
 	g.metrics.served.Inc()
 	g.metrics.latency.Observe(uint64(dur / time.Millisecond))
@@ -657,6 +676,34 @@ func (g *Gateway) provision(encl *engarde.Enclave, image []byte) (*engarde.Repor
 	}
 	g.metrics.cacheMisses.Inc()
 	rep, err := encl.Provision(image)
+	if err == nil {
+		g.cache.put(key, rep)
+	}
+	return rep, err
+}
+
+// provisionStaged is provision for the streaming path. The digest was
+// computed incrementally while frames arrived, so the verdict-cache lookup
+// fires the instant the last byte lands — no second pass over the image.
+func (g *Gateway) provisionStaged(encl *engarde.Enclave, st *engarde.StagedImage) (*engarde.Report, error) {
+	if g.cache == nil {
+		return encl.ProvisionStaged(st)
+	}
+	key := cacheKey{image: st.Digest, policy: g.policyFP}
+	if prior, ok := g.cache.get(key); ok {
+		g.metrics.cacheHits.Inc()
+		if !prior.Compliant {
+			// A cached rejection does no enclave work, so the in-flight
+			// speculative decode must be discarded here.
+			st.Release()
+			rep := *prior
+			rep.CacheHit = true
+			return &rep, nil
+		}
+		return encl.ProvisionStagedPrechecked(st, prior)
+	}
+	g.metrics.cacheMisses.Inc()
+	rep, err := encl.ProvisionStaged(st)
 	if err == nil {
 		g.cache.put(key, rep)
 	}

@@ -37,6 +37,9 @@ type metrics struct {
 	frameRead  *obs.Histogram // framed block sizes inbound, bytes
 	frameWrite *obs.Histogram // framed block sizes outbound, bytes
 
+	frameGap         *obs.Histogram // idle time between inbound frames, µs
+	firstByteVerdict *obs.Histogram // first content byte → verdict sent, µs
+
 	spanMu sync.Mutex
 	spans  map[string]*obs.Histogram // span name → duration histogram (µs)
 }
@@ -93,6 +96,12 @@ func newMetrics(g *Gateway) *metrics {
 	m.frameWrite = reg.Histogram("engarde_gateway_frame_bytes", "",
 		obs.HistogramOpts{Buckets: 24},
 		obs.Label{Key: "dir", Value: "write"})
+	m.frameGap = reg.Histogram("engarde_gateway_frame_gap_seconds",
+		"Idle time between successive inbound frames within a session.",
+		obs.HistogramOpts{Buckets: 28, Scale: 1e-6})
+	m.firstByteVerdict = reg.Histogram("engarde_gateway_first_byte_to_verdict_seconds",
+		"Arrival of the first image byte to the verdict hitting the wire.",
+		obs.HistogramOpts{Buckets: 28, Scale: 1e-6})
 
 	if g.cache != nil {
 		reg.GaugeFunc("engarde_gateway_verdict_cache_entries",
@@ -204,6 +213,11 @@ func (m *metrics) observeTrace(d *obs.TraceData) {
 	for i := range d.Spans {
 		sp := &d.Spans[i]
 		m.spanHist(sp.Name).Observe(uint64(sp.Dur / time.Microsecond))
+		if sp.Name == "first-byte-to-verdict" {
+			// Also fold into the dedicated histogram so dashboards get the
+			// headline number without a span-label query.
+			m.firstByteVerdict.Observe(uint64(sp.Dur / time.Microsecond))
+		}
 	}
 }
 
@@ -230,3 +244,28 @@ func (m *metrics) ObserveReadFrame(n int) { m.frameRead.Observe(uint64(n)) }
 
 // ObserveWriteFrame implements secchan.FrameObserver.
 func (m *metrics) ObserveWriteFrame(n int) { m.frameWrite.Observe(uint64(n)) }
+
+// sessionFrames layers per-session frame-arrival timing over the shared
+// size histograms: each admitted connection gets its own instance so the
+// inter-frame gap is measured within a single session's inbound stream,
+// not across interleaved sessions. It implements secchan.FrameTimeObserver;
+// sessions are served by one worker, so no locking is needed.
+type sessionFrames struct {
+	m        *metrics
+	lastRead time.Time
+}
+
+func (s *sessionFrames) ObserveReadFrame(n int)  { s.m.ObserveReadFrame(n) }
+func (s *sessionFrames) ObserveWriteFrame(n int) { s.m.ObserveWriteFrame(n) }
+
+func (s *sessionFrames) ObserveReadFrameAt(n int, at time.Time) {
+	s.m.ObserveReadFrame(n)
+	if !s.lastRead.IsZero() {
+		s.m.frameGap.Observe(uint64(at.Sub(s.lastRead) / time.Microsecond))
+	}
+	s.lastRead = at
+}
+
+func (s *sessionFrames) ObserveWriteFrameAt(n int, at time.Time) {
+	s.m.ObserveWriteFrame(n)
+}

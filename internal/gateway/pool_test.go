@@ -396,6 +396,9 @@ func TestPoolChaosSoak(t *testing.T) {
 		EnclavePool:       poolTarget,
 		PoolRefillWorkers: 2,
 		PoolHooks:         hooks,
+		// The scrub/discard cadence below is tuned for the buffered receive;
+		// pool behaviour under the streaming path is TestStreamingChaosSoak's.
+		DisableStreaming: true,
 	})
 	good := buildImage(t, "pool-soak-good", 971, true)
 	bad := buildImage(t, "pool-soak-bad", 972, false)

@@ -132,8 +132,6 @@ func DecodeProgramParallel(code []byte, base uint64, counter *cycles.Counter, wo
 // sequentially, but cycle attribution stays with the caller's enclosing
 // disassembly phase span, so the pass spans are timing-only.
 func DecodeProgramTraced(code []byte, base uint64, counter *cycles.Counter, workers int, tr *obs.Trace) (*Program, error) {
-	p := &Program{Base: base, End: base + uint64(len(code))}
-
 	// Pass 1: full decode (rejects mixed code/data).
 	sp := tr.StartSpan("disasm:decode")
 	insts, err := decodeSharded(code, base, normalizeWorkers(workers, len(code)))
@@ -141,13 +139,21 @@ func DecodeProgramTraced(code []byte, base uint64, counter *cycles.Counter, work
 	if err != nil {
 		return nil, err
 	}
-	p.Insts = insts
+	return finishProgram(insts, base, uint64(len(code)), counter, workers, tr)
+}
+
+// finishProgram runs everything downstream of the raw decode — the decoded-
+// instruction cycle charge and validation passes 2 and 3 — shared between
+// the buffered path above and StreamDecoder.Finish, so both produce
+// identical Programs, rejections, and charges by construction.
+func finishProgram(insts []x86.Inst, base, size uint64, counter *cycles.Counter, workers int, tr *obs.Trace) (*Program, error) {
+	p := &Program{Insts: insts, Base: base, End: base + size}
 	if counter != nil {
 		counter.Charge(cycles.PhaseDisasm, cycles.UnitDecodedInst, uint64(len(p.Insts)))
 	}
 
 	// Pass 2: bundle rule.
-	sp = tr.StartSpan("disasm:bundle-check")
+	sp := tr.StartSpan("disasm:bundle-check")
 	i := firstIndex(len(p.Insts), workers, func(i int) bool {
 		in := &p.Insts[i]
 		return in.Addr/BundleSize != (in.Addr+uint64(in.Len)-1)/BundleSize
@@ -240,32 +246,44 @@ func decodeSharded(code []byte, base uint64, workers int) ([]x86.Inst, error) {
 			if end > len(code) {
 				end = len(code)
 			}
-			c := &chunks[k]
-			c.insts = (*chunkInstPool.Get().(*[]x86.Inst))[:0]
-			off := start
-			for off < end {
-				addr := base + uint64(off)
-				in, err := x86.Decode(code[off:], addr)
-				if err != nil {
-					c.err, c.errOff = err, off
-					break
-				}
-				c.insts = append(c.insts, in)
-				off += in.Len
-			}
-			c.spill = off
+			decodeChunk(&chunks[k], code, base, start, end)
 		}(k)
 	}
 	wg.Wait()
+	return mergeChunks(code, base, chunks, chunkSize)
+}
 
-	// Seam reconciliation: walk the region in address order. Whenever the
-	// true decode position coincides with an instruction start some chunk
-	// decoded speculatively, that chunk's tail is adopted wholesale (its
-	// decode from that offset is, by determinism, exactly what a serial
-	// pass would produce); otherwise a single instruction is re-decoded
-	// serially and the test repeats. Chunk 0 always starts aligned, so the
-	// prefix is adopted immediately.
-	//
+// decodeChunk is one worker's speculative decode of code offsets
+// [start, end): decoding continues past end into the following chunk until
+// an instruction boundary lands at or beyond it (spill). The chunk's
+// result depends only on code[start : min(end+14, len(code))] — an
+// instruction is at most 15 bytes, so the last decode started before end
+// never reads further — which is what lets the streaming decoder launch a
+// chunk before the whole region has arrived.
+func decodeChunk(c *chunkDecode, code []byte, base uint64, start, end int) {
+	c.insts = (*chunkInstPool.Get().(*[]x86.Inst))[:0]
+	off := start
+	for off < end {
+		addr := base + uint64(off)
+		in, err := x86.Decode(code[off:], addr)
+		if err != nil {
+			c.err, c.errOff = err, off
+			break
+		}
+		c.insts = append(c.insts, in)
+		off += in.Len
+	}
+	c.spill = off
+}
+
+// mergeChunks performs seam reconciliation: walk the region in address
+// order. Whenever the true decode position coincides with an instruction
+// start some chunk decoded speculatively, that chunk's tail is adopted
+// wholesale (its decode from that offset is, by determinism, exactly what a
+// serial pass would produce); otherwise a single instruction is re-decoded
+// serially and the test repeats. Chunk 0 always starts aligned, so the
+// prefix is adopted immediately.
+func mergeChunks(code []byte, base uint64, chunks []chunkDecode, chunkSize int) ([]x86.Inst, error) {
 	// The merged slice is presized from the speculative totals: the true
 	// sequence has at most a handful more instructions than the chunks'
 	// sum (seam re-decodes), so one allocation nearly always suffices.

@@ -1,0 +1,193 @@
+package nacl
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"engarde/internal/cycles"
+)
+
+// streamCases builds code regions spanning the decoder's regimes: valid
+// programs large enough to shard, tiny regions that degrade to sequential,
+// and garbage that must reject with the buffered path's exact error.
+func streamCases() map[string][]byte {
+	rng := rand.New(rand.NewSource(42))
+	cases := map[string][]byte{}
+
+	for _, seed := range fuzzValidateSeeds() {
+		cases["seed-"+string(rune('a'+len(cases)))] = seed
+	}
+
+	sled := make([]byte, 96*1024)
+	for i := range sled {
+		sled[i] = 0x90
+	}
+	sled[len(sled)-1] = 0xC3
+	cases["large-nop-sled"] = sled
+
+	garbage := make([]byte, 48*1024)
+	rng.Read(garbage)
+	cases["random-bytes"] = garbage
+
+	mixed := make([]byte, 64*1024)
+	for i := range mixed {
+		mixed[i] = 0x90
+	}
+	rng.Read(mixed[40*1024:]) // valid prefix, garbage tail
+	cases["nop-then-garbage"] = mixed
+
+	return cases
+}
+
+// feedAll pushes code into d in random-sized pieces (1 byte up to 8 KiB),
+// modelling the arbitrary frame boundaries a secchan transfer produces.
+func feedAll(t *testing.T, d *StreamDecoder, code []byte, rng *rand.Rand) {
+	t.Helper()
+	for off := 0; off < len(code); {
+		n := 1 + rng.Intn(8*1024)
+		if off+n > len(code) {
+			n = len(code) - off
+		}
+		if err := d.Feed(code[off : off+n]); err != nil {
+			t.Fatalf("Feed at offset %d: %v", off, err)
+		}
+		off += n
+	}
+}
+
+// TestStreamDecoderMatchesBuffered is the streaming analogue of
+// FuzzValidate's differential: for any feed schedule and worker count, a
+// completed StreamDecoder produces the same Program (or the same error)
+// and the same cycle charges as DecodeProgramTraced over the full buffer.
+func TestStreamDecoderMatchesBuffered(t *testing.T) {
+	const base = 0x1000
+	rng := rand.New(rand.NewSource(20260807))
+	for name, code := range streamCases() {
+		t.Run(name, func(t *testing.T) {
+			for _, workers := range []int{1, 2, 4, 7} {
+				seqCtr := cycles.NewCounter(cycles.DefaultModel())
+				want, wantErr := DecodeProgramTraced(code, base, seqCtr, workers, nil)
+
+				for trial := 0; trial < 3; trial++ {
+					ctr := cycles.NewCounter(cycles.DefaultModel())
+					d := NewStreamDecoder(base, len(code), workers)
+					feedAll(t, d, code, rng)
+					if !d.Complete() {
+						t.Fatalf("workers=%d: decoder incomplete after full feed", workers)
+					}
+					got, gotErr := d.Finish(ctr, nil)
+
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("workers=%d: buffered err %v, streamed err %v", workers, wantErr, gotErr)
+					}
+					if wantErr != nil {
+						if wantErr.Error() != gotErr.Error() {
+							t.Fatalf("workers=%d: error mismatch:\n  buffered: %v\n  streamed: %v",
+								workers, wantErr, gotErr)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(got.Insts, want.Insts) || got.Base != want.Base || got.End != want.End {
+						t.Fatalf("workers=%d: streamed decode diverges from buffered", workers)
+					}
+					if !reflect.DeepEqual(ctr.Snapshot(), seqCtr.Snapshot()) {
+						t.Fatalf("workers=%d: cycle charges diverge:\n  streamed: %v\n  buffered: %v",
+							workers, ctr.Snapshot(), seqCtr.Snapshot())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamDecoderOverlap pins the telemetry contract: feeding a sharded
+// region in small pieces launches chunk decodes before the last byte
+// arrives, and a one-shot feed does not count as overlap.
+func TestStreamDecoderOverlap(t *testing.T) {
+	code := make([]byte, 64*1024)
+	for i := range code {
+		code[i] = 0x90
+	}
+	code[len(code)-1] = 0xC3
+
+	d := NewStreamDecoder(0x1000, len(code), 4)
+	rng := rand.New(rand.NewSource(7))
+	feedAll(t, d, code, rng)
+	if !d.Overlapped() {
+		t.Error("piecewise feed of a sharded region reported no overlap")
+	}
+	if _, err := d.Finish(cycles.NewCounter(cycles.DefaultModel()), nil); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	d2 := NewStreamDecoder(0x1000, len(code), 4)
+	if err := d2.Feed(code); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Overlapped() {
+		t.Error("single full-region feed reported overlap")
+	}
+	d2.Abandon()
+}
+
+// TestStreamDecoderMisuse covers the decoder's error contract: overfeeding
+// fails, finishing an incomplete region fails, and Abandon is idempotent
+// (including after Finish).
+func TestStreamDecoderMisuse(t *testing.T) {
+	d := NewStreamDecoder(0, 8, 1)
+	if err := d.Feed(make([]byte, 9)); err == nil {
+		t.Error("overfeed accepted")
+	}
+
+	d = NewStreamDecoder(0, 8, 1)
+	if err := d.Feed([]byte{0x90, 0x90}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Finish(cycles.NewCounter(cycles.DefaultModel()), nil); err == nil {
+		t.Error("incomplete Finish accepted")
+	}
+	d.Abandon()
+	d.Abandon()
+
+	code := []byte{0x90, 0xC3}
+	d = NewStreamDecoder(0x1000, len(code), 1)
+	if err := d.Feed(code); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Finish(cycles.NewCounter(cycles.DefaultModel()), nil); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	d.Abandon()
+}
+
+// TestStreamDecoderSpillGate asserts chunk launches wait for the spill
+// margin: a decoder fed exactly one chunk's bytes (but not the 15-byte
+// margin) must not have launched that chunk, because an instruction
+// straddling the boundary could decode differently without the margin.
+func TestStreamDecoderSpillGate(t *testing.T) {
+	size := 4 * 1024
+	code := make([]byte, size)
+	for i := range code {
+		code[i] = 0x90
+	}
+	code[size-1] = 0xC3
+
+	d := NewStreamDecoder(0x1000, size, 4)
+	if len(d.chunks) < 2 {
+		t.Skip("region did not shard")
+	}
+	if err := d.Feed(code[:d.chunkSize]); err != nil {
+		t.Fatal(err)
+	}
+	if d.launched != 0 {
+		t.Fatalf("chunk launched without its %d-byte spill margin", streamSpillBytes)
+	}
+	if err := d.Feed(code[d.chunkSize : d.chunkSize+streamSpillBytes]); err != nil {
+		t.Fatal(err)
+	}
+	if d.launched != 1 {
+		t.Fatalf("launched %d chunks after margin arrived, want 1", d.launched)
+	}
+	d.Abandon()
+}

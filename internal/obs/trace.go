@@ -176,6 +176,23 @@ func (r SpanRef) End() {
 	t.mu.Unlock()
 }
 
+// RecordSpan appends an already-closed plain (wall-clock) span whose start
+// predates the call — windows measured from timestamps taken elsewhere,
+// like first-byte-to-verdict (anchored at the first frame's arrival) or
+// recv-overlap (anchored at the first streamed decode chunk). No-op on a
+// nil or finished trace.
+func (t *Trace) RecordSpan(name string, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return
+	}
+	t.spans = append(t.spans, span{name: name, start: start, dur: dur})
+}
+
 // Finish ends the trace. Spans still open are closed with their duration up
 // to now (phase deltas included), so a session that errors out mid-phase
 // still exports a complete timeline. Finish is idempotent.

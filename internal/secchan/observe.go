@@ -1,6 +1,9 @@
 package secchan
 
-import "io"
+import (
+	"io"
+	"time"
+)
 
 // FrameObserver receives one callback per framed block moved over an
 // observed stream, with the frame's full wire size (4-byte length header +
@@ -10,6 +13,18 @@ import "io"
 type FrameObserver interface {
 	ObserveReadFrame(bytes int)
 	ObserveWriteFrame(bytes int)
+}
+
+// FrameTimeObserver extends FrameObserver with the monotonic completion
+// time of each frame, so first-byte-to-verdict and inter-frame gap
+// distributions derive from one clock source instead of a second
+// time.Now() at the call site. An observer implementing it receives only
+// the timestamped callbacks (never both forms for one frame); at is the
+// instant the frame's last body byte was read or written.
+type FrameTimeObserver interface {
+	FrameObserver
+	ObserveReadFrameAt(bytes int, at time.Time)
+	ObserveWriteFrameAt(bytes int, at time.Time)
 }
 
 // Observed couples a stream with a FrameObserver. The framing functions
@@ -38,16 +53,44 @@ func (o *Observed) ObserveReadFrame(n int) { o.obs.ObserveReadFrame(n) }
 // ObserveWriteFrame implements FrameObserver by delegation.
 func (o *Observed) ObserveWriteFrame(n int) { o.obs.ObserveWriteFrame(n) }
 
+// ObserveReadFrameAt forwards the timestamped callback when the wrapped
+// observer wants one, and downgrades to the plain callback otherwise — so
+// ObserveFrames works unchanged for both observer generations.
+func (o *Observed) ObserveReadFrameAt(n int, at time.Time) {
+	if t, ok := o.obs.(FrameTimeObserver); ok {
+		t.ObserveReadFrameAt(n, at)
+		return
+	}
+	o.obs.ObserveReadFrame(n)
+}
+
+// ObserveWriteFrameAt is the write-side timestamped delegation.
+func (o *Observed) ObserveWriteFrameAt(n int, at time.Time) {
+	if t, ok := o.obs.(FrameTimeObserver); ok {
+		t.ObserveWriteFrameAt(n, at)
+		return
+	}
+	o.obs.ObserveWriteFrame(n)
+}
+
 // frameHeaderBytes is the wire overhead counted into observed frame sizes.
 const frameHeaderBytes = 4
 
 func observeRead(r io.Reader, body int) {
+	if o, ok := r.(FrameTimeObserver); ok {
+		o.ObserveReadFrameAt(frameHeaderBytes+body, time.Now())
+		return
+	}
 	if o, ok := r.(FrameObserver); ok {
 		o.ObserveReadFrame(frameHeaderBytes + body)
 	}
 }
 
 func observeWrite(w io.Writer, body int) {
+	if o, ok := w.(FrameTimeObserver); ok {
+		o.ObserveWriteFrameAt(frameHeaderBytes+body, time.Now())
+		return
+	}
 	if o, ok := w.(FrameObserver); ok {
 		o.ObserveWriteFrame(frameHeaderBytes + body)
 	}

@@ -303,53 +303,103 @@ func (s *Session) SendStream(w io.Writer, payload []byte, blockSize int) error {
 	return nil
 }
 
-// RecvStream receives a payload sent with SendStream.
-func (s *Session) RecvStream(r io.Reader) ([]byte, error) {
+// RecvStreamFunc receives a payload sent with SendStream, delivering it
+// incrementally instead of assembled: start is called once with the
+// header-claimed total, then chunk is called with each decrypted block in
+// arrival order. Either callback may abort the receive by returning an
+// error. chunk's argument aliases a pooled frame buffer that is reused for
+// the next block — callbacks must copy any bytes they keep.
+//
+// This is the primitive under both RecvStream (which assembles the chunks
+// into one buffer) and the streaming provisioning path (which pipes them
+// straight into the disassembly pipeline while later frames are still in
+// flight).
+func (s *Session) RecvStreamFunc(r io.Reader, start func(total uint64) error, chunk func(b []byte) error) error {
 	hdr, err := s.RecvSealed(r)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(hdr) != 8 {
-		return nil, fmt.Errorf("secchan: bad stream header length %d", len(hdr))
+		return fmt.Errorf("secchan: bad stream header length %d", len(hdr))
 	}
 	total := binary.BigEndian.Uint64(hdr)
 	const maxPayload = 1 << 30
 	if total > maxPayload {
-		return nil, ErrBlockTooLarge
+		return ErrBlockTooLarge
 	}
-	// The header length is peer-claimed: allocate no more than one block
-	// up front and let append grow with bytes actually received, so a
-	// forged header cannot reserve a gigabyte before the first payload
-	// byte arrives.
-	initial := total
-	if initial > MaxBlock {
-		initial = MaxBlock
+	if start != nil {
+		if err := start(total); err != nil {
+			return err
+		}
 	}
-	out := make([]byte, 0, initial)
-	for uint64(len(out)) < total {
+	var got uint64
+	for got < total {
 		// Each block cycles one pooled frame buffer: the ciphertext is read
-		// into it, decrypted in place, appended into out, and returned —
+		// into it, decrypted in place, handed to chunk, and returned —
 		// zero per-block allocations in steady state.
 		bp, err := readBlockPooled(r)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		blk, err := s.openInPlace(*bp)
 		if err != nil {
 			blockPool.Put(bp)
-			return nil, err
+			return err
 		}
 		if len(blk) == 0 {
 			// A validly sealed empty block makes no progress; looping on
 			// them would hang the receiver forever.
 			blockPool.Put(bp)
-			return nil, fmt.Errorf("secchan: empty stream block at offset %d of %d", len(out), total)
+			return fmt.Errorf("secchan: empty stream block at offset %d of %d", got, total)
 		}
-		out = append(out, blk...)
+		got += uint64(len(blk))
+		err = chunk(blk)
 		blockPool.Put(bp)
+		if err != nil {
+			return err
+		}
 	}
-	if uint64(len(out)) != total {
-		return nil, fmt.Errorf("secchan: stream length %d != header %d", len(out), total)
+	if got != total {
+		return fmt.Errorf("secchan: stream length %d != header %d", got, total)
+	}
+	return nil
+}
+
+// recvBufDropped is a test seam: when non-nil, RecvStream reports the
+// partial buffer it abandons on a mid-stream error, so tests can assert the
+// release actually severs the last reachable reference.
+var recvBufDropped func([]byte)
+
+// RecvStream receives a payload sent with SendStream.
+func (s *Session) RecvStream(r io.Reader) ([]byte, error) {
+	var out []byte
+	err := s.RecvStreamFunc(r,
+		func(total uint64) error {
+			// The header length is peer-claimed: allocate no more than one
+			// block up front and let append grow with bytes actually
+			// received, so a forged header cannot reserve a gigabyte before
+			// the first payload byte arrives.
+			initial := total
+			if initial > MaxBlock {
+				initial = MaxBlock
+			}
+			out = make([]byte, 0, initial)
+			return nil
+		},
+		func(b []byte) error {
+			out = append(out, b...)
+			return nil
+		})
+	if err != nil {
+		// A mid-stream failure — idle timeout, budget expiry, a tampered
+		// block — must not keep the partial plaintext pinned for as long as
+		// the caller holds the error path's session state. Drop it here,
+		// where the error is classified, not at session teardown.
+		if recvBufDropped != nil {
+			recvBufDropped(out)
+		}
+		out = nil
+		return nil, err
 	}
 	return out, nil
 }

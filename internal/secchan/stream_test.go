@@ -1,0 +1,235 @@
+package secchan
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRecvStreamFuncDelivery: the incremental receive delivers exactly the
+// sent payload, in order, with the header-claimed total announced first and
+// every chunk bounded by the sender's block size.
+func TestRecvStreamFuncDelivery(t *testing.T) {
+	payload := bytes.Repeat([]byte("stream-chunk-equivalence"), 4096) // ~96 KB
+	for _, blockSize := range []int{1024, 4096, 64 * 1024, len(payload) + 1} {
+		enclave, client := handshake(t)
+		cli, srv := net.Pipe()
+
+		errc := make(chan error, 1)
+		go func() {
+			defer cli.Close()
+			errc <- client.SendStream(cli, payload, blockSize)
+		}()
+
+		var (
+			total    uint64
+			starts   int
+			got      []byte
+			maxChunk int
+		)
+		err := enclave.RecvStreamFunc(srv,
+			func(tot uint64) error {
+				starts++
+				total = tot
+				return nil
+			},
+			func(b []byte) error {
+				if len(b) > maxChunk {
+					maxChunk = len(b)
+				}
+				got = append(got, b...) // must copy: b is pooled
+				return nil
+			})
+		srv.Close()
+		if err != nil {
+			t.Fatalf("blockSize=%d: RecvStreamFunc: %v", blockSize, err)
+		}
+		if sendErr := <-errc; sendErr != nil {
+			t.Fatalf("blockSize=%d: SendStream: %v", blockSize, sendErr)
+		}
+		if starts != 1 || total != uint64(len(payload)) {
+			t.Fatalf("blockSize=%d: start called %d times with total %d, want once with %d",
+				blockSize, starts, total, len(payload))
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("blockSize=%d: reassembled payload mismatch", blockSize)
+		}
+		wantMax := blockSize
+		if wantMax > len(payload) {
+			wantMax = len(payload)
+		}
+		if maxChunk > wantMax {
+			t.Fatalf("blockSize=%d: chunk of %d bytes exceeds block size", blockSize, maxChunk)
+		}
+	}
+}
+
+// TestRecvStreamFuncCallbackAbort: either callback returning an error stops
+// the receive and surfaces that exact error.
+func TestRecvStreamFuncCallbackAbort(t *testing.T) {
+	boom := errors.New("abort")
+	payload := make([]byte, 8*1024)
+
+	for _, stage := range []string{"start", "chunk"} {
+		enclave, client := handshake(t)
+		cli, srv := net.Pipe()
+		go func() {
+			defer cli.Close()
+			_ = client.SendStream(cli, payload, 1024)
+		}()
+		var err error
+		if stage == "start" {
+			err = enclave.RecvStreamFunc(srv, func(uint64) error { return boom }, func([]byte) error { return nil })
+		} else {
+			err = enclave.RecvStreamFunc(srv, nil, func([]byte) error { return boom })
+		}
+		srv.Close()
+		if !errors.Is(err, boom) {
+			t.Fatalf("%s abort: error = %v, want %v", stage, err, boom)
+		}
+	}
+}
+
+// TestRecvStreamReleasesPartialOnTimeout is the regression test for the
+// receive-path retention bug: when a mid-stream idle timeout (or budget
+// expiry) aborts RecvStream, the partially assembled plaintext must become
+// garbage immediately — not stay pinned until the session or error value is
+// torn down. The recvBufDropped seam hands the test the abandoned buffer's
+// identity; a finalizer then proves the receive path kept no reference.
+func TestRecvStreamReleasesPartialOnTimeout(t *testing.T) {
+	enclave, client := handshake(t)
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+
+	// The sender delivers the header and two blocks, then goes silent so the
+	// receiver's idle deadline fires mid-stream.
+	go func() {
+		var buf bytes.Buffer
+		if err := client.SendStream(&buf, bytes.Repeat([]byte{0xEE}, 96*1024), 32*1024); err != nil {
+			return
+		}
+		wire := buf.Bytes()
+		cli.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		cli.Write(wire[:len(wire)-16]) // hold back the tail, then stall
+	}()
+
+	var released atomic.Bool
+	recvBufDropped = func(b []byte) {
+		if len(b) == 0 {
+			t.Error("no partial bytes were assembled before the timeout")
+			return
+		}
+		runtime.SetFinalizer(&b[0], func(*byte) { released.Store(true) })
+	}
+	t.Cleanup(func() { recvBufDropped = nil })
+
+	l := NewLimited(srv, 50*time.Millisecond, time.Minute)
+	out, err := enclave.RecvStream(l)
+	if !errors.Is(err, ErrIdleTimeout) {
+		t.Fatalf("RecvStream error = %v, want ErrIdleTimeout", err)
+	}
+	if out != nil {
+		t.Fatal("RecvStream returned a partial buffer alongside its error")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for !released.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("partial receive buffer is still reachable after the mid-stream error")
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// frameTimeRecorder implements FrameTimeObserver; frameRecorder only the
+// legacy FrameObserver. Both count callbacks so the delegation tests can
+// assert exactly one form fires per frame.
+type frameTimeRecorder struct {
+	reads, writes     int
+	timedR, timedW    int
+	lastReadAt        time.Time
+	lastReadFrameSize int
+}
+
+func (r *frameTimeRecorder) ObserveReadFrame(n int)  { r.reads++ }
+func (r *frameTimeRecorder) ObserveWriteFrame(n int) { r.writes++ }
+func (r *frameTimeRecorder) ObserveReadFrameAt(n int, at time.Time) {
+	r.timedR++
+	r.lastReadAt = at
+	r.lastReadFrameSize = n
+}
+func (r *frameTimeRecorder) ObserveWriteFrameAt(n int, at time.Time) { r.timedW++ }
+
+type frameRecorder struct{ reads, writes int }
+
+func (r *frameRecorder) ObserveReadFrame(n int)  { r.reads++ }
+func (r *frameRecorder) ObserveWriteFrame(n int) { r.writes++ }
+
+// TestFrameTimeObserverDelegation: an observer implementing the timestamped
+// interface receives only the timestamped callbacks, with a plausible
+// monotonic arrival time; a legacy observer keeps receiving the plain ones
+// through the same ObserveFrames wrapper.
+func TestFrameTimeObserverDelegation(t *testing.T) {
+	run := func(obs FrameObserver) (cli net.Conn, done chan error) {
+		cliRaw, srvRaw := net.Pipe()
+		done = make(chan error, 1)
+		go func() {
+			defer srvRaw.Close()
+			rw := ObserveFrames(srvRaw, obs)
+			if _, err := ReadBlock(rw); err != nil {
+				done <- err
+				return
+			}
+			done <- WriteBlock(rw, []byte("reply"))
+		}()
+		return cliRaw, done
+	}
+
+	timed := &frameTimeRecorder{}
+	before := time.Now()
+	cli, done := run(timed)
+	if err := WriteBlock(cli, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBlock(cli); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	if timed.timedR != 1 || timed.timedW != 1 {
+		t.Fatalf("timed observer: %d timed reads, %d timed writes, want 1 and 1", timed.timedR, timed.timedW)
+	}
+	if timed.reads != 0 || timed.writes != 0 {
+		t.Fatalf("timed observer also received %d/%d plain callbacks", timed.reads, timed.writes)
+	}
+	if timed.lastReadAt.Before(before) || time.Since(timed.lastReadAt) > time.Minute {
+		t.Fatalf("frame arrival time %v is implausible", timed.lastReadAt)
+	}
+	if want := frameHeaderBytes + len("hello"); timed.lastReadFrameSize != want {
+		t.Fatalf("timed read frame size %d, want %d", timed.lastReadFrameSize, want)
+	}
+
+	legacy := &frameRecorder{}
+	cli, done = run(legacy)
+	if err := WriteBlock(cli, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBlock(cli); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	if legacy.reads != 1 || legacy.writes != 1 {
+		t.Fatalf("legacy observer: %d reads, %d writes, want 1 and 1", legacy.reads, legacy.writes)
+	}
+}

@@ -258,49 +258,12 @@ func (e *Enclave) ServeProvisionFunc(conn io.ReadWriter, provision ProvisionFunc
 // records its own phase spans inside it.
 func (e *Enclave) ServeProvisionFuncCtx(ctx context.Context, conn io.ReadWriter, provision ProvisionFunc) (*Report, error) {
 	tr := obs.FromContext(ctx)
-
-	sp := tr.StartPhase("attest")
-	q, err := e.Quote()
-	if err != nil {
-		sp.End()
-		return nil, fmt.Errorf("engarde: quoting: %w", err)
-	}
-	pub, err := e.PublicKeyDER()
-	if err != nil {
-		sp.End()
-		return nil, err
-	}
-	err = sendJSON(conn, hello{Quote: quoteToWire(q), PublicKey: pub})
-	sp.End()
-	if err != nil {
+	if err := e.serveHandshake(tr, conn); err != nil {
 		return nil, err
 	}
 
-	sp = tr.StartPhase("key-exchange")
-	wrapped, err := secchan.ReadBlock(conn)
-	if err != nil {
-		sp.End()
-		return nil, fmt.Errorf("engarde: receiving session key: %w", err)
-	}
-	if _, ok := ParseRouteHello(wrapped); ok {
-		// A client that announces routing metadata but connected straight to
-		// us (no router in front to strip it): discard the preamble and read
-		// the real first frame. A wrapped session key is RSA ciphertext, so
-		// it cannot be mistaken for the preamble's JSON.
-		wrapped, err = secchan.ReadBlock(conn)
-		if err != nil {
-			sp.End()
-			return nil, fmt.Errorf("engarde: receiving session key: %w", err)
-		}
-	}
-	err = e.AcceptSessionKey(wrapped)
-	sp.End()
-	if err != nil {
-		// An unreadable key is a protocol failure; tell the peer.
-		return nil, failNotify(conn, CodeSessionKey, "session key rejected", err)
-	}
-
-	sp = tr.StartPhase("recv-image")
+	recvStart := time.Now()
+	sp := tr.StartPhase("recv-image")
 	image, err := e.core.RecvImage(conn)
 	sp.End()
 	if err != nil {
@@ -319,6 +282,112 @@ func (e *Enclave) ServeProvisionFuncCtx(ctx context.Context, conn io.ReadWriter,
 	sp.End()
 	if err != nil {
 		return rep, err
+	}
+	// The sequential path's first-byte-to-verdict window is anchored at the
+	// start of the transfer wait (the client streams immediately after the
+	// key exchange, so the first content byte arrives moments later) — the
+	// comparable counterpart of the streaming path's frame-anchored span.
+	tr.RecordSpan("first-byte-to-verdict", recvStart, time.Since(recvStart))
+	return rep, nil
+}
+
+// serveHandshake runs the protocol prologue shared by the buffered and
+// streaming serve paths: send the hello (quote + public key), then receive
+// the wrapped session key — discarding a routing preamble that reached us
+// directly — and complete the key exchange.
+func (e *Enclave) serveHandshake(tr *obs.Trace, conn io.ReadWriter) error {
+	sp := tr.StartPhase("attest")
+	q, err := e.Quote()
+	if err != nil {
+		sp.End()
+		return fmt.Errorf("engarde: quoting: %w", err)
+	}
+	pub, err := e.PublicKeyDER()
+	if err != nil {
+		sp.End()
+		return err
+	}
+	err = sendJSON(conn, hello{Quote: quoteToWire(q), PublicKey: pub})
+	sp.End()
+	if err != nil {
+		return err
+	}
+
+	sp = tr.StartPhase("key-exchange")
+	wrapped, err := secchan.ReadBlock(conn)
+	if err != nil {
+		sp.End()
+		return fmt.Errorf("engarde: receiving session key: %w", err)
+	}
+	if _, ok := ParseRouteHello(wrapped); ok {
+		// A client that announces routing metadata but connected straight to
+		// us (no router in front to strip it): discard the preamble and read
+		// the real first frame. A wrapped session key is RSA ciphertext, so
+		// it cannot be mistaken for the preamble's JSON.
+		wrapped, err = secchan.ReadBlock(conn)
+		if err != nil {
+			sp.End()
+			return fmt.Errorf("engarde: receiving session key: %w", err)
+		}
+	}
+	err = e.AcceptSessionKey(wrapped)
+	sp.End()
+	if err != nil {
+		// An unreadable key is a protocol failure; tell the peer.
+		return failNotify(conn, CodeSessionKey, "session key rejected", err)
+	}
+	return nil
+}
+
+// StagedProvisionFunc provisions a streamed image (with its in-flight
+// speculative decode and precomputed digest) and returns the report. The
+// default is (*Enclave).ProvisionStaged; the gateway substitutes a
+// cache-aware implementation keyed on StagedImage.Digest.
+type StagedProvisionFunc func(st *StagedImage) (*Report, error)
+
+// ServeProvisionStreaming is ServeProvision on the streaming pipeline:
+// identical wire protocol and verdict, but the content transfer overlaps
+// decryption, hashing, and speculative disassembly instead of completing
+// before they start.
+func (e *Enclave) ServeProvisionStreaming(conn io.ReadWriter) (*Report, error) {
+	return e.ServeProvisionStreamingFuncCtx(context.Background(), conn, e.ProvisionStaged)
+}
+
+// ServeProvisionStreamingFuncCtx is the streaming counterpart of
+// ServeProvisionFuncCtx: the recv-image phase yields a StagedImage whose
+// digest and speculative decode are already warm at last-byte, and the
+// trace additionally carries the recv-overlap span (recorded by the
+// receive) plus a first-byte-to-verdict span anchored at the first content
+// frame's arrival.
+func (e *Enclave) ServeProvisionStreamingFuncCtx(ctx context.Context, conn io.ReadWriter, provision StagedProvisionFunc) (*Report, error) {
+	tr := obs.FromContext(ctx)
+	if err := e.serveHandshake(tr, conn); err != nil {
+		return nil, err
+	}
+
+	sp := tr.StartPhase("recv-image")
+	st, err := e.core.RecvImageStreaming(conn)
+	sp.End()
+	if err != nil {
+		return nil, failNotify(conn, CodeTransfer, "transfer failed", err)
+	}
+
+	psp := tr.StartSpan("provision")
+	rep, err := provision(st)
+	psp.End()
+	st.Release() // no-op when provision consumed the decode
+	if err != nil {
+		return nil, failNotify(conn, CodeInternal, "provisioning failed", err)
+	}
+
+	sp = tr.StartPhase("send-verdict")
+	err = sendJSON(conn, VerdictForReport(rep))
+	sp.End()
+	if err != nil {
+		return rep, err
+	}
+	if !st.FirstByteAt.IsZero() {
+		tr.RecordSpan("first-byte-to-verdict", st.FirstByteAt, time.Since(st.FirstByteAt))
 	}
 	return rep, nil
 }
@@ -339,6 +408,10 @@ type Client struct {
 	// digest's cache owner. An empty ImageDigest is filled in from the
 	// image being provisioned.
 	Route *RouteHello
+	// BlockSize is the encrypted-transfer frame payload size; 0 means the
+	// protocol default of 64 KiB. Smaller frames give a streaming server
+	// finer-grained transfer/pipeline overlap at more framing overhead.
+	BlockSize int
 }
 
 // sendRoutePreamble announces the session's routing metadata. Digest
@@ -410,7 +483,11 @@ func (c *Client) Provision(conn io.ReadWriter, image []byte) (Verdict, error) {
 	if err := secchan.WriteBlock(conn, wrapped); err != nil {
 		return Verdict{}, fmt.Errorf("engarde: sending session key: %w", err)
 	}
-	if err := sess.SendStream(conn, image, 64*1024); err != nil {
+	blockSize := c.BlockSize
+	if blockSize <= 0 {
+		blockSize = 64 * 1024
+	}
+	if err := sess.SendStream(conn, image, blockSize); err != nil {
 		return Verdict{}, fmt.Errorf("engarde: sending content: %w", err)
 	}
 
