@@ -92,6 +92,25 @@ type fleetPoint struct {
 	PerBackend map[string]bench.FleetBackendLoad `json:"per_backend"`
 }
 
+// failoverPoint is the fleet-failover load run (BENCH_9): a 3-backend
+// fleet with backend 0 crashed a third of the way through the run and
+// restarted at two thirds. Completed/dropped partition the sessions;
+// failover_latency is the distribution over sessions that lost their
+// backend mid-flight and replayed elsewhere — against latency (all
+// sessions), it prices what a crash costs a client that survives it.
+type failoverPoint struct {
+	Backends        int                     `json:"backends"`
+	Sessions        int                     `json:"sessions"`
+	Completed       uint64                  `json:"completed"`
+	Dropped         uint64                  `json:"dropped"`
+	SessionsPerSec  float64                 `json:"sessions_per_sec"`
+	ClientFailovers uint64                  `json:"client_failovers"`
+	RouterFailovers uint64                  `json:"router_failovers"`
+	SplicesEvicted  uint64                  `json:"splices_evicted,omitempty"`
+	Latency         bench.LatencyQuantiles  `json:"latency"`
+	FailoverLatency *bench.LatencyQuantiles `json:"failover_latency,omitempty"`
+}
+
 // jsonReport is the -json output schema.
 type jsonReport struct {
 	WarmPath *bench.WarmPathResult   `json:"warm_path"`
@@ -99,6 +118,8 @@ type jsonReport struct {
 	// Fleet maps "<backends>-cold" / "<backends>-warm" to fleet load runs
 	// (BENCH_6.json's scaling curve).
 	Fleet map[string]fleetPoint `json:"fleet,omitempty"`
+	// Failover is the mid-run-crash load point (BENCH_9.json).
+	Failover *failoverPoint `json:"failover,omitempty"`
 }
 
 func runJSON() error {
@@ -254,6 +275,33 @@ func runJSON() error {
 				PerBackend:     res.PerBackend,
 			}
 		}
+	}
+
+	// The failover load point: the fleet's failure-domain machinery under
+	// a scripted mid-run crash. Same small images as the gateway points —
+	// the figure of interest is the failover accounting and the latency
+	// delta, not pipeline throughput.
+	const failoverSessions = 18
+	fo, err := bench.RunFleetFailover(bench.FleetFailoverConfig{
+		Backends: 3,
+		Images:   images,
+		Sessions: failoverSessions,
+		Clients:  2,
+	})
+	if err != nil {
+		return fmt.Errorf("fleet failover: %w", err)
+	}
+	rep.Failover = &failoverPoint{
+		Backends:        3,
+		Sessions:        failoverSessions,
+		Completed:       fo.Completed,
+		Dropped:         fo.Dropped,
+		SessionsPerSec:  fo.SessionsPerSec,
+		ClientFailovers: fo.ClientFailovers,
+		RouterFailovers: fo.RouterFailovers,
+		SplicesEvicted:  fo.SplicesEvicted,
+		Latency:         fo.Latency,
+		FailoverLatency: fo.FailoverLatency,
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -79,6 +79,8 @@ func main() {
 		fnCachePeers         = flag.String("fn-cache-peers", "", "comma-separated peer /memoz base URLs (e.g. http://10.0.0.2:7780/memoz) to share memoized function results with (empty disables the remote tier)")
 		fnCacheRemoteTimeout = flag.Duration("fn-cache-remote-timeout", 0, "deadline for one fn-cache peer round-trip (0 = default)")
 
+		loseEvery = flag.Int("lose-enclave-every", 0, "fault drill: reclaim every Nth session's enclave mid-provision, EREMOVE-style, to exercise enclave-loss recovery (0 disables)")
+
 		idleTimeout   = flag.Duration("idle-timeout", gateway.DefaultIdleTimeout, "per-frame idle deadline: a session must make read/write progress within this (negative disables)")
 		sessionBudget = flag.Duration("session-budget", gateway.DefaultSessionBudget, "total time budget per session, regardless of progress (negative disables)")
 		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight sessions; expiring it exits non-zero")
@@ -103,6 +105,7 @@ func main() {
 		fnCacheReprobe:       *fnCacheReprobe,
 		fnCachePeers:         *fnCachePeers,
 		fnCacheRemoteTimeout: *fnCacheRemoteTimeout,
+		loseEnclaveEvery:     *loseEvery,
 		drainTimeout:         *drainTimeout, statsAddr: *statsAddr,
 		logLevel: *logLevel, logFormat: *logFormat, traceDir: *traceDir,
 	}); err != nil {
@@ -125,6 +128,7 @@ type config struct {
 	fnCacheReprobe                          time.Duration
 	fnCachePeers                            string
 	fnCacheRemoteTimeout                    time.Duration
+	loseEnclaveEvery                        int
 	idleTimeout, sessionBudget              time.Duration
 	drainTimeout                            time.Duration
 	statsAddr                               string
@@ -208,6 +212,7 @@ func run(cfg config) error {
 		FnCacheReprobe:       cfg.fnCacheReprobe,
 		FnCachePeers:         splitPeers(cfg.fnCachePeers),
 		FnCacheRemoteTimeout: cfg.fnCacheRemoteTimeout,
+		LoseEnclaveEvery:     cfg.loseEnclaveEvery,
 		IdleTimeout:          cfg.idleTimeout,
 		SessionBudget:        cfg.sessionBudget,
 		Counter:              counter,

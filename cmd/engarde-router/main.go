@@ -64,6 +64,7 @@ func main() {
 		dialTimeout      = flag.Duration("dial-timeout", cluster.DefaultDialTimeout, "per-backend dial deadline")
 		retryAfter       = flag.Duration("retry-after", 0, "Retry-After hint for sheds with no backend hint to forward (0 = gateway default)")
 		healthInterval   = flag.Duration("health-interval", cluster.DefaultHealthInterval, "period of the background /readyz probe of each backend admin URL (negative disables)")
+		probeTimeout     = flag.Duration("probe-timeout", cluster.DefaultProbeTimeout, "deadline for one /readyz probe; a wedged backend costs one timeout, never the prober loop")
 		markdownCooldown = flag.Duration("markdown-cooldown", cluster.DefaultMarkdownCooldown, "how long a failed backend stays out of rotation")
 		tenantRate       = flag.Float64("tenant-rate", 0, "per-tenant admitted sessions per second (0 disables quotas)")
 		tenantBurst      = flag.Int("tenant-burst", 0, "per-tenant burst size (0 = ceil(rate), min 1)")
@@ -79,6 +80,7 @@ func main() {
 		listen: *listen, vnodes: *vnodes,
 		peekTimeout: *peekTimeout, dialTimeout: *dialTimeout,
 		retryAfter: *retryAfter, healthInterval: *healthInterval,
+		probeTimeout:     *probeTimeout,
 		markdownCooldown: *markdownCooldown,
 		tenantRate:       *tenantRate, tenantBurst: *tenantBurst,
 		drainTimeout: *drainTimeout, statsAddr: *statsAddr,
@@ -95,6 +97,7 @@ type routerFlags struct {
 	peekTimeout, dialTimeout time.Duration
 	retryAfter               time.Duration
 	healthInterval           time.Duration
+	probeTimeout             time.Duration
 	markdownCooldown         time.Duration
 	tenantRate               float64
 	tenantBurst              int
@@ -136,6 +139,7 @@ func run(backends []cluster.Backend, cfg routerFlags) error {
 		DialTimeout:      cfg.dialTimeout,
 		RetryAfterHint:   cfg.retryAfter,
 		HealthInterval:   cfg.healthInterval,
+		ProbeTimeout:     cfg.probeTimeout,
 		MarkdownCooldown: cfg.markdownCooldown,
 		Quota:            cluster.QuotaConfig{Rate: cfg.tenantRate, Burst: cfg.tenantBurst},
 		Logf: func(format string, args ...any) {

@@ -379,6 +379,25 @@ func (e *Enclave) Core() *core.EnGarde { return e.core }
 // fills up after a handful of tenants.
 func (e *Enclave) Destroy() { e.core.Destroy() }
 
+// ErrEnclaveLost is returned (wrapped) by enclave operations after the
+// host reclaimed the enclave's EPC pages — the SGX failure mode where an
+// enclave dies out from under its owner. The gateway detects it with
+// errors.Is and transparently re-runs the session on a fresh enclave;
+// losses cost availability headroom, never verdict integrity.
+var ErrEnclaveLost = sgx.ErrEnclaveLost
+
+// Lost reports whether the enclave's EPC backing was reclaimed by the
+// host (see ErrEnclaveLost). Pools check this at checkout so a dead
+// warm enclave is discarded instead of handed to a session.
+func (e *Enclave) Lost() bool { return e.core.Enclave().Lost() }
+
+// Reclaim tears the enclave's EPC pages out from under it, marking it
+// lost — deterministic enclave-loss injection for recovery drills and
+// chaos tests. Returns the number of pages reclaimed.
+func (e *Enclave) Reclaim() int {
+	return e.core.Device().ReclaimEnclave(e.core.Enclave())
+}
+
 // ExpectedMeasurement computes the MRENCLAVE a genuine EnGarde enclave
 // with the given configuration must carry; clients compare quotes against
 // it (both parties can compute it from the inspectable EnGarde code).

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"engarde"
+	"engarde/internal/secchan"
+)
+
+// TestProbeDetailBoundsWedgedBackend is the wedged-prober regression test:
+// a backend that accepts the probe connection but never answers must cost
+// one probe timeout, not stall the prober loop forever (the bug: Probe
+// inherited the HTTP client's unbounded default, so one wedged backend
+// blinded the router to the whole fleet).
+func TestProbeDetailBoundsWedgedBackend(t *testing.T) {
+	release := make(chan struct{})
+	wedged := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		<-release
+	}))
+	defer wedged.Close()
+	defer close(release) // before Close, which waits for handlers
+
+	h := NewHealth(0)
+	h.SetProbeTimeout(50 * time.Millisecond)
+	start := time.Now()
+	status := h.ProbeDetail(&http.Client{}, "wedged", wedged.URL)
+	elapsed := time.Since(start)
+	if status != ProbeUnreachable {
+		t.Errorf("ProbeDetail = %v, want ProbeUnreachable", status)
+	}
+	if elapsed > time.Second {
+		t.Errorf("probe of a wedged backend took %v, want ~the 50ms probe timeout", elapsed)
+	}
+	if h.Healthy("wedged") {
+		t.Error("wedged backend must be marked down")
+	}
+
+	// SetProbeTimeout(0) restores the default.
+	h.SetProbeTimeout(0)
+	h.mu.Lock()
+	restored := h.probeTimeout
+	h.mu.Unlock()
+	if restored != DefaultProbeTimeout {
+		t.Errorf("probeTimeout after reset = %v, want %v", restored, DefaultProbeTimeout)
+	}
+}
+
+// TestRouterEvictsSpliceWhenBackendUnreachable: when the prober finds a
+// backend's admin endpoint unreachable (a corpse, not a drain), in-flight
+// splices to it are reset with a typed CodeBackendLost verdict the client
+// recognizes — never a silent connection drop.
+func TestRouterEvictsSpliceWhenBackendUnreachable(t *testing.T) {
+	backend := echoBackend(t)
+	admin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	r, raddr := startRouter(t, RouterConfig{
+		Backends:       []Backend{{Name: "gw0", Addr: backend, AdminURL: admin.URL}},
+		HealthInterval: 10 * time.Millisecond,
+		ProbeTimeout:   200 * time.Millisecond,
+		PeekTimeout:    time.Second,
+	})
+
+	conn, err := net.Dial("tcp", raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := secchan.WriteBlock(conn, []byte(`{"proto":"engarde-route/1","image_digest":"evict"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := secchan.ReadBlock(conn); err != nil { // hello
+		t.Fatal(err)
+	}
+	// Prove the splice is live.
+	if err := secchan.WriteBlock(conn, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := secchan.ReadBlock(conn); err != nil || string(b) != "ping" {
+		t.Fatalf("echo = %q, %v", b, err)
+	}
+
+	// The backend's admin endpoint dies: probes now get connection refused
+	// (ProbeUnreachable), and the prober must evict the in-flight splice.
+	admin.Close()
+
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		frame, err := secchan.ReadBlock(conn)
+		if err != nil {
+			t.Fatalf("splice died without a typed reset: %v", err)
+		}
+		var v engarde.Verdict
+		if json.Unmarshal(frame, &v) == nil && v.Code == engarde.CodeBackendLost {
+			if v.Compliant {
+				t.Error("backend-lost reset must not be a compliant verdict")
+			}
+			if v.RetryAfterMillis <= 0 {
+				t.Errorf("backend-lost reset carries no retry hint: %+v", v)
+			}
+			break
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Stats().SplicesEvicted != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats = %+v, want 1 evicted splice", r.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.health.Healthy("gw0") {
+		t.Error("unreachable backend must be marked down")
+	}
+}
+
+// TestRouterNotReadyProbeLeavesSplices: a backend answering 503 is alive
+// and draining — new sessions route around it, but its in-flight splices
+// finish undisturbed.
+func TestRouterNotReadyProbeLeavesSplices(t *testing.T) {
+	backend := echoBackend(t)
+	var ready atomic.Bool
+	ready.Store(true)
+	admin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if ready.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer admin.Close()
+	r, raddr := startRouter(t, RouterConfig{
+		Backends:       []Backend{{Name: "gw0", Addr: backend, AdminURL: admin.URL}},
+		HealthInterval: 10 * time.Millisecond,
+		PeekTimeout:    time.Second,
+	})
+
+	conn, err := net.Dial("tcp", raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := secchan.WriteBlock(conn, []byte(`{"proto":"engarde-route/1","image_digest":"drain"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := secchan.ReadBlock(conn); err != nil { // hello
+		t.Fatal(err)
+	}
+
+	// The backend starts draining; wait until the prober notices.
+	ready.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for r.health.Healthy("gw0") {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never marked the draining backend down")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The in-flight session still works: draining is not death.
+	if err := secchan.WriteBlock(conn, []byte("still-here")); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := secchan.ReadBlock(conn); err != nil || string(b) != "still-here" {
+		t.Fatalf("echo after drain mark = %q, %v — draining must not reset in-flight splices", b, err)
+	}
+	if got := r.Stats().SplicesEvicted; got != 0 {
+		t.Errorf("SplicesEvicted = %d, want 0", got)
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"net/http"
 	"sync"
 	"time"
@@ -11,6 +12,13 @@ import (
 // RouterConfig leaves the cooldown zero.
 const DefaultMarkdownCooldown = 2 * time.Second
 
+// DefaultProbeTimeout bounds one /readyz probe when no explicit timeout is
+// configured. Every probe gets its own deadline regardless of the HTTP
+// client's settings: a single wedged backend — accepting connections but
+// never answering — must not stall the prober loop and blind the router
+// to the rest of the fleet.
+const DefaultProbeTimeout = time.Second
+
 // Health tracks per-backend availability for routing decisions. Two
 // orthogonal conditions are tracked: *down* (dial/probe failures — skip
 // the backend until a cooldown expires or a probe succeeds) and
@@ -19,8 +27,9 @@ const DefaultMarkdownCooldown = 2 * time.Second
 // open: with every backend down, routing proceeds as if all were up,
 // because a stale "down" must never turn a working fleet away.
 type Health struct {
-	cooldown time.Duration
-	now      func() time.Time
+	cooldown     time.Duration
+	probeTimeout time.Duration
+	now          func() time.Time
 
 	mu sync.Mutex
 	st map[string]*backendState
@@ -38,7 +47,23 @@ func NewHealth(cooldown time.Duration) *Health {
 	if cooldown <= 0 {
 		cooldown = DefaultMarkdownCooldown
 	}
-	return &Health{cooldown: cooldown, now: time.Now, st: make(map[string]*backendState)}
+	return &Health{
+		cooldown:     cooldown,
+		probeTimeout: DefaultProbeTimeout,
+		now:          time.Now,
+		st:           make(map[string]*backendState),
+	}
+}
+
+// SetProbeTimeout overrides the per-probe deadline; d <= 0 restores
+// DefaultProbeTimeout.
+func (h *Health) SetProbeTimeout(d time.Duration) {
+	if d <= 0 {
+		d = DefaultProbeTimeout
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.probeTimeout = d
 }
 
 func (h *Health) state(name string) *backendState {
@@ -118,20 +143,55 @@ func (h *Health) CountHealthy(names []string) int {
 	return n
 }
 
-// Probe checks one backend's /readyz and updates the tracker; client
-// must have a timeout. Used by the router's background prober against
-// gatewayd's admin mux (satellite: /healthz | /readyz).
+// ProbeStatus is the outcome of one /readyz probe. The router needs more
+// than a boolean: an *unreachable* backend is a corpse whose in-flight
+// splices should be reset, while a *not-ready* one is alive and draining
+// — its in-flight sessions will still complete and must be left alone.
+type ProbeStatus int
+
+// Probe outcomes.
+const (
+	// ProbeReady: the backend answered 200; it is routable.
+	ProbeReady ProbeStatus = iota
+	// ProbeNotReady: the backend answered, but with a non-200 (pre-serve
+	// or draining). Route around it; do not touch in-flight sessions.
+	ProbeNotReady
+	// ProbeUnreachable: no answer within the probe deadline (connection
+	// refused, reset, or wedged). The backend is a corpse.
+	ProbeUnreachable
+)
+
+// Probe checks one backend's /readyz and updates the tracker. Used by the
+// router's background prober against gatewayd's admin mux. Every request
+// carries its own context deadline (SetProbeTimeout), so a wedged backend
+// — connection accepted, response never sent — costs one probe timeout,
+// not the whole prober loop.
 func (h *Health) Probe(client *http.Client, name, readyzURL string) bool {
-	resp, err := client.Get(readyzURL)
+	return h.ProbeDetail(client, name, readyzURL) == ProbeReady
+}
+
+// ProbeDetail is Probe with the full typed outcome.
+func (h *Health) ProbeDetail(client *http.Client, name, readyzURL string) ProbeStatus {
+	h.mu.Lock()
+	timeout := h.probeTimeout
+	h.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, readyzURL, nil)
 	if err != nil {
 		h.MarkDown(name)
-		return false
+		return ProbeUnreachable
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		h.MarkDown(name)
+		return ProbeUnreachable
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		h.MarkDown(name)
-		return false
+		return ProbeNotReady
 	}
 	h.MarkUp(name)
-	return true
+	return ProbeReady
 }

@@ -146,3 +146,73 @@ func TestRingEmptyAndDuplicates(t *testing.T) {
 		t.Errorf("Size after removing all = %d", r.Size())
 	}
 }
+
+// TestRingFailoverOrderMultipleDown pins the property the router's
+// session failover leans on when more than one backend dies at once: with
+// a digest's owner AND first successor both gone, the digest falls to the
+// second successor, the surviving preference order is exactly the old
+// order with the dead entries skipped, and re-adding the dead pair
+// restores the original order bit for bit.
+func TestRingFailoverOrderMultipleDown(t *testing.T) {
+	eq := func(a, b []string) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	r := ringWith(64, "a", "b", "c", "d")
+	digests := sampleDigests(100)
+	before := make(map[string][]string, len(digests))
+	for _, d := range digests {
+		before[d] = r.Sequence(d)
+	}
+
+	for _, d := range digests {
+		seq := before[d]
+		down := map[string]bool{seq[0]: true, seq[1]: true}
+		r.Remove(seq[0])
+		r.Remove(seq[1])
+
+		if owner, _ := r.Owner(d); owner != seq[2] {
+			t.Fatalf("digest %s: owner with %v down = %s, want second successor %s",
+				d[:8], seq[:2], owner, seq[2])
+		}
+		if got := r.Sequence(d); !eq(got, seq[2:]) {
+			t.Fatalf("digest %s: sequence with %v down = %v, want %v", d[:8], seq[:2], got, seq[2:])
+		}
+		// Every other digest routes to its first surviving preference — a
+		// double failure never scrambles assignments among survivors.
+		for _, other := range digests {
+			want := ""
+			for _, name := range before[other] {
+				if !down[name] {
+					want = name
+					break
+				}
+			}
+			if owner, _ := r.Owner(other); owner != want {
+				t.Fatalf("digest %s: owner with %v down = %s, want first surviving preference %s",
+					other[:8], seq[:2], owner, want)
+			}
+		}
+
+		r.Add(seq[0])
+		r.Add(seq[1])
+		if got := r.Sequence(d); !eq(got, seq) {
+			t.Fatalf("digest %s: sequence after re-add = %v, want original %v", d[:8], got, seq)
+		}
+	}
+
+	// After all the churn, every assignment is exactly what it started as.
+	for _, d := range digests {
+		if got := r.Sequence(d); !eq(got, before[d]) {
+			t.Fatalf("digest %s: final sequence %v != original %v", d[:8], got, before[d])
+		}
+	}
+}

@@ -59,6 +59,9 @@ type RouterConfig struct {
 	// DefaultHealthInterval; negative disables the prober (dial results
 	// still mark backends down).
 	HealthInterval time.Duration
+	// ProbeTimeout bounds one /readyz probe; a wedged backend costs one
+	// probe timeout, never the prober loop. 0 means DefaultProbeTimeout.
+	ProbeTimeout time.Duration
 	// MarkdownCooldown is how long a failed backend stays skipped; 0 means
 	// DefaultMarkdownCooldown.
 	MarkdownCooldown time.Duration
@@ -92,6 +95,7 @@ type Router struct {
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
+	splices   map[string]map[*spliceHandle]struct{} // in-flight splices by backend
 	shutdown  bool
 
 	connWG     sync.WaitGroup
@@ -107,10 +111,12 @@ type routerMetrics struct {
 	active   map[string]*obs.Gauge   // per-backend sessions in flight
 	errors   map[string]*obs.Counter // per-backend dial/proxy errors
 
-	sheds      map[string]*obs.Counter // by reason
-	rebalances *obs.Counter
-	announced  *obs.Counter
-	affine     *obs.Counter
+	sheds          map[string]*obs.Counter // by reason
+	rebalances     *obs.Counter
+	announced      *obs.Counter
+	affine         *obs.Counter
+	failovers      *obs.Counter
+	splicesEvicted *obs.Counter
 
 	bytesC2B *obs.Histogram
 	bytesB2C *obs.Histogram
@@ -150,7 +156,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		reg:       obs.NewRegistry(),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
+		splices:   make(map[string]map[*spliceHandle]struct{}),
 	}
+	r.health.SetProbeTimeout(cfg.ProbeTimeout)
 	for _, b := range cfg.Backends {
 		if b.Name == "" || b.Addr == "" {
 			return nil, fmt.Errorf("cluster: backend needs name and addr: %+v", b)
@@ -205,6 +213,10 @@ func (r *Router) initMetrics() {
 		"Sessions that carried a routing preamble with an image digest.")
 	m.affine = r.reg.Counter("engarde_router_sessions_affine_total",
 		"Digest-announced sessions that landed on their ring owner.")
+	m.failovers = r.reg.Counter("engarde_router_failover_total",
+		"Sessions served by a successor after their first candidate failed.")
+	m.splicesEvicted = r.reg.Counter("engarde_router_splices_evicted_total",
+		"In-flight splices reset because their backend became unreachable.")
 	m.bytesC2B = r.reg.Histogram("engarde_router_proxy_bytes",
 		"Bytes spliced per session, by direction.",
 		obs.HistogramOpts{Buckets: 32},
@@ -346,7 +358,14 @@ func (r *Router) Shutdown(ctx context.Context) error {
 	}
 }
 
-// probeLoop polls each backend's /readyz on the health interval.
+// probeLoop polls each backend's /readyz on the health interval. Each
+// probe carries its own deadline (Health.ProbeDetail), so one wedged
+// backend delays the sweep by at most the probe timeout. An unreachable
+// backend is a corpse: besides the markdown that routes new sessions
+// around it within one cooldown, its in-flight splices are evicted so
+// their clients get a typed reset instead of hanging until their own
+// deadlines fire. A merely not-ready backend (draining) keeps its
+// in-flight sessions — they will still complete.
 func (r *Router) probeLoop() {
 	defer close(r.proberDone)
 	client := &http.Client{Timeout: r.cfg.DialTimeout}
@@ -362,11 +381,65 @@ func (r *Router) probeLoop() {
 			if b.AdminURL == "" {
 				continue
 			}
-			if !r.health.Probe(client, name, b.AdminURL+"/readyz") {
+			switch r.health.ProbeDetail(client, name, b.AdminURL+"/readyz") {
+			case ProbeNotReady:
 				r.logf("router: backend %s not ready", name)
+			case ProbeUnreachable:
+				if n := r.evictSplices(name); n > 0 {
+					r.logf("router: backend %s unreachable, evicted %d in-flight splices", name, n)
+				} else {
+					r.logf("router: backend %s unreachable", name)
+				}
 			}
 		}
 	}
+}
+
+// spliceHandle tracks one in-flight splice so the prober can reset it
+// when its backend dies under it.
+type spliceHandle struct {
+	backend net.Conn
+	evicted atomic.Bool
+}
+
+func (r *Router) registerSplice(name string, h *spliceHandle) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set, ok := r.splices[name]
+	if !ok {
+		set = make(map[*spliceHandle]struct{})
+		r.splices[name] = set
+	}
+	set[h] = struct{}{}
+}
+
+func (r *Router) unregisterSplice(name string, h *spliceHandle) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.splices[name], h)
+}
+
+// evictSplices hard-closes the backend side of every in-flight splice to
+// name. Only the backend conn is touched: the splice goroutine unblocks,
+// sees the eviction, and itself sends the typed CodeBackendLost reset to
+// its client — the router never writes to a client conn concurrently
+// with its splice. Returns the number of splices evicted.
+func (r *Router) evictSplices(name string) int {
+	r.mu.Lock()
+	handles := make([]*spliceHandle, 0, len(r.splices[name]))
+	for h := range r.splices[name] {
+		handles = append(handles, h)
+	}
+	r.mu.Unlock()
+	n := 0
+	for _, h := range handles {
+		if h.evicted.CompareAndSwap(false, true) {
+			h.backend.Close()
+			r.metrics.splicesEvicted.Inc()
+			n++
+		}
+	}
+	return n
 }
 
 // peekPreamble reads the client's optional RouteHello within the peek
@@ -480,10 +553,15 @@ func (r *Router) handleConn(conn net.Conn) {
 
 	var busyHint time.Duration // largest Retry-After seen from a busy backend
 	sawBusy := false
-	for _, name := range names {
+	for idx, name := range names {
 		backend := r.backends[name]
 		served, busy, hint := r.trySession(conn, backend, replay, owner, announced)
 		if served {
+			if idx > 0 {
+				// A successor took the session after earlier candidates
+				// failed to (dial error, dead hello, or busy shed).
+				r.metrics.failovers.Inc()
+			}
 			return
 		}
 		if busy {
@@ -557,7 +635,17 @@ func (r *Router) trySession(conn net.Conn, backend Backend, replay []byte, owner
 	if err := secchan.WriteBlock(conn, helloFrame); err != nil {
 		return true, false, 0
 	}
-	c2b, b2c := r.splice(conn, bc)
+	handle := &spliceHandle{backend: bc}
+	r.registerSplice(backend.Name, handle)
+	defer r.unregisterSplice(backend.Name, handle)
+	c2b, b2c, backendDied := r.splice(conn, bc, backend.Name, handle)
+	if backendDied && !handle.evicted.Load() {
+		// The backend side of the splice died on its own (crash, reset) —
+		// the prober didn't do it. Mark it down so new sessions route
+		// around the corpse within one cooldown.
+		r.metrics.errors[backend.Name].Inc()
+		r.health.MarkDown(backend.Name)
+	}
 	r.metrics.bytesC2B.Observe(uint64(len(replay)) + c2b)
 	r.metrics.bytesB2C.Observe(uint64(len(helloFrame)+4) + b2c)
 	return true, false, 0
@@ -565,8 +653,15 @@ func (r *Router) trySession(conn net.Conn, backend Backend, replay []byte, owner
 
 // splice copies both directions until either side closes, returning the
 // raw byte counts of each direction (the replayed preamble bytes and the
-// already-forwarded hello are added back by the caller).
-func (r *Router) splice(client, backend net.Conn) (c2b, b2c uint64) {
+// already-forwarded hello are added back by the caller) and whether the
+// backend side died before cleanly finishing. On a backend death —
+// spontaneous or evicted by the prober — the client receives a typed
+// CodeBackendLost verdict in place of the one the backend never sent, so
+// it can replay the session against the next owner instead of diagnosing
+// a bare connection reset. The reset frame is written by this goroutine
+// only, after its copy loop has ended: nothing else ever writes to the
+// client conn, so the frame cannot interleave with spliced bytes.
+func (r *Router) splice(client, backend net.Conn, name string, h *spliceHandle) (c2b, b2c uint64, backendDied bool) {
 	var up, down int64
 	done := make(chan struct{})
 	go func() {
@@ -578,23 +673,31 @@ func (r *Router) splice(client, backend net.Conn) (c2b, b2c uint64) {
 			_ = tc.CloseWrite()
 		}
 	}()
-	down, _ = io.Copy(client, backend)
+	var derr error
+	down, derr = io.Copy(client, backend)
+	backendDied = derr != nil || h.evicted.Load()
+	if backendDied {
+		_ = engarde.SendBackendLost(client,
+			"backend "+name+" lost mid-session", r.retryAfterDefault())
+	}
 	if tc, ok := client.(*net.TCPConn); ok {
 		_ = tc.CloseWrite()
 	}
 	<-done
-	return uint64(up), uint64(down)
+	return uint64(up), uint64(down), backendDied
 }
 
 // RouterStats is the JSON shape served at the router's /statsz.
 type RouterStats struct {
-	Backends   map[string]BackendStats `json:"backends"`
-	Sheds      map[string]uint64       `json:"sheds"`
-	Rebalances uint64                  `json:"rebalances"`
-	Announced  uint64                  `json:"announced"`
-	Affine     uint64                  `json:"affine"`
-	RingSize   int                     `json:"ring_size"`
-	Healthy    int                     `json:"healthy"`
+	Backends       map[string]BackendStats `json:"backends"`
+	Sheds          map[string]uint64       `json:"sheds"`
+	Rebalances     uint64                  `json:"rebalances"`
+	Announced      uint64                  `json:"announced"`
+	Affine         uint64                  `json:"affine"`
+	Failovers      uint64                  `json:"failovers"`
+	SplicesEvicted uint64                  `json:"splices_evicted"`
+	RingSize       int                     `json:"ring_size"`
+	Healthy        int                     `json:"healthy"`
 }
 
 // BackendStats is one backend's slice of RouterStats.
@@ -607,13 +710,15 @@ type BackendStats struct {
 // Stats snapshots the router counters.
 func (r *Router) Stats() RouterStats {
 	st := RouterStats{
-		Backends:   make(map[string]BackendStats, len(r.backends)),
-		Sheds:      make(map[string]uint64, len(shedReasons)),
-		Rebalances: r.metrics.rebalances.Value(),
-		Announced:  r.metrics.announced.Value(),
-		Affine:     r.metrics.affine.Value(),
-		RingSize:   r.ring.Size(),
-		Healthy:    r.health.CountHealthy(r.ring.Members()),
+		Backends:       make(map[string]BackendStats, len(r.backends)),
+		Sheds:          make(map[string]uint64, len(shedReasons)),
+		Rebalances:     r.metrics.rebalances.Value(),
+		Announced:      r.metrics.announced.Value(),
+		Affine:         r.metrics.affine.Value(),
+		Failovers:      r.metrics.failovers.Value(),
+		SplicesEvicted: r.metrics.splicesEvicted.Value(),
+		RingSize:       r.ring.Size(),
+		Healthy:        r.health.CountHealthy(r.ring.Members()),
 	}
 	for name := range r.backends {
 		st.Backends[name] = BackendStats{

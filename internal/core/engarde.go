@@ -582,6 +582,13 @@ func (g *EnGarde) provision(st *StagedImage, prior *Report) (*Report, error) {
 		Counter: g.cfg.Counter,
 	})
 	if err != nil {
+		if errors.Is(err, sgx.ErrEnclaveLost) {
+			// The enclave died under the loader (EPC reclaim). That is a
+			// machinery failure to recover from, never a verdict about the
+			// image — misclassifying it as a rejection would poison the
+			// client with a wrong outcome.
+			return nil, fmt.Errorf("core: loading: %w", err)
+		}
 		return g.reject(fmt.Sprintf("loading: %v", err), nil), nil
 	}
 	g.loadResult = res

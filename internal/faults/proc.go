@@ -1,0 +1,179 @@
+package faults
+
+// Process-level faults: where conn.go makes one stream misbehave,
+// ChaosListener makes a whole backend misbehave — crash (listener gone,
+// every accepted connection reset), lose just its accept socket, or wedge
+// (alive at the TCP layer but making no progress). These are the triggers
+// behind the fleet chaos soak: a router and its clients must survive any
+// of them with, at worst, an availability cost.
+
+import (
+	"net"
+	"sync"
+)
+
+// ChaosListener wraps a net.Listener and tracks every accepted connection
+// so tests can kill or wedge the listening process as a unit. The wrapped
+// listener behaves identically until a trigger fires.
+type ChaosListener struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[*procConn]struct{}
+	wedged chan struct{} // non-nil while wedged; closed by Unwedge/Kill
+	killed bool
+}
+
+// WrapListener puts ln under chaos control.
+func WrapListener(ln net.Listener) *ChaosListener {
+	return &ChaosListener{ln: ln, conns: make(map[*procConn]struct{})}
+}
+
+// Accept accepts from the wrapped listener and registers the connection
+// for later triggers.
+func (l *ChaosListener) Accept() (net.Conn, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	c := &procConn{Conn: conn, l: l, done: make(chan struct{})}
+	l.mu.Lock()
+	if l.killed {
+		l.mu.Unlock()
+		c.hardClose()
+		return nil, net.ErrClosed
+	}
+	l.conns[c] = struct{}{}
+	l.mu.Unlock()
+	return c, nil
+}
+
+// Close closes the accept socket; accepted connections are untouched.
+func (l *ChaosListener) Close() error { return l.ln.Close() }
+
+// Addr reports the wrapped listener's address.
+func (l *ChaosListener) Addr() net.Addr { return l.ln.Addr() }
+
+// Conns reports how many accepted connections are currently open.
+func (l *ChaosListener) Conns() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.conns)
+}
+
+// Kill emulates a process crash: the accept socket closes and every
+// accepted connection is reset (SO_LINGER 0, so TCP peers see RST, not an
+// orderly FIN — exactly what a SIGKILLed process leaves behind). A killed
+// listener stays dead: late Accept races return net.ErrClosed.
+func (l *ChaosListener) Kill() {
+	l.mu.Lock()
+	l.killed = true
+	if l.wedged != nil { // a dead process is not wedged
+		close(l.wedged)
+		l.wedged = nil
+	}
+	conns := make([]*procConn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	l.ln.Close()
+	for _, c := range conns {
+		c.hardClose()
+	}
+}
+
+// KillListener closes only the accept socket: established sessions keep
+// running, new arrivals get connection refused — a backend that stopped
+// accepting without dying.
+func (l *ChaosListener) KillListener() { l.ln.Close() }
+
+// Wedge blocks every accepted connection's Reads and Writes until Unwedge:
+// the process is alive — probes connect, TCP keeps the sessions up — but
+// nothing makes progress. Closing a wedged connection unblocks it with
+// net.ErrClosed, so idle-deadline enforcement still works.
+func (l *ChaosListener) Wedge() {
+	l.mu.Lock()
+	if l.wedged == nil && !l.killed {
+		l.wedged = make(chan struct{})
+	}
+	l.mu.Unlock()
+}
+
+// Unwedge releases every operation blocked by Wedge.
+func (l *ChaosListener) Unwedge() {
+	l.mu.Lock()
+	if l.wedged != nil {
+		close(l.wedged)
+		l.wedged = nil
+	}
+	l.mu.Unlock()
+}
+
+// procConn is one accepted connection under chaos control.
+type procConn struct {
+	net.Conn
+	l    *ChaosListener
+	once sync.Once
+	done chan struct{}
+}
+
+// gate blocks while the listener is wedged; a close (graceful or injected)
+// unblocks it.
+func (c *procConn) gate() error {
+	for {
+		c.l.mu.Lock()
+		w := c.l.wedged
+		c.l.mu.Unlock()
+		if w == nil {
+			return nil
+		}
+		select {
+		case <-w:
+		case <-c.done:
+			return net.ErrClosed
+		}
+	}
+}
+
+func (c *procConn) Read(b []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *procConn) Write(b []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *procConn) Close() error {
+	err := net.ErrClosed
+	c.once.Do(func() {
+		close(c.done)
+		c.detach()
+		err = c.Conn.Close()
+	})
+	return err
+}
+
+// hardClose resets the connection the way a crashed process would.
+func (c *procConn) hardClose() {
+	c.once.Do(func() {
+		close(c.done)
+		c.detach()
+		if tc, ok := c.Conn.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0)
+		}
+		c.Conn.Close()
+	})
+}
+
+func (c *procConn) detach() {
+	c.l.mu.Lock()
+	delete(c.l.conns, c)
+	c.l.mu.Unlock()
+}

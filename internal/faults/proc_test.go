@@ -1,0 +1,115 @@
+package faults
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// chaosEchoPair starts an echo server behind a ChaosListener and returns
+// the listener plus one established client connection.
+func chaosEchoPair(t *testing.T) (*ChaosListener, net.Conn) {
+	t.Helper()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := WrapListener(raw)
+	go func() {
+		for {
+			conn, err := cl.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 64)
+				for {
+					n, err := conn.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := conn.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	conn, err := net.Dial("tcp", cl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close(); cl.Close() })
+	return cl, conn
+}
+
+func echo(t *testing.T, conn net.Conn, msg string) error {
+	t.Helper()
+	if _, err := conn.Write([]byte(msg)); err != nil {
+		return err
+	}
+	buf := make([]byte, len(msg))
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	_, err := conn.Read(buf)
+	return err
+}
+
+// TestChaosListenerKill: Kill resets established connections and refuses
+// new ones — the whole process surface dies at once.
+func TestChaosListenerKill(t *testing.T) {
+	cl, conn := chaosEchoPair(t)
+	if err := echo(t, conn, "alive"); err != nil {
+		t.Fatalf("echo before kill: %v", err)
+	}
+
+	cl.Kill()
+	deadline := time.Now().Add(2 * time.Second)
+	for echo(t, conn, "dead") == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("connection survived Kill")
+		}
+	}
+	if _, err := net.DialTimeout("tcp", cl.Addr().String(), time.Second); err == nil {
+		t.Error("killed listener still accepts connections")
+	}
+	if n := cl.Conns(); n != 0 {
+		t.Errorf("Conns() after Kill = %d, want 0", n)
+	}
+}
+
+// TestChaosListenerWedge: a wedged backend stays connected but makes no
+// progress until Unwedge; afterwards the same session completes.
+func TestChaosListenerWedge(t *testing.T) {
+	cl, conn := chaosEchoPair(t)
+	if err := echo(t, conn, "warmup"); err != nil {
+		t.Fatalf("echo before wedge: %v", err)
+	}
+
+	cl.Wedge()
+	done := make(chan error, 1)
+	go func() { done <- echo(t, conn, "wedged?") }()
+	select {
+	case err := <-done:
+		t.Fatalf("echo completed during wedge (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	cl.Unwedge()
+	if err := <-done; err != nil {
+		t.Fatalf("echo after unwedge: %v", err)
+	}
+}
+
+// TestChaosListenerKillListenerKeepsSessions: losing only the accept
+// socket must not disturb established sessions.
+func TestChaosListenerKillListenerKeepsSessions(t *testing.T) {
+	cl, conn := chaosEchoPair(t)
+	cl.KillListener()
+	if _, err := net.DialTimeout("tcp", cl.Addr().String(), time.Second); err == nil {
+		t.Error("dead listener still accepts connections")
+	}
+	if err := echo(t, conn, "still-here"); err != nil {
+		t.Fatalf("established session died with the listener: %v", err)
+	}
+}

@@ -163,6 +163,13 @@ type Config struct {
 	PoolCheckoutWait time.Duration
 	// PoolHooks injects faults into the pool lifecycle (chaos tests).
 	PoolHooks *PoolHooks
+	// LoseEnclaveEvery, when positive, is a failure-injection drill: every
+	// Nth session's enclave has its EPC pages reclaimed (EREMOVE-style)
+	// immediately before provisioning runs, exercising the mid-provision
+	// enclave-loss recovery path end to end — the session must still
+	// complete with its correct verdict on a replacement enclave.
+	// Production deployments leave it 0.
+	LoseEnclaveEvery int
 
 	// Counter receives per-phase cycle charges from every enclave and
 	// feeds the stats endpoint. If nil, the Provider's counter is used;
@@ -205,6 +212,8 @@ type Gateway struct {
 	stopOnce sync.Once
 
 	ready atomic.Bool // readiness: true while Serve runs, false during drain
+
+	sessionSeq atomic.Uint64 // session ordinal, drives the LoseEnclaveEvery drill
 
 	mu        sync.Mutex
 	shutdown  bool
@@ -556,39 +565,23 @@ func (g *Gateway) handle(q queuedConn) {
 	// (microseconds; the pool-checkout span stands where create-enclave
 	// would). A drained pool falls through to the cold path below, so
 	// pooling changes latency, never availability.
-	var encl *engarde.Enclave
-	var warm bool
-	if g.pool != nil {
-		sp := tr.StartPhase("pool-checkout")
-		encl, warm = g.pool.checkout()
-		sp.End()
-		if warm {
-			encl.SetTrace(tr)
+	encl, warm, aerr := g.acquireEnclave(tr)
+	if aerr != nil {
+		g.metrics.errs.Inc()
+		g.log.Error("gateway: creating enclave",
+			"trace", tr.ID(), "remote", connAddr(conn), "err", aerr)
+		g.finishTrace(tr)
+		if g.cfg.OnServed != nil {
+			g.cfg.OnServed(conn, nil, nil, aerr)
 		}
-	}
-	if encl == nil {
-		var err error
-		encl, err = g.cfg.Provider.CreateEnclave(engarde.EnclaveConfig{
-			Policies:      g.cfg.Policies,
-			HeapPages:     g.cfg.HeapPages,
-			ClientPages:   g.cfg.ClientPages,
-			DisasmWorkers: g.cfg.DisasmWorkers,
-			PolicyWorkers: g.cfg.PolicyWorkers,
-			FnCache:       g.fnCache,
-			Trace:         tr,
-		})
-		if err != nil {
-			g.metrics.errs.Inc()
-			g.log.Error("gateway: creating enclave",
-				"trace", tr.ID(), "remote", connAddr(conn), "err", err)
-			g.finishTrace(tr)
-			if g.cfg.OnServed != nil {
-				g.cfg.OnServed(conn, nil, nil, err)
-			}
-			return
-		}
+		return
 	}
 	defer func() {
+		// encl and warm may have been swapped by a mid-provision enclave
+		// failover; the defer releases whatever the session ended on.
+		if encl == nil {
+			return
+		}
 		if warm {
 			// Detach the session trace before the enclave outlives it, then
 			// hand the enclave back for scrubbing and reuse.
@@ -599,16 +592,87 @@ func (g *Gateway) handle(q queuedConn) {
 		encl.Destroy()
 	}()
 
+	// discardLost hands the reclaimed corpse back: a pooled enclave goes
+	// through discard (it is empty — nothing to scrub), a cold one is
+	// destroyed directly. Either way encl is cleared so the session defer
+	// and the failover below cannot touch it again.
+	discardLost := func() {
+		if warm {
+			encl.SetTrace(nil)
+			g.pool.lost.Add(1)
+			g.pool.discard(encl)
+		} else {
+			encl.Destroy()
+		}
+		encl, warm = nil, false
+	}
+
+	// drill is the LoseEnclaveEvery failure-injection hook: it fires inside
+	// the provisioning step — after the image arrived, before the pipeline
+	// runs — so every Nth session exercises the exact recovery path a real
+	// EPC reclaim mid-session would.
+	drill := func() {
+		if n := g.cfg.LoseEnclaveEvery; n > 0 && g.sessionSeq.Add(1)%uint64(n) == 0 {
+			encl.Reclaim()
+		}
+	}
+
+	// recoverLost is the transparent enclave failover: when provisioning
+	// failed because the enclave's EPC pages were reclaimed under it, the
+	// plaintext image is still in hand, so the session is re-run in full on
+	// a replacement enclave (pool clone or cold build — identical MRENCLAVE
+	// either way) instead of surfacing a machinery failure to a client that
+	// did nothing wrong. One replacement attempt: a second loss means the
+	// host is shedding EPC faster than sessions run, and the typed
+	// backend-lost verdict (failNotify) correctly pushes the client to
+	// another backend.
+	recoverLost := func(image []byte, perr error) (*engarde.Report, error) {
+		if !errors.Is(perr, engarde.ErrEnclaveLost) {
+			return nil, perr
+		}
+		g.metrics.enclaveLost.Inc()
+		g.log.Warn("gateway: enclave lost mid-provision, failing over",
+			"trace", tr.ID(), "remote", connAddr(conn), "err", perr)
+		discardLost()
+		sp := tr.StartSpan("enclave-failover")
+		defer sp.End()
+		var ferr error
+		encl, warm, ferr = g.acquireEnclave(tr)
+		if ferr != nil {
+			return nil, fmt.Errorf("gateway: replacing lost enclave: %w", errors.Join(ferr, perr))
+		}
+		rep, rerr := g.provision(encl, image)
+		if rerr == nil {
+			g.metrics.enclaveFailovers.Inc()
+		}
+		return rep, rerr
+	}
+
 	ctx := obs.WithTrace(context.Background(), tr)
 	var rep *engarde.Report
 	var err error
 	if g.cfg.DisableStreaming {
 		rep, err = encl.ServeProvisionFuncCtx(ctx, rw, func(image []byte) (*engarde.Report, error) {
-			return g.provision(encl, image)
+			drill()
+			rep, err := g.provision(encl, image)
+			if err != nil {
+				return recoverLost(image, err)
+			}
+			return rep, nil
 		})
 	} else {
 		rep, err = encl.ServeProvisionStreamingFuncCtx(ctx, rw, func(st *engarde.StagedImage) (*engarde.Report, error) {
-			return g.provisionStaged(encl, st)
+			drill()
+			rep, err := g.provisionStaged(encl, st)
+			if err != nil {
+				// The staged plaintext survives the loss; any speculative
+				// decode state died with the first attempt, so the replay
+				// runs the buffered path — identical verdicts by
+				// construction (TestStreamingMatchesSequential).
+				st.Release()
+				return recoverLost(st.Image, err)
+			}
+			return rep, nil
 		})
 	}
 	dur := time.Since(start)
@@ -640,6 +704,32 @@ func (g *Gateway) handle(q queuedConn) {
 	if g.cfg.OnServed != nil {
 		g.cfg.OnServed(conn, encl, rep, err)
 	}
+}
+
+// acquireEnclave obtains the session's enclave: a warm pool checkout when
+// one is ready (the pool itself drains lost enclaves, so a warm result is
+// healthy at handoff), else a cold measured build. Used both at session
+// start and to find a replacement during mid-provision enclave failover.
+func (g *Gateway) acquireEnclave(tr *obs.Trace) (*engarde.Enclave, bool, error) {
+	if g.pool != nil {
+		sp := tr.StartPhase("pool-checkout")
+		encl, warm := g.pool.checkout()
+		sp.End()
+		if warm {
+			encl.SetTrace(tr)
+			return encl, true, nil
+		}
+	}
+	encl, err := g.cfg.Provider.CreateEnclave(engarde.EnclaveConfig{
+		Policies:      g.cfg.Policies,
+		HeapPages:     g.cfg.HeapPages,
+		ClientPages:   g.cfg.ClientPages,
+		DisasmWorkers: g.cfg.DisasmWorkers,
+		PolicyWorkers: g.cfg.PolicyWorkers,
+		FnCache:       g.fnCache,
+		Trace:         tr,
+	})
+	return encl, false, err
 }
 
 // finishTrace closes the session trace, feeds its spans into the aggregate

@@ -30,6 +30,9 @@ type metrics struct {
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
 
+	enclaveLost      *obs.Counter // enclaves found lost mid-provision
+	enclaveFailovers *obs.Counter // sessions completed on a replacement enclave
+
 	active *obs.Gauge
 
 	latency    *obs.Histogram // session duration, recorded in ms
@@ -76,6 +79,12 @@ func newMetrics(g *Gateway) *metrics {
 		obs.Label{Key: "result", Value: "hit"})
 	m.cacheMisses = reg.Counter("engarde_gateway_verdict_cache_lookups_total", "",
 		obs.Label{Key: "result", Value: "miss"})
+
+	m.enclaveLost = reg.Counter("engarde_gateway_enclave_lost_total",
+		"Enclaves found lost (EPC pages reclaimed by the host), by detection point.",
+		obs.Label{Key: "at", Value: "mid_provision"})
+	m.enclaveFailovers = reg.Counter("engarde_gateway_enclave_failover_total",
+		"Sessions transparently re-run on a replacement enclave after a mid-provision enclave loss.")
 
 	m.active = reg.Gauge("engarde_gateway_sessions_active",
 		"Sessions currently being served.")
@@ -180,6 +189,8 @@ func newMetrics(g *Gateway) *metrics {
 		reg.CounterFunc("engarde_gateway_pool_discards_total",
 			"Returned enclaves destroyed instead of re-pooled (drain, scrub failure, raced-full pool).",
 			p.discards.Load)
+		reg.CounterFunc("engarde_gateway_enclave_lost_total", "",
+			p.lost.Load, obs.Label{Key: "at", Value: "pool"})
 		// Amortized snapshot economics: the one-time measured build of the
 		// template, and the cycle-model cost of the clones minted so far —
 		// creation work that pooling keeps off the session timeline but must

@@ -12,6 +12,7 @@ package gateway
 
 import (
 	"log/slog"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,11 @@ type enclavePool struct {
 
 	waitHist *obs.Histogram // checkout wait, µs; set by newMetrics
 
+	// rng drives the full-jitter refill backoff. Guarded by rngMu: refill
+	// workers and delayed re-kicks draw concurrently.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
 	// outstanding counts enclaves checked out and not yet returned. Refill
 	// tops up to target counting these, so a checked-out enclave's slot is
 	// held for its scrubbed return — clones only replace true losses
@@ -65,6 +71,7 @@ type enclavePool struct {
 	cloneErrs atomic.Uint64 // failed clone attempts
 	scrubs    atomic.Uint64 // enclaves recycled back into the pool
 	discards  atomic.Uint64 // returned enclaves destroyed instead of recycled
+	lost      atomic.Uint64 // enclaves found lost (EPC reclaimed) at checkout/return
 }
 
 // newEnclavePool builds the pool (including the one-time snapshot template)
@@ -99,6 +106,7 @@ func newEnclavePool(g *Gateway) (*enclavePool, error) {
 		slots:  make(chan *engarde.Enclave, cfg.EnclavePool),
 		kick:   make(chan struct{}, 1),
 		stop:   make(chan struct{}),
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
 	}, nil
 }
 
@@ -141,6 +149,32 @@ func (p *enclavePool) population() int {
 	return len(p.slots) + int(p.outstanding.Load())
 }
 
+// Refill backoff bounds: the jitter ceiling starts at refillBackoffBase
+// and doubles per consecutive failure up to refillBackoffMax.
+const (
+	refillBackoffBase = 2 * time.Millisecond
+	refillBackoffMax  = 200 * time.Millisecond
+)
+
+// refillBackoff returns a fully-jittered delay for the n-th consecutive
+// clone failure: uniform in [0, min(max, base·2^(n-1))]. Clone failures
+// usually mean EPC pressure from in-flight sessions; with multiple refill
+// workers (and, fleet-wide, multiple gateways on one host) a fixed delay
+// re-synchronizes every retrier onto the same contended moment — jitter
+// spreads them out.
+func (p *enclavePool) refillBackoff(consecutive int) time.Duration {
+	if consecutive < 1 {
+		consecutive = 1
+	}
+	ceiling := refillBackoffBase << (consecutive - 1)
+	if ceiling > refillBackoffMax || ceiling <= 0 {
+		ceiling = refillBackoffMax
+	}
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	return time.Duration(p.rng.Int63n(int64(ceiling) + 1))
+}
+
 // topUp clones until the pool's population reaches target or cloning
 // keeps failing. Failures back off and eventually yield, but always
 // schedule a delayed re-kick so the pool self-heals to target depth even
@@ -162,14 +196,13 @@ func (p *enclavePool) topUp() {
 				// Yield; try again shortly rather than spinning on a
 				// persistent failure (e.g. EPC exhausted by in-flight
 				// sessions — their teardown frees pages).
-				time.AfterFunc(50*time.Millisecond, p.kickRefill)
+				time.AfterFunc(p.refillBackoff(consecutive), p.kickRefill)
 				return
 			}
-			backoff := time.Duration(consecutive) * 2 * time.Millisecond
 			select {
 			case <-p.stop:
 				return
-			case <-time.After(backoff):
+			case <-time.After(p.refillBackoff(consecutive)):
 			}
 			continue
 		}
@@ -205,6 +238,38 @@ func (p *enclavePool) cloneOne() (*engarde.Enclave, error) {
 	return e, nil
 }
 
+// discard destroys a checked-out enclave instead of returning it, keeping
+// the outstanding/discard accounting exact and nudging refill to clone a
+// replacement for the real loss.
+func (p *enclavePool) discard(e *engarde.Enclave) {
+	e.Destroy()
+	p.discards.Add(1)
+	p.outstanding.Add(-1)
+	p.kickRefill()
+}
+
+// tryTake is checkout's non-blocking fast path: pop slots until one yields
+// a healthy enclave. A pooled enclave can be *lost* while idle — the host
+// reclaimed its EPC pages out from under it — and handing a corpse to a
+// session would waste the whole transfer before the first write fails, so
+// lost enclaves are detected here, discarded, and the next slot is tried.
+func (p *enclavePool) tryTake() (*engarde.Enclave, bool) {
+	for {
+		select {
+		case e := <-p.slots:
+			p.outstanding.Add(1)
+			if e.Lost() {
+				p.lost.Add(1)
+				p.discard(e)
+				continue
+			}
+			return e, true
+		default:
+			return nil, false
+		}
+	}
+}
+
 // checkout returns a warm enclave, or (nil, false) after the bounded wait
 // so the caller can fall back to the cold path. The wait is bounded (and
 // short) because admission control — not the pool — is where backpressure
@@ -217,26 +282,31 @@ func (p *enclavePool) checkout() (*engarde.Enclave, bool) {
 			p.waitHist.Observe(uint64(time.Since(start) / time.Microsecond))
 		}
 	}
-	select {
-	case e := <-p.slots:
-		p.outstanding.Add(1)
+	if e, ok := p.tryTake(); ok {
 		observe()
 		p.warm.Add(1)
 		return e, true
-	default:
 	}
 	p.kickRefill()
 	if p.wait > 0 {
 		timer := time.NewTimer(p.wait)
 		defer timer.Stop()
-		select {
-		case e := <-p.slots:
-			p.outstanding.Add(1)
-			observe()
-			p.warm.Add(1)
-			return e, true
-		case <-timer.C:
-		case <-p.stop:
+		for {
+			select {
+			case e := <-p.slots:
+				p.outstanding.Add(1)
+				if e.Lost() {
+					p.lost.Add(1)
+					p.discard(e)
+					continue // a replacement may already be in flight
+				}
+				observe()
+				p.warm.Add(1)
+				return e, true
+			case <-timer.C:
+			case <-p.stop:
+			}
+			break
 		}
 	}
 	observe()
@@ -265,6 +335,14 @@ func (p *enclavePool) release(e *engarde.Enclave) {
 			p.outstanding.Add(-1)
 			return
 		default:
+		}
+		if e.Lost() {
+			// The session's enclave was reclaimed under it; there is
+			// nothing left to scrub. Destroy frees the (empty) handle and
+			// refill clones a replacement.
+			p.lost.Add(1)
+			p.discard(e)
+			return
 		}
 		if p.hooks != nil && p.hooks.BeforeScrub != nil {
 			if err := p.hooks.BeforeScrub(); err != nil {

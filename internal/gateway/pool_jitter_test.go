@@ -1,0 +1,39 @@
+package gateway
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRefillBackoffJitter pins the full-jitter contract: every draw falls
+// in [0, min(refillBackoffMax, base·2^(n-1))], the ceiling doubles with
+// consecutive failures, and draws actually spread (a fixed delay would
+// re-synchronize every refill worker onto the same contended instant).
+func TestRefillBackoffJitter(t *testing.T) {
+	p := &enclavePool{rng: rand.New(rand.NewSource(1))}
+	for _, tc := range []struct {
+		consecutive int
+		ceiling     time.Duration
+	}{
+		{0, refillBackoffBase}, // clamped to 1
+		{1, refillBackoffBase},
+		{2, 2 * refillBackoffBase},
+		{5, 16 * refillBackoffBase},
+		{8, refillBackoffMax}, // 2ms<<7 = 256ms, capped at 200ms
+		{63, refillBackoffMax},
+		{400, refillBackoffMax}, // shift overflow must not go negative
+	} {
+		seen := make(map[time.Duration]struct{})
+		for i := 0; i < 256; i++ {
+			d := p.refillBackoff(tc.consecutive)
+			if d < 0 || d > tc.ceiling {
+				t.Fatalf("refillBackoff(%d) = %v, want in [0, %v]", tc.consecutive, d, tc.ceiling)
+			}
+			seen[d] = struct{}{}
+		}
+		if len(seen) < 2 {
+			t.Errorf("refillBackoff(%d) never varied across 256 draws — jitter is missing", tc.consecutive)
+		}
+	}
+}

@@ -62,6 +62,10 @@ type Stats struct {
 	NonCompliant uint64 `json:"non_compliant"`
 	Errors       uint64 `json:"errors"` // protocol/machinery failures
 
+	// Enclave-loss recovery.
+	EnclavesLost     uint64 `json:"enclaves_lost"`     // lost mid-provision (pool-detected losses are under Pool.Lost)
+	EnclaveFailovers uint64 `json:"enclave_failovers"` // sessions completed on a replacement enclave
+
 	// Verdict cache.
 	CacheHits      uint64  `json:"cache_hits"`
 	CacheMisses    uint64  `json:"cache_misses"`
@@ -96,6 +100,7 @@ type PoolStats struct {
 	CloneErrors   uint64 `json:"clone_errors"`
 	Scrubs        uint64 `json:"scrubs"`
 	Discards      uint64 `json:"discards"`
+	Lost          uint64 `json:"lost"` // found lost while pooled (checkout drain or return)
 
 	SnapshotPages       int    `json:"snapshot_pages"`
 	SnapshotBuildCycles uint64 `json:"snapshot_build_cycles"`
@@ -110,19 +115,21 @@ type PoolStats struct {
 func (g *Gateway) Stats() Stats {
 	m := g.metrics
 	s := Stats{
-		Accepted:     m.accepted.Value(),
-		Shed:         m.shed.Value(),
-		Rejected:     m.rejected.Value(),
-		TimedOut:     m.timeouts.Value(),
-		Active:       m.active.Value(),
-		Queued:       len(g.queue),
-		Served:       m.served.Value(),
-		Compliant:    m.compliant.Value(),
-		NonCompliant: m.nonCompliant.Value(),
-		Errors:       m.errs.Value(),
-		CacheHits:    m.cacheHits.Value(),
-		CacheMisses:  m.cacheMisses.Value(),
-		Latency:      latencySnapshot(m.latency),
+		Accepted:         m.accepted.Value(),
+		Shed:             m.shed.Value(),
+		Rejected:         m.rejected.Value(),
+		TimedOut:         m.timeouts.Value(),
+		Active:           m.active.Value(),
+		Queued:           len(g.queue),
+		Served:           m.served.Value(),
+		Compliant:        m.compliant.Value(),
+		NonCompliant:     m.nonCompliant.Value(),
+		Errors:           m.errs.Value(),
+		EnclavesLost:     m.enclaveLost.Value(),
+		EnclaveFailovers: m.enclaveFailovers.Value(),
+		CacheHits:        m.cacheHits.Value(),
+		CacheMisses:      m.cacheMisses.Value(),
+		Latency:          latencySnapshot(m.latency),
 	}
 	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
@@ -149,6 +156,7 @@ func (g *Gateway) Stats() Stats {
 			CloneErrors:         p.cloneErrs.Load(),
 			Scrubs:              p.scrubs.Load(),
 			Discards:            p.discards.Load(),
+			Lost:                p.lost.Load(),
 			SnapshotPages:       p.snap.SnapshotPages(),
 			SnapshotBuildCycles: p.snap.BuildCycles(),
 			CloneCycleCost:      p.snap.CloneCycleCost(),

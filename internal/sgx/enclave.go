@@ -33,6 +33,9 @@ type Enclave struct {
 	// locked forbids further EADD/EAUG; EnGarde's host component locks the
 	// enclave once provisioning completes (paper §3).
 	locked bool
+	// lost means the host reclaimed the enclave's EPC pages (see loss.go);
+	// every subsequent access fails with ErrEnclaveLost.
+	lost bool
 }
 
 // ID returns the enclave's identifier.
@@ -157,6 +160,9 @@ func (d *Device) EAdd(e *Enclave, vaddr uint64, perm Perm, ptype PageType, conte
 	}
 	if e.locked {
 		return ErrEnclaveLocked
+	}
+	if e.lost {
+		return fmt.Errorf("%w: enclave %d", ErrEnclaveLost, e.id)
 	}
 	if _, dup := e.pages[vaddr]; dup {
 		return fmt.Errorf("%w: %#x", ErrPageMapped, vaddr)
@@ -310,6 +316,9 @@ func (d *Device) EAug(e *Enclave, vaddr uint64, perm Perm) error {
 	if e.locked {
 		return ErrEnclaveLocked
 	}
+	if e.lost {
+		return fmt.Errorf("%w: enclave %d", ErrEnclaveLost, e.id)
+	}
 	if !e.Contains(vaddr, PageSize) {
 		return fmt.Errorf("%w: EAUG vaddr %#x", ErrBadAddress, vaddr)
 	}
@@ -398,6 +407,9 @@ func (e *Enclave) access(addr uint64, buf []byte, write bool) error {
 	d := e.dev
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if e.lost {
+		return fmt.Errorf("%w: enclave %d", ErrEnclaveLost, e.id)
+	}
 	if !e.Contains(addr, uint64(len(buf))) {
 		return fmt.Errorf("%w: %#x+%d", ErrBadAddress, addr, len(buf))
 	}

@@ -1,0 +1,82 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestReclaimEnclave(t *testing.T) {
+	d := newTestDevice(t, V2)
+	content := bytes.Repeat([]byte{0xCD}, PageSize)
+	e := buildEnclave(t, d, 0x10000, [][]byte{content, content})
+
+	freeBefore := d.EPCFree()
+	if e.Lost() {
+		t.Fatal("fresh enclave reports lost")
+	}
+	if n := d.ReclaimEnclave(e); n != 2 {
+		t.Fatalf("ReclaimEnclave freed %d pages, want 2", n)
+	}
+	if !e.Lost() {
+		t.Fatal("reclaimed enclave does not report lost")
+	}
+	if got := d.EPCFree(); got != freeBefore+2 {
+		t.Fatalf("EPCFree after reclaim = %d, want %d", got, freeBefore+2)
+	}
+
+	// Every path back into the enclave must fail with ErrEnclaveLost.
+	buf := make([]byte, 8)
+	if err := e.Read(0x10000, buf); !errors.Is(err, ErrEnclaveLost) {
+		t.Fatalf("Read after reclaim: %v, want ErrEnclaveLost", err)
+	}
+	if err := e.Write(0x10000, buf); !errors.Is(err, ErrEnclaveLost) {
+		t.Fatalf("Write after reclaim: %v, want ErrEnclaveLost", err)
+	}
+	if _, err := d.EEnter(e); !errors.Is(err, ErrEnclaveLost) {
+		t.Fatalf("EEnter after reclaim: %v, want ErrEnclaveLost", err)
+	}
+	if err := d.EAug(e, 0x10000, PermR|PermW); !errors.Is(err, ErrEnclaveLost) {
+		t.Fatalf("EAug after reclaim: %v, want ErrEnclaveLost", err)
+	}
+
+	// Reclaim is idempotent and Destroy still balances the ledger.
+	if n := d.ReclaimEnclave(e); n != 0 {
+		t.Fatalf("second ReclaimEnclave freed %d pages, want 0", n)
+	}
+	d.DestroyEnclave(e)
+	if got := d.EPCFree(); got != d.EPCCapacity() {
+		t.Fatalf("EPCFree after destroy = %d, want %d", got, d.EPCCapacity())
+	}
+}
+
+func TestSimulateEPCPressureVictimOrder(t *testing.T) {
+	d := newTestDevice(t, V2)
+	page := bytes.Repeat([]byte{0x11}, PageSize)
+	old := buildEnclave(t, d, 0x10000, [][]byte{page, page})
+	mid := buildEnclave(t, d, 0x20000, [][]byte{page, page})
+	young := buildEnclave(t, d, 0x30000, [][]byte{page, page})
+
+	// Free pool already covers the demand: nothing is lost.
+	if victims := d.SimulateEPCPressure(4); len(victims) != 0 {
+		t.Fatalf("pressure within free pool reclaimed %d enclaves", len(victims))
+	}
+
+	// Demand beyond the free pool reclaims newest-first, leaving the
+	// oldest (quoting-enclave-shaped) resident untouched.
+	need := d.EPCFree() + 3
+	victims := d.SimulateEPCPressure(need)
+	if len(victims) != 2 {
+		t.Fatalf("got %d victims, want 2", len(victims))
+	}
+	if victims[0] != young || victims[1] != mid {
+		t.Fatalf("victim order = [%d %d], want newest-first [%d %d]",
+			victims[0].ID(), victims[1].ID(), young.ID(), mid.ID())
+	}
+	if old.Lost() {
+		t.Fatal("oldest enclave was reclaimed before younger candidates")
+	}
+	if !young.Lost() || !mid.Lost() {
+		t.Fatal("victims not marked lost")
+	}
+}

@@ -122,6 +122,9 @@ func (d *Device) EEnter(e *Enclave) (*Context, error) {
 	if !e.initialized {
 		return nil, ErrNotInitialized
 	}
+	if e.lost {
+		return nil, fmt.Errorf("%w: enclave %d", ErrEnclaveLost, e.id)
+	}
 	return &Context{e: e, entered: true}, nil
 }
 

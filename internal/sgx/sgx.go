@@ -117,6 +117,7 @@ var (
 	ErrPermission     = errors.New("sgx: EPCM permission violation")
 	ErrV2Only         = errors.New("sgx: instruction requires SGX version 2")
 	ErrEnclaveLocked  = errors.New("sgx: enclave is locked against growth")
+	ErrEnclaveLost    = errors.New("sgx: enclave lost (EPC pages reclaimed by host)")
 )
 
 // epcPage is one ciphertext page plus its EPCM entry.

@@ -163,6 +163,12 @@ const (
 	// enclave work; the content was never seen. Retry after the verdict's
 	// RetryAfterMillis hint.
 	CodeBusy ReasonCode = "busy"
+	// CodeBackendLost: the fleet router lost its backend mid-session (crash,
+	// eviction) and reset the splice with this typed verdict instead of a
+	// bare connection drop. The session produced no verdict; the client
+	// should replay provisioning against the next owner in its failover
+	// order (ProvisionFailover does this automatically).
+	CodeBackendLost ReasonCode = "backend-lost"
 )
 
 // Verdict is the provider-visible outcome sent back to the client.
@@ -218,6 +224,22 @@ func SendBusy(w io.Writer, retryAfter time.Duration) error {
 	}})
 }
 
+// SendBackendLost writes the typed mid-session reset a fleet router sends
+// when the backend side of a splice dies: a verdict frame the client can
+// read in place of the one the dead backend never produced. Verdict frames
+// are plaintext-framed JSON (only the content stream is session-key
+// encrypted), so the router can inject one without holding any session
+// secret. retryAfter hints how long the client should wait before
+// replaying against the next owner.
+func SendBackendLost(w io.Writer, reason string, retryAfter time.Duration) error {
+	return sendJSON(w, Verdict{
+		Compliant:        false,
+		Code:             CodeBackendLost,
+		Reason:           reason,
+		RetryAfterMillis: retryAfter.Milliseconds(),
+	})
+}
+
 // ProvisionFunc provisions a decrypted image and returns the report. The
 // default is (*Enclave).Provision; serving layers substitute a cache-aware
 // implementation (internal/gateway).
@@ -234,7 +256,15 @@ func (e *Enclave) ServeProvision(conn io.ReadWriter) (*Report, error) {
 // failNotify sends a failure verdict for cause and returns cause joined
 // with any send error — a peer that has already vanished must not mask why
 // the handshake failed, but the send failure is still reported.
+//
+// A cause rooted in an enclave loss is never reported under the caller's
+// code: the session died through no fault of the image, so the client gets
+// CodeBackendLost — the typed "replay elsewhere" signal — instead of a
+// failure verdict it might mistake for an outcome.
 func failNotify(conn io.Writer, code ReasonCode, reason string, cause error) error {
+	if errors.Is(cause, ErrEnclaveLost) {
+		code, reason = CodeBackendLost, "enclave lost mid-session"
+	}
 	if err := sendJSON(conn, Verdict{Compliant: false, Code: code, Reason: reason}); err != nil {
 		return errors.Join(cause, fmt.Errorf("engarde: sending failure verdict: %w", err))
 	}

@@ -1,19 +1,25 @@
 package engarde
 
-// Client-side resilience: retry with exponential backoff and full jitter.
+// Client-side resilience: retry with exponential backoff and full jitter,
+// and session failover across a fleet.
 //
 // A production gateway sheds load with typed busy verdicts (CodeBusy +
-// Retry-After) and cuts off stalled sessions with idle/budget deadlines.
-// The matching client behavior is to retry — with exponentially growing,
-// fully jittered delays so a thundering herd of shed clients does not
-// return in lockstep — while treating permanent failures (attestation
+// Retry-After) and cuts off stalled sessions with idle/budget deadlines;
+// a fleet router resets sessions to crashed backends with typed
+// CodeBackendLost verdicts. The matching client behavior is to retry —
+// with exponentially growing, fully jittered delays so a thundering herd
+// of shed clients does not return in lockstep — replaying the retained
+// image against the next owner in the ring's failover order when the
+// session itself was lost, while treating permanent failures (attestation
 // mismatch, policy rejection) as final immediately.
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
+	"syscall"
 	"time"
 )
 
@@ -25,6 +31,74 @@ var ErrAttestation = errors.New("engarde: attestation failed")
 // with a busy verdict.
 var ErrBusy = errors.New("engarde: service busy")
 
+// ErrSessionLost marks a session severed mid-flight: the connection died
+// or the router reset the splice with a CodeBackendLost verdict. The
+// session produced no verdict; the image is intact client-side, so the
+// right response is to replay provisioning against the next endpoint.
+var ErrSessionLost = errors.New("engarde: session lost mid-flight")
+
+// FailureClass is the typed classification driving the failover loop.
+type FailureClass int
+
+// Failure classes.
+const (
+	// FailTransient: the endpoint is alive but the attempt failed (shed
+	// busy, machinery hiccup). Back off and retry — same endpoint is fine.
+	FailTransient FailureClass = iota
+	// FailSessionLost: the endpoint (or the path to it) died mid-session.
+	// Replay against the next endpoint in the failover order.
+	FailSessionLost
+	// FailPermanent: retrying cannot help (attestation mismatch). Give up.
+	FailPermanent
+)
+
+func (fc FailureClass) String() string {
+	switch fc {
+	case FailTransient:
+		return "transient"
+	case FailSessionLost:
+		return "session-lost"
+	case FailPermanent:
+		return "permanent"
+	default:
+		return fmt.Sprintf("failure-class(%d)", int(fc))
+	}
+}
+
+// ClassifyFailure maps a provisioning error to its failure class. Dial
+// failures, connection resets, and mid-stream EOFs are session losses —
+// the endpoint is gone, not busy — while everything else except a failed
+// attestation is transient.
+func ClassifyFailure(err error) FailureClass {
+	switch {
+	case err == nil:
+		return FailTransient
+	case errors.Is(err, ErrAttestation):
+		return FailPermanent
+	case errors.Is(err, ErrSessionLost),
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.ErrClosedPipe),
+		errors.Is(err, net.ErrClosed),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.EPIPE):
+		return FailSessionLost
+	default:
+		var op *net.OpError
+		if errors.As(err, &op) {
+			return FailSessionLost
+		}
+		return FailTransient
+	}
+}
+
+// retryable reports whether err is worth another attempt: transport and
+// machinery trouble is, a failed attestation is not.
+func retryable(err error) bool {
+	return ClassifyFailure(err) != FailPermanent
+}
+
 // Retry defaults for RetryPolicy fields left zero.
 const (
 	DefaultRetryAttempts  = 5
@@ -32,7 +106,7 @@ const (
 	DefaultRetryMaxDelay  = 5 * time.Second
 )
 
-// RetryPolicy configures ProvisionRetry's backoff.
+// RetryPolicy configures ProvisionRetry's and ProvisionFailover's backoff.
 type RetryPolicy struct {
 	// Attempts is the total number of tries, including the first.
 	// 0 means DefaultRetryAttempts.
@@ -48,21 +122,13 @@ type RetryPolicy struct {
 	Sleep func(time.Duration)
 	// OnRetry, when set, observes each backoff decision before sleeping.
 	OnRetry func(attempt int, delay time.Duration, cause error)
+	// OnFailover, when set, observes each endpoint switch: the endpoint
+	// index being abandoned, the one about to be tried, and the session
+	// loss that caused the move.
+	OnFailover func(from, to int, cause error)
 }
 
-// retryable reports whether err is worth another attempt: transport and
-// machinery trouble is, a failed attestation is not.
-func retryable(err error) bool {
-	return !errors.Is(err, ErrAttestation)
-}
-
-// ProvisionRetry runs Provision with retries: each attempt dials a fresh
-// connection, and failed attempts back off exponentially with full jitter
-// — delay drawn uniformly from [0, min(MaxDelay, BaseDelay·2^n)) — floored
-// by the server's Retry-After hint when the gateway shed the attempt with
-// a busy verdict. Non-busy verdicts (compliant or rejected) and permanent
-// errors return immediately.
-func (c *Client) ProvisionRetry(dial func() (net.Conn, error), image []byte, p RetryPolicy) (Verdict, error) {
+func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.Attempts <= 0 {
 		p.Attempts = DefaultRetryAttempts
 	}
@@ -75,14 +141,52 @@ func (c *Client) ProvisionRetry(dial func() (net.Conn, error), image []byte, p R
 	if p.Seed == 0 {
 		p.Seed = time.Now().UnixNano()
 	}
-	sleep := p.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
 	}
+	return p
+}
+
+// ProvisionRetry runs Provision with retries against a single endpoint:
+// each attempt dials a fresh connection, and failed attempts back off
+// exponentially with full jitter — delay drawn uniformly from
+// [0, min(MaxDelay, BaseDelay·2^n)) — floored by the server's Retry-After
+// hint when the gateway shed the attempt with a busy verdict. Non-busy
+// verdicts (compliant or rejected) and permanent errors return
+// immediately.
+func (c *Client) ProvisionRetry(dial func() (net.Conn, error), image []byte, p RetryPolicy) (Verdict, error) {
+	return c.ProvisionFailover([]func() (net.Conn, error){dial}, image, p)
+}
+
+// ProvisionFailover is ProvisionRetry extended into a session-failover
+// loop across a fleet: dials lists the session's endpoints in the ring's
+// failover order (owner first, then successors — cluster.Ring.Sequence).
+// The image is retained client-side, so when an attempt ends in a session
+// loss — mid-stream connection death, a dial failure, or the router's
+// typed CodeBackendLost reset — provisioning is replayed in full against
+// the next endpoint. Busy sheds also advance to the next endpoint (the
+// saturated owner's successor may have room), keeping the shed backend's
+// Retry-After hint as the backoff floor. Transient machinery failures
+// retry the same endpoint; permanent failures (attestation) return
+// immediately. The total attempt budget is shared across endpoints.
+func (c *Client) ProvisionFailover(dials []func() (net.Conn, error), image []byte, p RetryPolicy) (Verdict, error) {
+	if len(dials) == 0 {
+		return Verdict{}, errors.New("engarde: no endpoints to provision against")
+	}
+	p = p.withDefaults()
 	rng := rand.New(rand.NewSource(p.Seed))
+
+	advance := func(cur int, cause error) int {
+		next := (cur + 1) % len(dials)
+		if next != cur && p.OnFailover != nil {
+			p.OnFailover(cur, next, cause)
+		}
+		return next
+	}
 
 	var last error
 	var hint time.Duration
+	endpoint := 0
 	for attempt := 0; attempt < p.Attempts; attempt++ {
 		if attempt > 0 {
 			ceiling := p.BaseDelay << (attempt - 1)
@@ -96,25 +200,40 @@ func (c *Client) ProvisionRetry(dial func() (net.Conn, error), image []byte, p R
 			if p.OnRetry != nil {
 				p.OnRetry(attempt, delay, last)
 			}
-			sleep(delay)
+			p.Sleep(delay)
 		}
-		conn, err := dial()
+		conn, err := dials[endpoint]()
 		if err != nil {
 			last = err
+			endpoint = advance(endpoint, err)
 			continue
 		}
 		v, err := c.Provision(conn, image)
 		conn.Close()
 		if err != nil {
-			if !retryable(err) {
+			switch ClassifyFailure(err) {
+			case FailPermanent:
 				return Verdict{}, err
+			case FailSessionLost:
+				last = fmt.Errorf("%w: %w", ErrSessionLost, err)
+				endpoint = advance(endpoint, last)
+			default:
+				last = err
 			}
-			last = err
 			continue
 		}
-		if v.Code == CodeBusy {
+		switch v.Code {
+		case CodeBusy:
 			hint = time.Duration(v.RetryAfterMillis) * time.Millisecond
 			last = fmt.Errorf("%w: %s", ErrBusy, v.Reason)
+			endpoint = advance(endpoint, last)
+			continue
+		case CodeBackendLost:
+			if d := time.Duration(v.RetryAfterMillis) * time.Millisecond; d > hint {
+				hint = d
+			}
+			last = fmt.Errorf("%w: %s", ErrSessionLost, v.Reason)
+			endpoint = advance(endpoint, last)
 			continue
 		}
 		return v, nil
