@@ -109,6 +109,11 @@ type failoverPoint struct {
 	SplicesEvicted  uint64                  `json:"splices_evicted,omitempty"`
 	Latency         bench.LatencyQuantiles  `json:"latency"`
 	FailoverLatency *bench.LatencyQuantiles `json:"failover_latency,omitempty"`
+	// Trace IDs for drill-down: the slowest completed session and every
+	// session that survived a failover. Grep a hop's traces.jsonl for one
+	// of these to see that session's spans at that hop.
+	SlowestTraceID     string   `json:"slowest_trace_id,omitempty"`
+	FailedOverTraceIDs []string `json:"failed_over_trace_ids,omitempty"`
 }
 
 // jsonReport is the -json output schema.
@@ -292,16 +297,18 @@ func runJSON() error {
 		return fmt.Errorf("fleet failover: %w", err)
 	}
 	rep.Failover = &failoverPoint{
-		Backends:        3,
-		Sessions:        failoverSessions,
-		Completed:       fo.Completed,
-		Dropped:         fo.Dropped,
-		SessionsPerSec:  fo.SessionsPerSec,
-		ClientFailovers: fo.ClientFailovers,
-		RouterFailovers: fo.RouterFailovers,
-		SplicesEvicted:  fo.SplicesEvicted,
-		Latency:         fo.Latency,
-		FailoverLatency: fo.FailoverLatency,
+		Backends:           3,
+		Sessions:           failoverSessions,
+		Completed:          fo.Completed,
+		Dropped:            fo.Dropped,
+		SessionsPerSec:     fo.SessionsPerSec,
+		ClientFailovers:    fo.ClientFailovers,
+		RouterFailovers:    fo.RouterFailovers,
+		SplicesEvicted:     fo.SplicesEvicted,
+		Latency:            fo.Latency,
+		FailoverLatency:    fo.FailoverLatency,
+		SlowestTraceID:     fo.SlowestTraceID,
+		FailedOverTraceIDs: fo.FailedOverTraceIDs,
 	}
 
 	enc := json.NewEncoder(os.Stdout)

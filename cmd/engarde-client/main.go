@@ -50,6 +50,7 @@ func main() {
 	clientPages := flag.Int("client-pages", 1024, "expected enclave client-region pages (must match the host)")
 	retries := flag.Int("retries", engarde.DefaultRetryAttempts, "provisioning attempts before giving up (busy gateways and transient errors are retried; attestation failures are not)")
 	retryBase := flag.Duration("retry-base", engarde.DefaultRetryBaseDelay, "base delay for exponential backoff between attempts")
+	traceDir := flag.String("trace-dir", "", "originate a distributed trace and write the client's spans here (traces.jsonl + Chrome trace_event); the trace ID propagates to router and gateway")
 	logLevel := flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 	logFormat := flag.String("log-format", "text", "log record format (text, json)")
 	flag.Parse()
@@ -59,6 +60,7 @@ func main() {
 		announce: *announce, tenant: *tenant,
 		heapPages: *heapPages, clientPages: *clientPages,
 		retries: *retries, retryBase: *retryBase,
+		traceDir: *traceDir,
 		logLevel: *logLevel, logFormat: *logFormat,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "engarde-client:", err)
@@ -76,6 +78,7 @@ type clientFlags struct {
 	heapPages, clientPages int
 	retries                int
 	retryBase              time.Duration
+	traceDir               string
 	logLevel, logFormat    string
 }
 
@@ -127,17 +130,38 @@ func run(cfg clientFlags) error {
 		// ImageDigest is filled in by the client from the binary itself.
 		client.Route = &engarde.RouteHello{Tenant: cfg.tenant}
 	}
+
+	// -trace-dir makes this client the origin of a distributed trace: the
+	// random 128-bit trace ID is carried to the router (plaintext preamble)
+	// and the gateway (authenticated session-open field), so one ID joins
+	// all three processes' span output.
+	var tr *obs.Trace
+	var sink *obs.Sink
+	if cfg.traceDir != "" {
+		sink, err = obs.NewSink(0, cfg.traceDir)
+		if err != nil {
+			return err
+		}
+		tr = obs.NewTrace("provision", nil)
+	}
+	policy := engarde.RetryPolicy{
+		Attempts:  cfg.retries,
+		BaseDelay: cfg.retryBase,
+		Trace:     tr,
+		OnRetry: func(attempt int, delay time.Duration, cause error) {
+			logger.Warn("attempt failed; retrying",
+				"attempt", attempt, "delay", delay.String(), "err", cause)
+		},
+	}
 	verdict, err := client.ProvisionRetry(
 		func() (net.Conn, error) { return net.Dial("tcp", cfg.connect) },
 		image,
-		engarde.RetryPolicy{
-			Attempts:  cfg.retries,
-			BaseDelay: cfg.retryBase,
-			OnRetry: func(attempt int, delay time.Duration, cause error) {
-				logger.Warn("attempt failed; retrying",
-					"attempt", attempt, "delay", delay.String(), "err", cause)
-			},
-		})
+		policy)
+	if tr != nil {
+		tr.Finish()
+		sink.Record(tr)
+		logger.Info("trace recorded", "trace_id", tr.ID(), "dir", cfg.traceDir)
+	}
 	if err != nil {
 		return err
 	}

@@ -89,6 +89,11 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		logFormat = flag.String("log-format", "text", "log record format (text, json)")
 		traceDir  = flag.String("trace-dir", "", "write every session's trace here: traces.jsonl plus one Chrome trace_event file per session (empty = in-memory /tracez only)")
+		traceRing = flag.Int("trace-ring", 0, "recent traces kept in memory for /tracez (0 = default, negative rejected)")
+
+		pprofOn         = flag.Bool("pprof", false, "expose /debug/pprof/ on the stats address (opt-in: profiles are operator telemetry)")
+		profileDir      = flag.String("profile-dir", "", "capture periodic CPU and heap profiles into this directory (empty disables)")
+		profileInterval = flag.Duration("profile-interval", 0, "period between profile captures (0 = default 60s)")
 	)
 	flag.Parse()
 
@@ -108,6 +113,8 @@ func main() {
 		loseEnclaveEvery:     *loseEvery,
 		drainTimeout:         *drainTimeout, statsAddr: *statsAddr,
 		logLevel: *logLevel, logFormat: *logFormat, traceDir: *traceDir,
+		traceRing: *traceRing, pprofOn: *pprofOn,
+		profileDir: *profileDir, profileInterval: *profileInterval,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "engarde-gatewayd:", err)
 		os.Exit(1)
@@ -133,6 +140,10 @@ type config struct {
 	drainTimeout                            time.Duration
 	statsAddr                               string
 	logLevel, logFormat, traceDir           string
+	traceRing                               int
+	pprofOn                                 bool
+	profileDir                              string
+	profileInterval                         time.Duration
 }
 
 func run(cfg config) error {
@@ -188,8 +199,12 @@ func run(cfg config) error {
 		"mrenclave", fmt.Sprintf("%x", expected[:]), "policies", pols.Names())
 
 	// The sink always exists so /tracez serves the recent-session ring even
-	// without a trace directory.
-	sink, err := obs.NewSink(0, cfg.traceDir)
+	// without a trace directory. -trace-ring sizes the ring; zero keeps the
+	// default, negative is a configuration mistake worth failing loudly on.
+	if cfg.traceRing < 0 {
+		return fmt.Errorf("-trace-ring %d: must be >= 0", cfg.traceRing)
+	}
+	sink, err := obs.NewSink(cfg.traceRing, cfg.traceDir)
 	if err != nil {
 		return err
 	}
@@ -251,6 +266,10 @@ func run(cfg config) error {
 		mux.Handle("/healthz", gw.HealthzHandler())
 		mux.Handle("/readyz", gw.ReadyzHandler())
 		mux.Handle("/memoz/", gw.FnMemoHandler())
+		if cfg.pprofOn {
+			obs.MountPprof(mux)
+			logger.Info("pprof exposed", "url", fmt.Sprintf("http://%s/debug/pprof/", statsLn.Addr()))
+		}
 		statsSrv = &http.Server{Handler: mux}
 		go func() { _ = statsSrv.Serve(statsLn) }()
 		logger.Info("telemetry endpoints up",
@@ -258,6 +277,20 @@ func run(cfg config) error {
 			"metricsz", fmt.Sprintf("http://%s/metricsz", statsLn.Addr()),
 			"tracez", fmt.Sprintf("http://%s/tracez", statsLn.Addr()),
 			"readyz", fmt.Sprintf("http://%s/readyz", statsLn.Addr()))
+	}
+
+	var profiler *obs.Profiler
+	if cfg.profileDir != "" {
+		profiler = &obs.Profiler{
+			Dir: cfg.profileDir, Interval: cfg.profileInterval, Sink: sink,
+			Logf: func(format string, args ...any) {
+				logger.Warn(fmt.Sprintf(format, args...))
+			},
+		}
+		if err := profiler.Start(); err != nil {
+			return fmt.Errorf("profiler: %w", err)
+		}
+		logger.Info("continuous profiling", "dir", cfg.profileDir)
 	}
 
 	serveErr := make(chan error, 1)
@@ -289,6 +322,9 @@ func run(cfg config) error {
 		result = err
 	}
 
+	if profiler != nil {
+		profiler.Stop()
+	}
 	if statsSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_ = statsSrv.Shutdown(ctx)

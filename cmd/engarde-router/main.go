@@ -25,7 +25,15 @@
 // hint; the router forwards that hint to shed clients so fleet-wide
 // backoff matches what the saturated backend asked for.
 //
-// The stats address serves /statsz, /metricsz, /healthz and /readyz.
+// The stats address serves /statsz, /metricsz, /healthz, /readyz, /tracez
+// (recent route traces: peek, dial, splice, failover spans), and /fleetz —
+// the fleet aggregation view. /fleetz scrapes every backend's admin URL on
+// a cadence (-fleet-interval), merges the latency histograms into
+// fleet-level quantiles, derives an SLO/error-budget block, and serves
+// JSON (default) or a backend-labeled merged Prometheus exposition
+// (?format=prom). -pprof and -profile-dir add live and continuous
+// profiling, same as engarde-gatewayd.
+//
 // SIGINT/SIGTERM drain gracefully: the listener closes, /readyz flips to
 // 503, in-flight splices finish (up to -drain-timeout), and new arrivals
 // are shed with a Busy verdict. A second signal force-closes connections.
@@ -45,6 +53,7 @@ import (
 
 	"engarde/internal/cluster"
 	"engarde/internal/obs"
+	"engarde/internal/obs/fleet"
 )
 
 func main() {
@@ -69,10 +78,18 @@ func main() {
 		tenantRate       = flag.Float64("tenant-rate", 0, "per-tenant admitted sessions per second (0 disables quotas)")
 		tenantBurst      = flag.Int("tenant-burst", 0, "per-tenant burst size (0 = ceil(rate), min 1)")
 		drainTimeout     = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight sessions; expiring it exits non-zero")
-		statsAddr        = flag.String("stats-addr", "", "serve /statsz, /metricsz, /healthz, /readyz at this address (empty disables)")
+		statsAddr        = flag.String("stats-addr", "", "serve /statsz, /metricsz, /healthz, /readyz, /tracez, /fleetz at this address (empty disables)")
+		fleetInterval    = flag.Duration("fleet-interval", 0, "cadence of the /fleetz backend scrape (0 = default 5s)")
+		availTarget      = flag.Float64("availability-target", 0, "fleet availability SLO for the /fleetz error-budget block (0 = default 0.999)")
 
 		logLevel  = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		logFormat = flag.String("log-format", "text", "log record format (text, json)")
+		traceDir  = flag.String("trace-dir", "", "write every route's trace here: traces.jsonl plus one Chrome trace_event file per route (empty = in-memory /tracez only)")
+		traceRing = flag.Int("trace-ring", 0, "recent route traces kept in memory for /tracez (0 = default, negative rejected)")
+
+		pprofOn         = flag.Bool("pprof", false, "expose /debug/pprof/ on the stats address (opt-in: profiles are operator telemetry)")
+		profileDir      = flag.String("profile-dir", "", "capture periodic CPU and heap profiles into this directory (empty disables)")
+		profileInterval = flag.Duration("profile-interval", 0, "period between profile captures (0 = default 60s)")
 	)
 	flag.Parse()
 
@@ -84,7 +101,10 @@ func main() {
 		markdownCooldown: *markdownCooldown,
 		tenantRate:       *tenantRate, tenantBurst: *tenantBurst,
 		drainTimeout: *drainTimeout, statsAddr: *statsAddr,
+		fleetInterval: *fleetInterval, availTarget: *availTarget,
 		logLevel: *logLevel, logFormat: *logFormat,
+		traceDir: *traceDir, traceRing: *traceRing,
+		pprofOn: *pprofOn, profileDir: *profileDir, profileInterval: *profileInterval,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "engarde-router:", err)
 		os.Exit(1)
@@ -103,7 +123,14 @@ type routerFlags struct {
 	tenantBurst              int
 	drainTimeout             time.Duration
 	statsAddr                string
+	fleetInterval            time.Duration
+	availTarget              float64
 	logLevel, logFormat      string
+	traceDir                 string
+	traceRing                int
+	pprofOn                  bool
+	profileDir               string
+	profileInterval          time.Duration
 }
 
 // parseBackend decodes one -backend value: name=addr[,adminURL].
@@ -132,6 +159,14 @@ func run(backends []cluster.Backend, cfg routerFlags) error {
 		return fmt.Errorf("no backends: pass at least one -backend name=addr[,adminURL]")
 	}
 
+	if cfg.traceRing < 0 {
+		return fmt.Errorf("-trace-ring %d: must be >= 0", cfg.traceRing)
+	}
+	sink, err := obs.NewSink(cfg.traceRing, cfg.traceDir)
+	if err != nil {
+		return err
+	}
+
 	router, err := cluster.NewRouter(cluster.RouterConfig{
 		Backends:         backends,
 		Vnodes:           cfg.vnodes,
@@ -142,6 +177,7 @@ func run(backends []cluster.Backend, cfg routerFlags) error {
 		ProbeTimeout:     cfg.probeTimeout,
 		MarkdownCooldown: cfg.markdownCooldown,
 		Quota:            cluster.QuotaConfig{Rate: cfg.tenantRate, Burst: cfg.tenantBurst},
+		TraceSink:        sink,
 		Logf: func(format string, args ...any) {
 			logger.Debug(fmt.Sprintf(format, args...))
 		},
@@ -160,22 +196,69 @@ func run(backends []cluster.Backend, cfg routerFlags) error {
 	logger.Info("routing", "addr", ln.Addr().String(), "backends", len(backends))
 
 	var statsSrv *http.Server
+	var agg *fleet.Aggregator
 	if cfg.statsAddr != "" {
 		statsLn, err := net.Listen("tcp", cfg.statsAddr)
 		if err != nil {
 			return fmt.Errorf("stats listener: %w", err)
 		}
+		// Every backend with an admin URL is a fleet scrape target; the
+		// router's own registry and trace ring join the view as "router".
+		var targets []fleet.Backend
+		for _, b := range backends {
+			if b.AdminURL == "" {
+				continue
+			}
+			targets = append(targets, fleet.Backend{
+				Name:       b.Name,
+				MetricsURL: b.AdminURL + "/metricsz",
+				TracesURL:  b.AdminURL + "/tracez",
+			})
+		}
+		agg = fleet.New(fleet.Config{
+			Backends:           targets,
+			Interval:           cfg.fleetInterval,
+			AvailabilityTarget: cfg.availTarget,
+			Self:               router.Registry(),
+			SelfSink:           sink,
+			Logf: func(format string, args ...any) {
+				logger.Debug(fmt.Sprintf(format, args...))
+			},
+		})
+		agg.Start()
 		mux := http.NewServeMux()
 		mux.Handle("/statsz", router.StatsHandler())
 		mux.Handle("/metricsz", router.MetricsHandler())
 		mux.Handle("/healthz", router.HealthzHandler())
 		mux.Handle("/readyz", router.ReadyzHandler())
+		mux.Handle("/tracez", router.TracezHandler())
+		mux.Handle("/fleetz", agg.Handler())
+		if cfg.pprofOn {
+			obs.MountPprof(mux)
+			logger.Info("pprof exposed", "url", fmt.Sprintf("http://%s/debug/pprof/", statsLn.Addr()))
+		}
 		statsSrv = &http.Server{Handler: mux}
 		go func() { _ = statsSrv.Serve(statsLn) }()
 		logger.Info("telemetry endpoints up",
 			"statsz", fmt.Sprintf("http://%s/statsz", statsLn.Addr()),
 			"metricsz", fmt.Sprintf("http://%s/metricsz", statsLn.Addr()),
+			"fleetz", fmt.Sprintf("http://%s/fleetz", statsLn.Addr()),
+			"tracez", fmt.Sprintf("http://%s/tracez", statsLn.Addr()),
 			"readyz", fmt.Sprintf("http://%s/readyz", statsLn.Addr()))
+	}
+
+	var profiler *obs.Profiler
+	if cfg.profileDir != "" {
+		profiler = &obs.Profiler{
+			Dir: cfg.profileDir, Interval: cfg.profileInterval, Sink: sink,
+			Logf: func(format string, args ...any) {
+				logger.Warn(fmt.Sprintf(format, args...))
+			},
+		}
+		if err := profiler.Start(); err != nil {
+			return fmt.Errorf("profiler: %w", err)
+		}
+		logger.Info("continuous profiling", "dir", cfg.profileDir)
 	}
 
 	serveErr := make(chan error, 1)
@@ -206,6 +289,12 @@ func run(backends []cluster.Backend, cfg routerFlags) error {
 		result = err
 	}
 
+	if profiler != nil {
+		profiler.Stop()
+	}
+	if agg != nil {
+		agg.Stop()
+	}
 	if statsSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_ = statsSrv.Shutdown(ctx)

@@ -338,6 +338,15 @@ func (e *Enclave) AcceptSessionKey(wrapped []byte) error {
 	return e.core.AcceptSessionKey(wrapped)
 }
 
+// SessionTraceContext returns the trace context the client carried inside
+// the current session's wrapped-key exchange (authenticated under the
+// enclave key, so not forgeable by an on-path router), and whether one
+// was present. The gateway adopts it onto the session trace so client,
+// router and gateway span files share one trace ID.
+func (e *Enclave) SessionTraceContext() (obs.TraceContext, bool) {
+	return e.core.SessionTraceContext()
+}
+
 // Provision runs the EnGarde pipeline over a plaintext image (in-process
 // use; the network protocol lives in protocol.go).
 func (e *Enclave) Provision(image []byte) (*Report, error) {

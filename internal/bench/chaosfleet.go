@@ -24,6 +24,8 @@ import (
 	"engarde/internal/cluster"
 	"engarde/internal/faults"
 	"engarde/internal/gateway"
+	"engarde/internal/obs"
+	"engarde/internal/obs/fleet"
 )
 
 // ChaosFleetConfig configures one killable fleet.
@@ -60,6 +62,7 @@ type chaosBackend struct {
 	adminAddr string
 	provider  *engarde.Provider
 	gw        *gateway.Gateway
+	sink      *obs.Sink
 	mux       *http.ServeMux
 
 	chaos    *faults.ChaosListener
@@ -78,10 +81,17 @@ type ChaosFleet struct {
 	// Client is a template carrying every backend's platform key and the
 	// fleet's expected measurement; safe for concurrent use.
 	Client *engarde.Client
+	// RouterAdminURL serves the router's admin surface (/statsz, /metricsz,
+	// /tracez, /fleetz, /debug/pprof/) — the scrape target of the fleet
+	// observability hammer test.
+	RouterAdminURL string
 
-	cfg       ChaosFleetConfig
-	backends  []*chaosBackend
-	routerErr chan error
+	cfg        ChaosFleetConfig
+	backends   []*chaosBackend
+	routerSink *obs.Sink
+	routerAgg  *fleet.Aggregator
+	adminSrv   *http.Server
+	routerErr  chan error
 }
 
 // StartChaosFleet brings up the fleet: admin endpoints, backends, router.
@@ -112,6 +122,13 @@ func StartChaosFleet(cfg ChaosFleetConfig) (*ChaosFleet, error) {
 		} else {
 			f.Client.PlatformKeys = append(f.Client.PlatformKeys, provider.AttestationPublicKey())
 		}
+		// An in-memory trace sink per backend makes every backend a full
+		// /tracez scrape target, so cross-process trace assertions and the
+		// fleet aggregator see the same surface a real gatewayd serves.
+		sink, err := obs.NewSink(0, "")
+		if err != nil {
+			return nil, err
+		}
 		gw, err := gateway.New(gateway.Config{
 			Provider:         provider,
 			Policies:         cfg.Policies,
@@ -122,6 +139,7 @@ func StartChaosFleet(cfg ChaosFleetConfig) (*ChaosFleet, error) {
 			EnclavePool:      cfg.EnclavePool,
 			DisableStreaming: cfg.DisableStreaming,
 			FnCacheEntries:   -1,
+			TraceSink:        sink,
 			// Tight deadlines: a chaos run wants sessions orphaned by a
 			// crash reaped in seconds, not the daemon's patient minutes.
 			IdleTimeout:   5 * time.Second,
@@ -134,10 +152,13 @@ func StartChaosFleet(cfg ChaosFleetConfig) (*ChaosFleet, error) {
 			name:     fmt.Sprintf("b%d", i),
 			provider: provider,
 			gw:       gw,
+			sink:     sink,
 			serveErr: make(chan error, 1),
 		}
 		b.mux = http.NewServeMux()
 		b.mux.Handle("/statsz", gw.StatsHandler())
+		b.mux.Handle("/metricsz", gw.MetricsHandler())
+		b.mux.Handle("/tracez", sink.Handler())
 		b.mux.Handle("/healthz", gw.HealthzHandler())
 		b.mux.Handle("/readyz", gw.ReadyzHandler())
 
@@ -163,11 +184,17 @@ func StartChaosFleet(cfg ChaosFleetConfig) (*ChaosFleet, error) {
 		}
 	}
 
+	routerSink, err := obs.NewSink(0, "")
+	if err != nil {
+		return nil, err
+	}
+	f.routerSink = routerSink
 	router, err := cluster.NewRouter(cluster.RouterConfig{
 		Backends:         routerBackends,
 		HealthInterval:   cfg.HealthInterval,
 		ProbeTimeout:     cfg.ProbeTimeout,
 		MarkdownCooldown: cfg.MarkdownCooldown,
+		TraceSink:        routerSink,
 	})
 	if err != nil {
 		return nil, err
@@ -179,6 +206,36 @@ func StartChaosFleet(cfg ChaosFleetConfig) (*ChaosFleet, error) {
 	f.Router = router
 	f.RouterAddr = routerLn.Addr().String()
 	go func() { f.routerErr <- router.Serve(context.Background(), routerLn) }()
+
+	// The router's admin surface mirrors engarde-router -stats-addr -pprof:
+	// stats, metrics, route traces, the fleet aggregation view, and pprof.
+	targets := make([]fleet.Backend, cfg.Backends)
+	for i, rb := range routerBackends {
+		targets[i] = fleet.Backend{
+			Name:       rb.Name,
+			MetricsURL: rb.AdminURL + "/metricsz",
+			TracesURL:  rb.AdminURL + "/tracez",
+		}
+	}
+	f.routerAgg = fleet.New(fleet.Config{
+		Backends: targets,
+		Interval: 250 * time.Millisecond, // chaos tests want fresh views, not daemon cadences
+		Self:     router.Registry(),
+		SelfSink: routerSink,
+	})
+	adminMux := http.NewServeMux()
+	adminMux.Handle("/statsz", router.StatsHandler())
+	adminMux.Handle("/metricsz", router.MetricsHandler())
+	adminMux.Handle("/tracez", router.TracezHandler())
+	adminMux.Handle("/fleetz", f.routerAgg.Handler())
+	obs.MountPprof(adminMux)
+	adminLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	f.RouterAdminURL = "http://" + adminLn.Addr().String()
+	f.adminSrv = &http.Server{Handler: adminMux}
+	go func(srv *http.Server, ln net.Listener) { _ = srv.Serve(ln) }(f.adminSrv, adminLn)
 
 	expected, err := engarde.ExpectedMeasurement(engarde.SGXv2, engarde.EnclaveConfig{
 		HeapPages: cfg.HeapPages, ClientPages: cfg.ClientPages,
@@ -203,6 +260,15 @@ func (f *ChaosFleet) Gateway(i int) *gateway.Gateway { return f.backends[i].gw }
 
 // Provider returns backend i's provider; its EPC ledger spans restarts.
 func (f *ChaosFleet) Provider(i int) *engarde.Provider { return f.backends[i].provider }
+
+// Sink returns backend i's in-memory trace sink (what its /tracez serves).
+func (f *ChaosFleet) Sink(i int) *obs.Sink { return f.backends[i].sink }
+
+// RouterSink returns the router's route-trace sink.
+func (f *ChaosFleet) RouterSink() *obs.Sink { return f.routerSink }
+
+// AdminURL returns backend i's admin base URL (statsz/metricsz/tracez).
+func (f *ChaosFleet) AdminURL(i int) string { return "http://" + f.backends[i].adminAddr }
 
 // Kill crashes backend i: session listener and every in-flight connection
 // reset, admin endpoint dark. The gateway object survives (its enclave
@@ -256,6 +322,8 @@ func (f *ChaosFleet) Close() error {
 			firstErr = err
 		}
 	}
+	f.routerAgg.Stop()
+	f.adminSrv.Close()
 	keep(f.Router.Shutdown(ctx))
 	keep(<-f.routerErr)
 	for _, b := range f.backends {
@@ -309,6 +377,12 @@ type FleetFailoverResult struct {
 	// it.
 	Latency         LatencyQuantiles
 	FailoverLatency *LatencyQuantiles
+	// SlowestTraceID identifies the slowest completed session's distributed
+	// trace, and FailedOverTraceIDs the sessions that survived a failover —
+	// the drill-down handles: grep them in any hop's traces.jsonl or load
+	// the Chrome export to see where the time went.
+	SlowestTraceID     string
+	FailedOverTraceIDs []string
 }
 
 // RunFleetFailover drives cfg.Sessions announced sessions through a
@@ -364,6 +438,9 @@ func RunFleetFailover(cfg FleetFailoverConfig) (*FleetFailoverResult, error) {
 		clientFailovers atomic.Uint64
 		mu              sync.Mutex
 		all, moved      []time.Duration
+		slowest         time.Duration
+		slowestTraceID  string
+		movedTraceIDs   []string
 	)
 
 	// The kill script: the victim crashes after a third of the sessions —
@@ -407,18 +484,24 @@ func RunFleetFailover(cfg FleetFailoverConfig) (*FleetFailoverResult, error) {
 			for i := range next {
 				image := cfg.Images[i%len(cfg.Images)]
 				var moves int
+				// Every session originates its own distributed trace; the
+				// IDs of interesting sessions (slowest, failed-over) come
+				// out in the result for drill-down.
+				tr := obs.NewTrace("provision", nil)
 				s0 := time.Now()
 				v, err := fleet.Client.ProvisionFailover(dials, image, engarde.RetryPolicy{
 					Attempts:  8,
 					BaseDelay: time.Millisecond,
 					MaxDelay:  50 * time.Millisecond,
 					Seed:      int64(c + 1),
+					Trace:     tr,
 					OnFailover: func(int, int, error) {
 						moves++
 						clientFailovers.Add(1)
 					},
 				})
 				d := time.Since(s0)
+				tr.Finish()
 				finished.Add(1)
 				if err != nil {
 					dropped.Add(1)
@@ -431,8 +514,12 @@ func RunFleetFailover(cfg FleetFailoverConfig) (*FleetFailoverResult, error) {
 				completed.Add(1)
 				mu.Lock()
 				all = append(all, d)
+				if d > slowest {
+					slowest, slowestTraceID = d, tr.ID()
+				}
 				if moves > 0 {
 					moved = append(moved, d)
+					movedTraceIDs = append(movedTraceIDs, tr.ID())
 				}
 				mu.Unlock()
 			}
@@ -470,9 +557,11 @@ func RunFleetFailover(cfg FleetFailoverConfig) (*FleetFailoverResult, error) {
 	}
 	if len(all) > 0 {
 		res.Latency = *exactQuantiles(all)
+		res.SlowestTraceID = slowestTraceID
 	}
 	if len(moved) > 0 {
 		res.FailoverLatency = exactQuantiles(moved)
+		res.FailedOverTraceIDs = movedTraceIDs
 	}
 	return res, nil
 }

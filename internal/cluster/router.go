@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +68,12 @@ type RouterConfig struct {
 	MarkdownCooldown time.Duration
 	// Quota configures per-tenant admission; zero disables quotas.
 	Quota QuotaConfig
+	// TraceSink, when set, receives one "route" trace per handled
+	// connection: peek, per-candidate dial/hello/splice spans tagged with
+	// backend and attempt, and shed outcomes. A client that announced a
+	// trace context in its preamble gets its ID adopted, so the router's
+	// spans join the client's cross-process trace.
+	TraceSink *obs.Sink
 	// Logf, when set, receives routing-path diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -500,13 +507,31 @@ func (r *Router) candidates(rh engarde.RouteHello, announced bool) (names []stri
 
 // handleConn routes one client connection end to end.
 func (r *Router) handleConn(conn net.Conn) {
+	var tr *obs.Trace
+	if r.cfg.TraceSink != nil {
+		tr = obs.NewTrace("route", nil)
+		defer r.cfg.TraceSink.Record(tr)
+	}
+
+	peekStart := time.Now()
 	rh, announced, replay := r.peekPreamble(conn)
-	if announced && rh.ImageDigest != "" {
-		r.metrics.announced.Inc()
+	tr.RecordSpan("peek-preamble", peekStart, time.Since(peekStart))
+	if announced {
+		// Join the client's cross-process trace. The preamble is advisory
+		// plaintext, so the ID is adopted only when well-formed; the
+		// gateway independently adopts the authenticated copy from the
+		// wrapped session key, which the router cannot see or alter.
+		if tc := rh.TraceContext(); tc.Valid() && tc.Sampled {
+			tr.AdoptID(tc.TraceID)
+		}
+		if rh.ImageDigest != "" {
+			r.metrics.announced.Inc()
+		}
 	}
 
 	if ok, wait := r.quotas.Allow(rh.Tenant); !ok {
 		r.metrics.sheds[ShedQuota].Inc()
+		tr.RecordSpanArgs("shed", time.Now(), 0, map[string]string{"reason": ShedQuota})
 		_ = engarde.SendBusy(conn, wait)
 		return
 	}
@@ -533,6 +558,7 @@ func (r *Router) handleConn(conn net.Conn) {
 		}
 		if len(viable) == 0 {
 			r.metrics.sheds[ShedDeadline].Inc()
+			tr.RecordSpanArgs("shed", time.Now(), 0, map[string]string{"reason": ShedDeadline})
 			_ = engarde.SendBusy(conn, minHint)
 			return
 		}
@@ -555,12 +581,14 @@ func (r *Router) handleConn(conn net.Conn) {
 	sawBusy := false
 	for idx, name := range names {
 		backend := r.backends[name]
-		served, busy, hint := r.trySession(conn, backend, replay, owner, announced)
+		served, busy, hint := r.trySession(conn, backend, replay, owner, announced, tr, idx+1)
 		if served {
 			if idx > 0 {
 				// A successor took the session after earlier candidates
 				// failed to (dial error, dead hello, or busy shed).
 				r.metrics.failovers.Inc()
+				tr.RecordSpanArgs("failover", time.Now(), 0, map[string]string{
+					"backend": name, "candidate": strconv.Itoa(idx + 1)})
 			}
 			return
 		}
@@ -583,23 +611,32 @@ func (r *Router) handleConn(conn net.Conn) {
 	// default (gateway.Config.RetryAfterHint propagation fix).
 	if sawBusy {
 		r.metrics.sheds[ShedBackendBusy].Inc()
+		tr.RecordSpanArgs("shed", time.Now(), 0, map[string]string{"reason": ShedBackendBusy})
 		_ = engarde.SendBusy(conn, busyHint)
 		return
 	}
 	r.metrics.sheds[ShedBackendDown].Inc()
+	tr.RecordSpanArgs("shed", time.Now(), 0, map[string]string{"reason": ShedBackendDown})
 	_ = engarde.SendBusy(conn, r.retryAfterDefault())
 }
 
 // trySession dials one backend and, if it accepts, splices the session.
 // served means the session ran (well or badly) on this backend; busy
-// means the backend shed it with the returned Retry-After hint.
-func (r *Router) trySession(conn net.Conn, backend Backend, replay []byte, owner string, announced bool) (served, busy bool, hint time.Duration) {
+// means the backend shed it with the returned Retry-After hint. tr, when
+// tracing, collects dial/hello-wait/splice spans tagged with the backend
+// name and this candidate's 1-based position in the failover order.
+func (r *Router) trySession(conn net.Conn, backend Backend, replay []byte, owner string, announced bool, tr *obs.Trace, candidate int) (served, busy bool, hint time.Duration) {
+	tags := map[string]string{"backend": backend.Name, "candidate": strconv.Itoa(candidate)}
+	dsp := tr.StartSpanArgs("dial", tags)
 	bc, err := net.DialTimeout("tcp", backend.Addr, r.cfg.DialTimeout)
 	if err != nil {
+		dsp.SetArg("outcome", "error")
+		dsp.End()
 		r.metrics.errors[backend.Name].Inc()
 		r.logf("router: dial %s (%s): %v", backend.Name, backend.Addr, err)
 		return false, false, 0
 	}
+	dsp.End()
 	defer bc.Close()
 
 	// Replay any client bytes the preamble peek consumed, then read the
@@ -610,17 +647,23 @@ func (r *Router) trySession(conn net.Conn, backend Backend, replay []byte, owner
 			return false, false, 0
 		}
 	}
+	hsp := tr.StartSpanArgs("hello-wait", tags)
 	_ = bc.SetReadDeadline(time.Now().Add(DefaultHelloTimeout))
 	helloFrame, err := secchan.ReadBlock(bc)
 	_ = bc.SetReadDeadline(time.Time{})
 	if err != nil {
+		hsp.SetArg("outcome", "error")
+		hsp.End()
 		r.metrics.errors[backend.Name].Inc()
 		r.logf("router: hello from %s: %v", backend.Name, err)
 		return false, false, 0
 	}
 	if v, isBusy := engarde.PeekBusy(helloFrame); isBusy {
+		hsp.SetArg("outcome", "busy")
+		hsp.End()
 		return false, true, time.Duration(v.RetryAfterMillis) * time.Millisecond
 	}
+	hsp.End()
 
 	// Admitted: this session belongs to backend now. Forward the hello and
 	// splice the rest of the byte stream both ways.
@@ -638,7 +681,12 @@ func (r *Router) trySession(conn net.Conn, backend Backend, replay []byte, owner
 	handle := &spliceHandle{backend: bc}
 	r.registerSplice(backend.Name, handle)
 	defer r.unregisterSplice(backend.Name, handle)
+	ssp := tr.StartSpanArgs("splice", tags)
 	c2b, b2c, backendDied := r.splice(conn, bc, backend.Name, handle)
+	if backendDied {
+		ssp.SetArg("outcome", "backend-lost")
+	}
+	ssp.End()
 	if backendDied && !handle.evicted.Load() {
 		// The backend side of the splice died on its own (crash, reset) —
 		// the prober didn't do it. Mark it down so new sessions route
@@ -738,6 +786,16 @@ func (r *Router) Registry() *obs.Registry { return r.reg }
 
 // MetricsHandler serves the Prometheus exposition (mount at /metricsz).
 func (r *Router) MetricsHandler() http.Handler { return r.reg.Handler() }
+
+// TracezHandler serves the route-trace ring (mount at /tracez): recent
+// traces as JSONL, or a Chrome trace file with ?format=chrome. Without a
+// configured TraceSink it answers 404.
+func (r *Router) TracezHandler() http.Handler {
+	if r.cfg.TraceSink == nil {
+		return http.NotFoundHandler()
+	}
+	return r.cfg.TraceSink.Handler()
+}
 
 // StatsHandler serves RouterStats as JSON (mount at /statsz).
 func (r *Router) StatsHandler() http.Handler {

@@ -180,6 +180,9 @@ type EnGarde struct {
 	sess   *secchan.Session
 	layout Layout
 
+	peerTC   obs.TraceContext // client trace context from the session-open extra
+	peerTCOK bool
+
 	heapUsed     uint64
 	provisioned  bool
 	loadResult   *loader.Result
@@ -349,14 +352,33 @@ func (g *EnGarde) Quote(qe *attest.QuotingEnclave) (attest.Quote, error) {
 }
 
 // AcceptSessionKey completes the key exchange: the client's AES-256 key,
-// wrapped under the enclave's RSA public key.
+// wrapped under the enclave's RSA public key. If the client appended a
+// trace context to the OAEP plaintext (the authenticated session-open
+// extra), it is captured for SessionTraceContext; a malformed extra is
+// ignored rather than failing the handshake — tracing is best-effort,
+// key exchange is not.
 func (g *EnGarde) AcceptSessionKey(wrapped []byte) error {
-	sess, err := g.key.UnwrapSessionKey(wrapped, g.cfg.Counter)
+	sess, extra, err := g.key.UnwrapSessionKeyExtra(wrapped, g.cfg.Counter)
 	if err != nil {
 		return err
 	}
 	g.sess = sess
+	g.peerTC, g.peerTCOK = obs.TraceContext{}, false
+	if len(extra) > 0 {
+		if tc, err := obs.UnmarshalTraceContext(extra); err == nil && tc.Valid() {
+			g.peerTC, g.peerTCOK = tc, true
+		}
+	}
 	return nil
+}
+
+// SessionTraceContext returns the client's trace context carried inside
+// the current session's wrapped-key exchange, and whether one was present
+// and well-formed. Unlike the RouteHello copy, this one is authenticated:
+// it was encrypted under the enclave's public key, so no on-path router
+// could alter it.
+func (g *EnGarde) SessionTraceContext() (obs.TraceContext, bool) {
+	return g.peerTC, g.peerTCOK
 }
 
 // Report is the outcome of a provisioning attempt. Its Compliant flag and

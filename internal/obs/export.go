@@ -79,6 +79,13 @@ func WriteChromeTrace(w io.Writer, traces []*TraceData) error {
 			if len(sp.Cycles) > 0 {
 				ev.Args["cycles"] = sp.Cycles
 			}
+			for k, v := range sp.Args {
+				// Span tags flatten into the event args; trace_id/cycles
+				// keys stay reserved for the export's own fields.
+				if k != "trace_id" && k != "cycles" {
+					ev.Args[k] = v
+				}
+			}
 			f.TraceEvents = append(f.TraceEvents, ev)
 		}
 	}
@@ -92,12 +99,9 @@ func WriteChromeTrace(w io.Writer, traces []*TraceData) error {
 func ReadChromeTrace(r io.Reader) ([]ChromeSpan, error) {
 	var f struct {
 		TraceEvents []struct {
-			Name string `json:"name"`
-			Ph   string `json:"ph"`
-			Args struct {
-				TraceID string            `json:"trace_id"`
-				Cycles  map[string]uint64 `json:"cycles"`
-			} `json:"args"`
+			Name string                     `json:"name"`
+			Ph   string                     `json:"ph"`
+			Args map[string]json.RawMessage `json:"args"`
 		} `json:"traceEvents"`
 	}
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
@@ -108,7 +112,24 @@ func ReadChromeTrace(r io.Reader) ([]ChromeSpan, error) {
 		if ev.Ph != "X" {
 			continue
 		}
-		out = append(out, ChromeSpan{Name: ev.Name, TraceID: ev.Args.TraceID, Cycles: ev.Args.Cycles})
+		cs := ChromeSpan{Name: ev.Name}
+		for k, raw := range ev.Args {
+			switch k {
+			case "trace_id":
+				_ = json.Unmarshal(raw, &cs.TraceID)
+			case "cycles":
+				_ = json.Unmarshal(raw, &cs.Cycles)
+			default:
+				var s string
+				if json.Unmarshal(raw, &s) == nil {
+					if cs.Args == nil {
+						cs.Args = make(map[string]string)
+					}
+					cs.Args[k] = s
+				}
+			}
+		}
+		out = append(out, cs)
 	}
 	return out, nil
 }
@@ -118,4 +139,5 @@ type ChromeSpan struct {
 	Name    string
 	TraceID string
 	Cycles  map[string]uint64
+	Args    map[string]string
 }

@@ -1,0 +1,226 @@
+// Package fleet aggregates a fleet's telemetry at the router: it scrapes
+// each backend's /metricsz (Prometheus text) and /tracez (trace JSONL) on
+// a cadence, merges the histograms into fleet-level quantiles, derives an
+// SLO/error-budget block, and re-serves the whole thing at /fleetz as
+// JSON and as a backend-labeled Prometheus exposition.
+//
+// Everything is zero-dependency like the rest of obs: the parser below is
+// a small independent reader of the 0.0.4 text format (the counterpart of
+// obs.Lint's independent validator), not a shared implementation with the
+// Registry's writer.
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"engarde/internal/obs"
+)
+
+// Sample is one series sample of a parsed exposition.
+type Sample struct {
+	// Name is the sample name as written — for histograms this includes
+	// the _bucket/_sum/_count suffix.
+	Name   string
+	Labels []obs.Label
+	Value  float64
+}
+
+// Family is one metric family of a parsed exposition: its TYPE, HELP, and
+// every sample that folds onto its base name.
+type Family struct {
+	Name    string
+	Type    string // counter, gauge, histogram, summary, untyped
+	Help    string
+	Samples []Sample
+}
+
+// ParseProm reads a Prometheus 0.0.4 text exposition into families, in
+// declaration order. Samples without a TYPE declaration are grouped into
+// an implicit untyped family. The parser is strict about sample grammar
+// (it shares obs.Lint's reading of the format) but does not validate
+// histogram shape — that stays Lint's job.
+func ParseProm(r io.Reader) ([]Family, error) {
+	var (
+		order []string
+		fams  = make(map[string]*Family)
+	)
+	family := func(name, typ string) *Family {
+		if f, ok := fams[name]; ok {
+			return f
+		}
+		f := &Family{Name: name, Type: typ}
+		fams[name] = f
+		order = append(order, name)
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				continue
+			}
+			switch fields[1] {
+			case "HELP":
+				f := family(fields[2], "untyped")
+				if len(fields) == 4 {
+					f.Help = fields[3]
+				}
+			case "TYPE":
+				if len(fields) == 4 {
+					f := family(fields[2], fields[3])
+					f.Type = fields[3]
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: line %d: %w", n, err)
+		}
+		f := family(familyOf(name, fams), "untyped")
+		f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: reading exposition: %w", err)
+	}
+	out := make([]Family, 0, len(order))
+	for _, name := range order {
+		out = append(out, *fams[name])
+	}
+	return out, nil
+}
+
+// familyOf folds a histogram/summary sample name onto its declared base.
+func familyOf(name string, fams map[string]*Family) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if f, ok := fams[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(s string) (string, []obs.Label, float64, error) {
+	i := 0
+	for i < len(s) && isNameChar(s[i], i == 0) {
+		i++
+	}
+	name := s[:i]
+	if name == "" {
+		return "", nil, 0, fmt.Errorf("no metric name in %q", s)
+	}
+	var labels []obs.Label
+	if i < len(s) && s[i] == '{' {
+		var err error
+		labels, i, err = parseLabels(s, i+1)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	rest := strings.Fields(s[i:])
+	if len(rest) < 1 || len(rest) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value [timestamp] in %q", s)
+	}
+	value, err := strconv.ParseFloat(rest[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q in %q", rest[0], s)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses from just after '{' through '}', decoding the three
+// escape sequences the format defines (\\ \" \n).
+func parseLabels(s string, i int) ([]obs.Label, int, error) {
+	var out []obs.Label
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return out, i + 1, nil
+		}
+		j := i
+		for j < len(s) && isLabelChar(s[j], j == i) {
+			j++
+		}
+		key := s[i:j]
+		if key == "" {
+			return nil, 0, fmt.Errorf("invalid label name in %q", s)
+		}
+		if j >= len(s) || s[j] != '=' {
+			return nil, 0, fmt.Errorf("expected = after label %s in %q", key, s)
+		}
+		j++
+		if j >= len(s) || s[j] != '"' {
+			return nil, 0, fmt.Errorf("label value for %s not quoted in %q", key, s)
+		}
+		j++
+		var val strings.Builder
+		for j < len(s) && s[j] != '"' {
+			if s[j] == '\\' {
+				j++
+				if j >= len(s) {
+					break
+				}
+				switch s[j] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, 0, fmt.Errorf("invalid escape \\%c in %q", s[j], s)
+				}
+				j++
+				continue
+			}
+			val.WriteByte(s[j])
+			j++
+		}
+		if j >= len(s) {
+			return nil, 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		out = append(out, obs.Label{Key: key, Value: val.String()})
+		i = j + 1
+	}
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func isLabelChar(c byte, first bool) bool {
+	if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+// escapeLabel encodes a label value for re-emission.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}

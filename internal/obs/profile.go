@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	runtimepprof "runtime/pprof"
+	"sync"
+	"time"
+)
+
+// Continuous-profiling defaults.
+const (
+	DefaultProfileInterval = 60 * time.Second
+	DefaultCPUDuration     = 5 * time.Second
+)
+
+// Profiler periodically captures CPU and heap profiles into a directory —
+// the always-on tail of the observability story: when a fleet drill-down
+// (trace → slow span) lands on "the gateway was just busy", the profile
+// covering that window says with what. Captures are stamped into the
+// trace stream (a one-span "profile-capture" trace in Sink) so profiles
+// and traces cross-reference by wall clock.
+//
+// Profiling is opt-in at the daemons (-profile-dir) because profiles
+// describe the process, not the inspected content: symbol names and
+// allocation sites disclose nothing about enclave-bound images, but CPU
+// time attribution is still operator telemetry that has no business on by
+// default in a mutually-suspicious deployment.
+type Profiler struct {
+	// Dir receives cpu-N.pprof and heap-N.pprof files.
+	Dir string
+	// Interval between capture rounds; 0 means DefaultProfileInterval.
+	Interval time.Duration
+	// CPUDuration is how long each CPU profile runs; 0 means
+	// DefaultCPUDuration. Clamped below Interval.
+	CPUDuration time.Duration
+	// Sink, when set, receives a "profile-capture" trace per round.
+	Sink *Sink
+	// Logf, when set, receives capture errors.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	seq      int
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// Start begins the capture loop. It errors if the directory cannot be
+// created or a first CPU profile cannot start (e.g. another profiler owns
+// the process's CPU profiling).
+func (p *Profiler) Start() error {
+	if p.Dir == "" {
+		return fmt.Errorf("obs: profiler needs a directory")
+	}
+	if err := os.MkdirAll(p.Dir, 0o755); err != nil {
+		return err
+	}
+	if p.Interval <= 0 {
+		p.Interval = DefaultProfileInterval
+	}
+	if p.CPUDuration <= 0 {
+		p.CPUDuration = DefaultCPUDuration
+	}
+	if p.CPUDuration >= p.Interval {
+		p.CPUDuration = p.Interval / 2
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop()
+	return nil
+}
+
+// Stop ends the loop and waits for any in-flight capture to finish.
+func (p *Profiler) Stop() {
+	if p.stop == nil {
+		return
+	}
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+}
+
+func (p *Profiler) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+	}
+}
+
+func (p *Profiler) loop() {
+	defer close(p.done)
+	tick := time.NewTicker(p.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C:
+			p.CaptureOnce()
+		}
+	}
+}
+
+// CaptureOnce runs one capture round: a CPUDuration-long CPU profile and
+// a heap snapshot, then a trace stamp. Exported so tests (and operators
+// via SIGUSR-style hooks) can force a round without waiting a cadence.
+func (p *Profiler) CaptureOnce() {
+	p.mu.Lock()
+	p.seq++
+	seq := p.seq
+	p.mu.Unlock()
+
+	start := time.Now()
+	cpuPath := filepath.Join(p.Dir, fmt.Sprintf("cpu-%d.pprof", seq))
+	heapPath := filepath.Join(p.Dir, fmt.Sprintf("heap-%d.pprof", seq))
+
+	if f, err := os.Create(cpuPath); err != nil {
+		p.logf("obs: profiler: %v", err)
+	} else if err := runtimepprof.StartCPUProfile(f); err != nil {
+		// Another CPU profile is running (e.g. a pprof HTTP request);
+		// skip this round's CPU leg rather than fight over it.
+		p.logf("obs: profiler: cpu profile: %v", err)
+		f.Close()
+		os.Remove(cpuPath)
+	} else {
+		// Honor Stop during the capture window.
+		select {
+		case <-time.After(p.CPUDuration):
+		case <-p.stop:
+		}
+		runtimepprof.StopCPUProfile()
+		f.Close()
+	}
+
+	if f, err := os.Create(heapPath); err != nil {
+		p.logf("obs: profiler: %v", err)
+	} else {
+		if err := runtimepprof.WriteHeapProfile(f); err != nil {
+			p.logf("obs: profiler: heap profile: %v", err)
+		}
+		f.Close()
+	}
+
+	if p.Sink != nil {
+		tr := NewTrace("profile-capture", nil)
+		tr.RecordSpanArgs("capture", start, time.Since(start), map[string]string{
+			"cpu":  filepath.Base(cpuPath),
+			"heap": filepath.Base(heapPath),
+		})
+		tr.Finish()
+		p.Sink.Record(tr)
+	}
+}
+
+// MountPprof attaches the net/http/pprof handlers to mux under
+// /debug/pprof/ without going through http.DefaultServeMux (the daemons
+// never register anything globally; pprof exposure stays a per-mux,
+// opt-in decision behind the -pprof flag).
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

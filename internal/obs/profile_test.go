@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestProfilerCaptureOnce(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewSink(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Profiler{Dir: dir, Interval: time.Hour, CPUDuration: 10 * time.Millisecond, Sink: sink}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.CaptureOnce()
+	p.Stop()
+
+	for _, name := range []string{"cpu-1.pprof", "heap-1.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s not written: %v", name, err)
+		}
+		if name == "heap-1.pprof" && fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+
+	// The capture is stamped into the trace stream.
+	var stamped *TraceData
+	for _, d := range sink.Recent() {
+		if d.Name == "profile-capture" {
+			stamped = d
+		}
+	}
+	if stamped == nil {
+		t.Fatal("no profile-capture trace recorded")
+	}
+	if len(stamped.Spans) != 1 || stamped.Spans[0].Args["cpu"] != "cpu-1.pprof" {
+		t.Errorf("capture trace spans = %+v", stamped.Spans)
+	}
+}
+
+func TestProfilerRequiresDir(t *testing.T) {
+	p := &Profiler{}
+	if err := p.Start(); err == nil {
+		t.Fatal("profiler started without a directory")
+	}
+	p.Stop() // must be safe after failed Start
+}
+
+func TestMountPprof(t *testing.T) {
+	mux := http.NewServeMux()
+	MountPprof(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// TraceContext is the cross-process trace identity a client originates and
+// every hop (router, gateway) adopts: a 128-bit trace ID, the originating
+// span's 64-bit ID, and a sampling bit. It is deliberately minimal — W3C
+// traceparent's useful core without the header syntax — and deliberately
+// random: IDs are drawn from crypto/rand and never derived from image
+// bytes, digests, or tenant names, so propagating one discloses nothing
+// about the content being inspected (the package's disclosure contract).
+//
+// The context travels twice per session, by design:
+//
+//   - in the plaintext RouteHello preamble, so the router — which never
+//     holds the session key — can tag its splice spans;
+//   - in the authenticated secchan session-open field (wrapped under the
+//     enclave's public key alongside the AES session key), so the gateway
+//     adopts an ID the router cannot have forged or stripped.
+type TraceContext struct {
+	// TraceID is 32 lowercase hex characters (128 bits).
+	TraceID string
+	// ParentSpan is 16 lowercase hex characters (64 bits) naming the
+	// client-side span that caused this hop.
+	ParentSpan string
+	// Sampled propagates the client's sampling decision. Hops still serve
+	// unsampled sessions normally; they just keep their locally-generated
+	// trace IDs instead of adopting this one.
+	Sampled bool
+}
+
+// traceContextWireLen is the marshaled size: 16 ID bytes + 8 parent-span
+// bytes + 1 flag byte.
+const traceContextWireLen = 16 + 8 + 1
+
+// NewTraceContext draws a fresh sampled context from crypto/rand.
+func NewTraceContext() TraceContext {
+	var b [24]byte
+	_, _ = rand.Read(b[:])
+	return TraceContext{
+		TraceID:    hex.EncodeToString(b[:16]),
+		ParentSpan: hex.EncodeToString(b[16:]),
+		Sampled:    true,
+	}
+}
+
+// NewSpanID draws a random 64-bit span ID (16 hex characters).
+func NewSpanID() string {
+	var b [8]byte
+	_, _ = rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// Valid reports whether the context is well-formed: a 32-hex-char trace ID
+// that is not all zeros, and a parent span that is either empty or 16 hex
+// chars. Both the router (plaintext path) and the gateway (authenticated
+// path) validate before adopting — the preamble is untrusted input.
+func (tc TraceContext) Valid() bool {
+	if !validHexID(tc.TraceID, 32) || tc.TraceID == zeroTraceID {
+		return false
+	}
+	return tc.ParentSpan == "" || validHexID(tc.ParentSpan, 16)
+}
+
+const zeroTraceID = "00000000000000000000000000000000"
+
+func validHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Marshal encodes the context into its fixed 25-byte wire form. The caller
+// is expected to have a Valid context; an invalid one marshals to zeros.
+func (tc TraceContext) Marshal() []byte {
+	out := make([]byte, traceContextWireLen)
+	if !tc.Valid() {
+		return out
+	}
+	hex.Decode(out[:16], []byte(tc.TraceID))
+	if tc.ParentSpan != "" {
+		hex.Decode(out[16:24], []byte(tc.ParentSpan))
+	}
+	if tc.Sampled {
+		out[24] = 1
+	}
+	return out
+}
+
+// UnmarshalTraceContext decodes a 25-byte wire form back into a
+// TraceContext, rejecting wrong lengths, unknown flag bits, and the
+// all-zero trace ID.
+func UnmarshalTraceContext(b []byte) (TraceContext, error) {
+	if len(b) != traceContextWireLen {
+		return TraceContext{}, fmt.Errorf("obs: trace context is %d bytes, want %d", len(b), traceContextWireLen)
+	}
+	if b[24]&^1 != 0 {
+		return TraceContext{}, fmt.Errorf("obs: trace context flags %#x unknown", b[24])
+	}
+	tc := TraceContext{
+		TraceID: hex.EncodeToString(b[:16]),
+		Sampled: b[24]&1 == 1,
+	}
+	var zeroSpan [8]byte
+	if string(b[16:24]) != string(zeroSpan[:]) {
+		tc.ParentSpan = hex.EncodeToString(b[16:24])
+	}
+	if tc.TraceID == zeroTraceID {
+		return TraceContext{}, errors.New("obs: trace context has all-zero trace ID")
+	}
+	return tc, nil
+}
+
+// Context returns the TraceContext a downstream hop should adopt for this
+// trace: the trace's 128-bit ID with a fresh parent-span ID. A trace made
+// by NewTrace carries a 64-bit local ID; the first Context call upgrades
+// it in place (AdoptID) so the client's own span file and every
+// downstream hop share one 128-bit ID. Returns a zero, invalid context on
+// a nil or finished trace (callers gate on Valid()).
+func (t *Trace) Context() TraceContext {
+	if t == nil {
+		return TraceContext{}
+	}
+	id := t.ID()
+	if !validHexID(id, 32) {
+		id = NewTraceContext().TraceID
+		if !t.AdoptID(id) {
+			return TraceContext{}
+		}
+	}
+	return TraceContext{TraceID: id, ParentSpan: NewSpanID(), Sampled: true}
+}
+
+// AdoptID replaces the trace's locally-generated random ID with one
+// propagated from upstream, joining this process's spans to the
+// cross-process trace. The ID must be 16 or 32 lowercase hex characters
+// (a local 64-bit ID or a propagated 128-bit one); anything else — or a
+// finished trace — leaves the trace unchanged and returns false.
+func (t *Trace) AdoptID(id string) bool {
+	if t == nil {
+		return false
+	}
+	if !validHexID(id, 32) && !validHexID(id, 16) {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return false
+	}
+	t.id = id
+	return true
+}

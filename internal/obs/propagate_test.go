@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("fresh context invalid: %+v", tc)
+	}
+	wire := tc.Marshal()
+	if len(wire) != traceContextWireLen {
+		t.Fatalf("wire length = %d, want %d", len(wire), traceContextWireLen)
+	}
+	got, err := UnmarshalTraceContext(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tc {
+		t.Fatalf("round trip = %+v, want %+v", got, tc)
+	}
+}
+
+func TestTraceContextRejectsMalformed(t *testing.T) {
+	tc := NewTraceContext()
+	wire := tc.Marshal()
+
+	if _, err := UnmarshalTraceContext(wire[:10]); err == nil {
+		t.Error("short wire form accepted")
+	}
+	bad := append([]byte(nil), wire...)
+	bad[24] = 0x82 // unknown flag bit
+	if _, err := UnmarshalTraceContext(bad); err == nil {
+		t.Error("unknown flag bits accepted")
+	}
+	if _, err := UnmarshalTraceContext(make([]byte, traceContextWireLen)); err == nil {
+		t.Error("all-zero trace ID accepted")
+	}
+
+	// Invalid contexts marshal to all zeros rather than garbage.
+	if got := (TraceContext{TraceID: "XYZ"}).Marshal(); !bytes.Equal(got, make([]byte, traceContextWireLen)) {
+		t.Errorf("invalid context marshaled to %x", got)
+	}
+}
+
+func TestTraceContextValid(t *testing.T) {
+	cases := []struct {
+		tc   TraceContext
+		want bool
+	}{
+		{NewTraceContext(), true},
+		{TraceContext{TraceID: strings.Repeat("a", 32)}, true},
+		{TraceContext{TraceID: strings.Repeat("a", 32), ParentSpan: strings.Repeat("b", 16)}, true},
+		{TraceContext{TraceID: zeroTraceID}, false},
+		{TraceContext{TraceID: strings.Repeat("A", 32)}, false}, // uppercase
+		{TraceContext{TraceID: strings.Repeat("a", 16)}, false}, // short
+		{TraceContext{TraceID: strings.Repeat("a", 32), ParentSpan: "zz"}, false},
+		{TraceContext{}, false},
+	}
+	for i, c := range cases {
+		if got := c.tc.Valid(); got != c.want {
+			t.Errorf("case %d: Valid(%+v) = %v, want %v", i, c.tc, got, c.want)
+		}
+	}
+}
+
+func TestTraceContextUpgradesLocalID(t *testing.T) {
+	tr := NewTrace("client", nil)
+	local := tr.ID()
+	if len(local) != 16 {
+		t.Fatalf("local trace ID %q is not 64-bit", local)
+	}
+	tc := tr.Context()
+	if !tc.Valid() {
+		t.Fatalf("Context() invalid: %+v", tc)
+	}
+	if tr.ID() != tc.TraceID {
+		t.Errorf("trace ID %q not upgraded to the propagated %q", tr.ID(), tc.TraceID)
+	}
+	// A second Context keeps the (now 128-bit) ID stable.
+	if tc2 := tr.Context(); tc2.TraceID != tc.TraceID {
+		t.Errorf("second Context changed trace ID: %q -> %q", tc.TraceID, tc2.TraceID)
+	}
+
+	// Nil and finished traces yield invalid contexts; callers gate on Valid.
+	var nilTrace *Trace
+	if nilTrace.Context().Valid() {
+		t.Error("nil trace produced a valid context")
+	}
+	tr.Finish()
+	done := NewTrace("done", nil)
+	done.Finish()
+	if done.Context().Valid() {
+		t.Error("finished trace produced a valid context")
+	}
+}
+
+func TestAdoptID(t *testing.T) {
+	tr := NewTrace("gateway", nil)
+	tc := NewTraceContext()
+	if !tr.AdoptID(tc.TraceID) {
+		t.Fatal("AdoptID rejected a valid 128-bit ID")
+	}
+	if tr.ID() != tc.TraceID {
+		t.Fatalf("ID() = %q after adopting %q", tr.ID(), tc.TraceID)
+	}
+	if tr.AdoptID("not-hex") {
+		t.Error("AdoptID accepted garbage")
+	}
+	tr.Finish()
+	if tr.AdoptID(NewTraceContext().TraceID) {
+		t.Error("AdoptID mutated a finished trace")
+	}
+}
+
+func TestSpanArgsExport(t *testing.T) {
+	tr := NewTrace("attempted", nil)
+	sp := tr.StartSpanArgs("attempt", map[string]string{"attempt": "1"})
+	sp.SetArg("outcome", "verdict")
+	sp.End()
+	tr.Finish()
+
+	d := tr.Snapshot()
+	if len(d.Spans) != 1 || d.Spans[0].Args["attempt"] != "1" || d.Spans[0].Args["outcome"] != "verdict" {
+		t.Fatalf("snapshot args = %+v", d.Spans)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []*TraceData{d}); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("chrome spans = %d, want 1", len(spans))
+	}
+	if spans[0].TraceID != d.ID {
+		t.Errorf("chrome trace_id = %q, want %q", spans[0].TraceID, d.ID)
+	}
+	if spans[0].Args["attempt"] != "1" || spans[0].Args["outcome"] != "verdict" {
+		t.Errorf("chrome args = %+v", spans[0].Args)
+	}
+}

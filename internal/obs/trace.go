@@ -63,6 +63,7 @@ type span struct {
 	dur   time.Duration
 	open  bool
 	phase bool
+	args  map[string]string        // optional tags (attempt, backend, …)
 	begin [cycles.NumPhases]uint64 // counter snapshot at StartPhase
 	delta [cycles.NumPhases]uint64 // per-phase cycles attributed on End
 }
@@ -87,12 +88,16 @@ func NewTrace(name string, counter *cycles.Counter) *Trace {
 	}
 }
 
-// ID returns the trace's random identifier ("" on a nil trace) — the value
-// logged as the "trace" attribute of every session log record.
+// ID returns the trace's identifier ("" on a nil trace) — the value
+// logged as the "trace" attribute of every session log record. The ID is
+// random at NewTrace and may be replaced once by AdoptID when an upstream
+// hop propagated its own, hence the lock.
 func (t *Trace) ID() string {
 	if t == nil {
 		return ""
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.id
 }
 
@@ -119,6 +124,43 @@ func (t *Trace) StartSpan(name string) SpanRef {
 		return SpanRef{}
 	}
 	return t.startSpan(name, false)
+}
+
+// StartSpanArgs opens a wall-clock span carrying tags that export with it
+// (Chrome args, JSONL) — the mechanism behind the failover loop's attempt
+// and backend labels. The map is copied; nil args degrade to StartSpan.
+func (t *Trace) StartSpanArgs(name string, args map[string]string) SpanRef {
+	r := t.StartSpan(name)
+	r.setArgs(args)
+	return r
+}
+
+// SetArg tags the span after it was opened — outcomes ("error", "busy")
+// known only once the work finished. No-op on the zero SpanRef.
+func (r SpanRef) SetArg(key, value string) {
+	if r.t == nil {
+		return
+	}
+	r.t.mu.Lock()
+	defer r.t.mu.Unlock()
+	sp := &r.t.spans[r.i]
+	if sp.args == nil {
+		sp.args = make(map[string]string, 2)
+	}
+	sp.args[key] = value
+}
+
+func (r SpanRef) setArgs(args map[string]string) {
+	if r.t == nil || len(args) == 0 {
+		return
+	}
+	cp := make(map[string]string, len(args))
+	for k, v := range args {
+		cp[k] = v
+	}
+	r.t.mu.Lock()
+	r.t.spans[r.i].args = cp
+	r.t.mu.Unlock()
 }
 
 // StartPhase opens a cycle-metered span: the trace counter's per-phase
@@ -193,6 +235,27 @@ func (t *Trace) RecordSpan(name string, start time.Time, dur time.Duration) {
 	t.spans = append(t.spans, span{name: name, start: start, dur: dur})
 }
 
+// RecordSpanArgs is RecordSpan with tags attached, for windows measured
+// elsewhere that still need attempt/endpoint labels in the export.
+func (t *Trace) RecordSpanArgs(name string, start time.Time, dur time.Duration, args map[string]string) {
+	if t == nil {
+		return
+	}
+	var cp map[string]string
+	if len(args) > 0 {
+		cp = make(map[string]string, len(args))
+		for k, v := range args {
+			cp[k] = v
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return
+	}
+	t.spans = append(t.spans, span{name: name, start: start, dur: dur, args: cp})
+}
+
 // Finish ends the trace. Spans still open are closed with their duration up
 // to now (phase deltas included), so a session that errors out mid-phase
 // still exports a complete timeline. Finish is idempotent.
@@ -261,6 +324,9 @@ type SpanData struct {
 	// Cycles is the per-phase cycle delta attributed to this span, keyed by
 	// phase name. Present only on phase spans with a non-zero delta.
 	Cycles map[string]uint64 `json:"cycles,omitempty"`
+	// Args are the span's tags (attempt, backend, outcome, …), exported
+	// into the Chrome event's args block.
+	Args map[string]string `json:"args,omitempty"`
 }
 
 // TraceData is the exportable snapshot of a finished (or in-flight) trace.
@@ -298,6 +364,12 @@ func (t *Trace) Snapshot() *TraceData {
 		}
 		if sp.open {
 			sd.Dur = now.Sub(sp.start)
+		}
+		if len(sp.args) > 0 {
+			sd.Args = make(map[string]string, len(sp.args))
+			for k, v := range sp.args {
+				sd.Args[k] = v
+			}
 		}
 		if sp.phase {
 			for p := 1; p < cycles.NumPhases; p++ {

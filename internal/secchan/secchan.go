@@ -72,21 +72,59 @@ func (k *EnclaveKey) PublicDER() ([]byte, error) {
 	return der, nil
 }
 
-// UnwrapSessionKey decrypts the client's wrapped AES key.
+// MaxSessionExtra bounds the opaque session-open field WrapSessionKeyExtra
+// can carry next to the AES key: the RSA-2048/SHA-256 OAEP plaintext cap
+// (190 bytes) minus the 32-byte key.
+const MaxSessionExtra = RSABits/8 - 2*sha256.Size - 2 - AESKeySize
+
+// UnwrapSessionKey decrypts the client's wrapped AES key, discarding any
+// session-open extra field the client attached.
 func (k *EnclaveKey) UnwrapSessionKey(wrapped []byte, counter *cycles.Counter) (*Session, error) {
-	key, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, k.priv, wrapped, []byte("engarde-session"))
+	sess, _, err := k.UnwrapSessionKeyExtra(wrapped, counter)
+	return sess, err
+}
+
+// UnwrapSessionKeyExtra decrypts the client's wrapped AES key and returns
+// the session-open extra field that rode with it (nil when the client sent
+// a bare 32-byte key — every pre-extra client). Because the whole OAEP
+// plaintext is decrypted and integrity-checked under the enclave's private
+// key, the extra bytes carry the same authenticity as the session key
+// itself: an on-path router can read neither and forge neither.
+func (k *EnclaveKey) UnwrapSessionKeyExtra(wrapped []byte, counter *cycles.Counter) (*Session, []byte, error) {
+	plain, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, k.priv, wrapped, []byte("engarde-session"))
 	if err != nil {
-		return nil, fmt.Errorf("secchan: unwrapping session key: %w", err)
+		return nil, nil, fmt.Errorf("secchan: unwrapping session key: %w", err)
+	}
+	if len(plain) < AESKeySize {
+		return nil, nil, fmt.Errorf("secchan: wrapped payload is %d bytes, want at least %d", len(plain), AESKeySize)
 	}
 	if counter != nil {
 		counter.Charge(cycles.PhaseProvision, cycles.UnitRSAOp, 1)
 	}
-	return newSession(key, counter)
+	key, extra := plain[:AESKeySize], plain[AESKeySize:]
+	sess, err := newSession(key, counter)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(extra) == 0 {
+		extra = nil
+	}
+	return sess, extra, nil
 }
 
 // WrapSessionKey is the client side: generate a fresh 256-bit AES key and
 // encrypt it under the enclave's public key.
 func WrapSessionKey(enclavePubDER []byte, counter *cycles.Counter) (*Session, []byte, error) {
+	return WrapSessionKeyExtra(enclavePubDER, counter, nil)
+}
+
+// WrapSessionKeyExtra is WrapSessionKey with an opaque session-open field
+// (at most MaxSessionExtra bytes) appended to the OAEP plaintext after the
+// AES key — the authenticated carriage for the client's trace context.
+func WrapSessionKeyExtra(enclavePubDER []byte, counter *cycles.Counter, extra []byte) (*Session, []byte, error) {
+	if len(extra) > MaxSessionExtra {
+		return nil, nil, fmt.Errorf("secchan: session extra is %d bytes, max %d", len(extra), MaxSessionExtra)
+	}
 	pubAny, err := x509.ParsePKIXPublicKey(enclavePubDER)
 	if err != nil {
 		return nil, nil, fmt.Errorf("secchan: parsing enclave public key: %w", err)
@@ -95,11 +133,12 @@ func WrapSessionKey(enclavePubDER []byte, counter *cycles.Counter) (*Session, []
 	if !ok {
 		return nil, nil, errors.New("secchan: enclave key is not RSA")
 	}
-	key := make([]byte, AESKeySize)
+	key := make([]byte, AESKeySize, AESKeySize+len(extra))
 	if _, err := rand.Read(key); err != nil {
 		return nil, nil, fmt.Errorf("secchan: generating AES key: %w", err)
 	}
-	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, pub, key, []byte("engarde-session"))
+	plain := append(key, extra...)
+	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, pub, plain, []byte("engarde-session"))
 	if err != nil {
 		return nil, nil, fmt.Errorf("secchan: wrapping session key: %w", err)
 	}

@@ -56,6 +56,24 @@ type RouteHello struct {
 	// 0 means no deadline. Routers shed sessions whose deadline cannot
 	// cover a saturated backend's Retry-After hint.
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+	// TraceID/ParentSpan/Sampled are the client's cross-process trace
+	// context (obs.TraceContext): a random 128-bit trace ID as 32 hex
+	// chars, the originating 64-bit span as 16 hex chars, and the sampling
+	// decision. Like the digest, they are advisory plaintext — the router
+	// adopts the ID onto its splice spans so one trace shows the whole
+	// session, but the authoritative copy rides encrypted inside the
+	// wrapped session key, where the router cannot alter it. IDs are drawn
+	// from crypto/rand, never derived from image bytes, so announcing one
+	// discloses nothing about the content.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
+	Sampled    bool   `json:"sampled,omitempty"`
+}
+
+// TraceContext assembles the preamble's trace fields into an
+// obs.TraceContext (validate with Valid before adopting).
+func (rh RouteHello) TraceContext() obs.TraceContext {
+	return obs.TraceContext{TraceID: rh.TraceID, ParentSpan: rh.ParentSpan, Sampled: rh.Sampled}
 }
 
 // MaxRouteHelloBytes bounds a preamble frame; anything larger is session
@@ -366,6 +384,14 @@ func (e *Enclave) serveHandshake(tr *obs.Trace, conn io.ReadWriter) error {
 		// An unreadable key is a protocol failure; tell the peer.
 		return failNotify(conn, CodeSessionKey, "session key rejected", err)
 	}
+	// Adopt the client's trace ID from the authenticated session-open
+	// field, joining this session's spans (admission, pipeline phases,
+	// verdict) to the client's cross-process trace. The session trace was
+	// created at admission, before any client byte arrived, so adoption
+	// happens here — the first moment the authenticated context exists.
+	if tc, ok := e.SessionTraceContext(); ok && tc.Sampled {
+		tr.AdoptID(tc.TraceID)
+	}
 	return nil
 }
 
@@ -447,12 +473,17 @@ type Client struct {
 // sendRoutePreamble announces the session's routing metadata. Digest
 // auto-fill keeps callers honest-by-default: announcing a different image
 // than the one streamed only degrades the caller's own cache affinity.
-func (c *Client) sendRoutePreamble(conn io.Writer, image []byte) error {
+// A valid trace context is copied into the preamble's plaintext trace
+// fields so the router can tag its spans with the session's ID.
+func (c *Client) sendRoutePreamble(conn io.Writer, image []byte, tc obs.TraceContext) error {
 	rh := *c.Route
 	rh.Proto = RouteProto
 	if rh.ImageDigest == "" {
 		sum := sha256.Sum256(image)
 		rh.ImageDigest = hex.EncodeToString(sum[:])
+	}
+	if tc.Valid() {
+		rh.TraceID, rh.ParentSpan, rh.Sampled = tc.TraceID, tc.ParentSpan, tc.Sampled
 	}
 	return sendJSON(conn, rh)
 }
@@ -482,15 +513,33 @@ func (c *Client) verifyAny(q Quote, publicKeyDER []byte) error {
 // Provision runs the client side over conn: verify the quote, wrap a
 // session key, stream the executable, and return the verdict.
 func (c *Client) Provision(conn io.ReadWriter, image []byte) (Verdict, error) {
+	return c.provision(conn, image, obs.TraceContext{}, nil)
+}
+
+// ProvisionTraced is Provision under a client-side trace: tr's 128-bit ID
+// (upgraded in place on first use) is propagated in the routing preamble
+// and inside the wrapped session key, and the client's own protocol steps
+// — hello wait, attestation, key exchange, content send, verdict wait —
+// are recorded as spans on tr. Every hop that adopts the context exports
+// spans under the same trace ID, so one Chrome trace shows the session
+// end to end. A nil tr degrades to Provision.
+func (c *Client) ProvisionTraced(conn io.ReadWriter, image []byte, tr *obs.Trace) (Verdict, error) {
+	return c.provision(conn, image, tr.Context(), tr)
+}
+
+func (c *Client) provision(conn io.ReadWriter, image []byte, tc obs.TraceContext, tr *obs.Trace) (Verdict, error) {
 	if c.Route != nil {
-		if err := c.sendRoutePreamble(conn, image); err != nil {
+		if err := c.sendRoutePreamble(conn, image, tc); err != nil {
 			return Verdict{}, fmt.Errorf("engarde: sending route preamble: %w", err)
 		}
 	}
+	sp := tr.StartSpan("hello-wait")
 	var h hello
 	if err := recvJSON(conn, &h); err != nil {
+		sp.End()
 		return Verdict{}, fmt.Errorf("engarde: receiving hello: %w", err)
 	}
+	sp.End()
 	if h.Busy != nil {
 		// Shed at admission: the verdict is the whole outcome. Not an error —
 		// the protocol worked; the service just has no room right now.
@@ -502,27 +551,47 @@ func (c *Client) Provision(conn io.ReadWriter, image []byte) (Verdict, error) {
 	}
 	// Attestation: genuine EnGarde, on a genuine platform, with this exact
 	// public key bound into the quote (§2, §3).
-	if err := c.verifyAny(q, h.PublicKey); err != nil {
+	sp = tr.StartSpan("attest-verify")
+	err = c.verifyAny(q, h.PublicKey)
+	sp.End()
+	if err != nil {
 		return Verdict{}, fmt.Errorf("%w: %w", ErrAttestation, err)
 	}
 
-	sess, wrapped, err := secchan.WrapSessionKey(h.PublicKey, nil)
+	// The trace context rides inside the OAEP plaintext next to the AES
+	// key: authenticated end-to-end, invisible and unforgeable to the
+	// router that saw only the plaintext preamble copy.
+	sp = tr.StartSpan("key-exchange")
+	var extra []byte
+	if tc.Valid() {
+		extra = tc.Marshal()
+	}
+	sess, wrapped, err := secchan.WrapSessionKeyExtra(h.PublicKey, nil, extra)
 	if err != nil {
+		sp.End()
 		return Verdict{}, err
 	}
 	if err := secchan.WriteBlock(conn, wrapped); err != nil {
+		sp.End()
 		return Verdict{}, fmt.Errorf("engarde: sending session key: %w", err)
 	}
+	sp.End()
 	blockSize := c.BlockSize
 	if blockSize <= 0 {
 		blockSize = 64 * 1024
 	}
-	if err := sess.SendStream(conn, image, blockSize); err != nil {
+	sp = tr.StartSpan("send-content")
+	err = sess.SendStream(conn, image, blockSize)
+	sp.End()
+	if err != nil {
 		return Verdict{}, fmt.Errorf("engarde: sending content: %w", err)
 	}
 
+	sp = tr.StartSpan("verdict-wait")
 	var v Verdict
-	if err := recvJSON(conn, &v); err != nil {
+	err = recvJSON(conn, &v)
+	sp.End()
+	if err != nil {
 		return Verdict{}, fmt.Errorf("engarde: receiving verdict: %w", err)
 	}
 	return v, nil

@@ -19,8 +19,11 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strconv"
 	"syscall"
 	"time"
+
+	"engarde/internal/obs"
 )
 
 // ErrAttestation marks a failed quote verification. It is permanent: the
@@ -126,6 +129,45 @@ type RetryPolicy struct {
 	// index being abandoned, the one about to be tried, and the session
 	// loss that caused the move.
 	OnFailover func(from, to int, cause error)
+	// Trace, when set, is the session's client-side trace: every attempt
+	// records an "attempt" span on it (tagged attempt/endpoint/outcome),
+	// and its 128-bit ID is propagated to the router and gateway — so a
+	// failed-over session is ONE trace whose attempt-1 and attempt-2 spans
+	// share an ID across the kill/replay seam, not two unrelated ones.
+	Trace *obs.Trace
+	// Metrics, when set, counts failover moves by FailureClass
+	// (engarde_client_failovers_total).
+	Metrics *ClientMetrics
+}
+
+// ClientMetrics is the client-side failover counter family, registered on
+// an obs.Registry so client processes (cmd/engarde-client, benches) expose
+// the same Prometheus text format as the daemons.
+type ClientMetrics struct {
+	failovers [3]*obs.Counter // indexed by FailureClass
+}
+
+// NewClientMetrics registers engarde_client_failovers_total on reg, one
+// series per FailureClass.
+func NewClientMetrics(reg *obs.Registry) *ClientMetrics {
+	m := &ClientMetrics{}
+	help := "Endpoint switches made by ProvisionFailover, by failure class."
+	for fc := FailTransient; fc <= FailPermanent; fc++ {
+		m.failovers[fc] = reg.Counter("engarde_client_failovers_total", help,
+			obs.Label{Key: "class", Value: fc.String()})
+		help = ""
+	}
+	return m
+}
+
+// RecordFailover counts one endpoint switch caused by err.
+func (m *ClientMetrics) RecordFailover(cause error) {
+	if m == nil {
+		return
+	}
+	if fc := ClassifyFailure(cause); fc >= FailTransient && fc <= FailPermanent {
+		m.failovers[fc].Inc()
+	}
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -176,10 +218,19 @@ func (c *Client) ProvisionFailover(dials []func() (net.Conn, error), image []byt
 	p = p.withDefaults()
 	rng := rand.New(rand.NewSource(p.Seed))
 
+	// One trace context for the whole failover loop: every attempt — and
+	// every hop each attempt touches — shares the same 128-bit trace ID,
+	// distinguished by the attempt spans' tags. tc is invalid (and nothing
+	// propagates) when the caller set no Trace.
+	tc := p.Trace.Context()
+
 	advance := func(cur int, cause error) int {
 		next := (cur + 1) % len(dials)
-		if next != cur && p.OnFailover != nil {
-			p.OnFailover(cur, next, cause)
+		if next != cur {
+			if p.OnFailover != nil {
+				p.OnFailover(cur, next, cause)
+			}
+			p.Metrics.RecordFailover(cause)
 		}
 		return next
 	}
@@ -202,33 +253,48 @@ func (c *Client) ProvisionFailover(dials []func() (net.Conn, error), image []byt
 			}
 			p.Sleep(delay)
 		}
+		asp := p.Trace.StartSpanArgs("attempt", map[string]string{
+			"attempt":  strconv.Itoa(attempt + 1),
+			"endpoint": strconv.Itoa(endpoint),
+		})
 		conn, err := dials[endpoint]()
 		if err != nil {
+			asp.SetArg("outcome", "dial-error")
+			asp.End()
 			last = err
 			endpoint = advance(endpoint, err)
 			continue
 		}
-		v, err := c.Provision(conn, image)
+		v, err := c.provision(conn, image, tc, p.Trace)
 		conn.Close()
 		if err != nil {
 			switch ClassifyFailure(err) {
 			case FailPermanent:
+				asp.SetArg("outcome", "permanent")
+				asp.End()
 				return Verdict{}, err
 			case FailSessionLost:
+				asp.SetArg("outcome", "session-lost")
 				last = fmt.Errorf("%w: %w", ErrSessionLost, err)
 				endpoint = advance(endpoint, last)
 			default:
+				asp.SetArg("outcome", "transient")
 				last = err
 			}
+			asp.End()
 			continue
 		}
 		switch v.Code {
 		case CodeBusy:
+			asp.SetArg("outcome", "busy")
+			asp.End()
 			hint = time.Duration(v.RetryAfterMillis) * time.Millisecond
 			last = fmt.Errorf("%w: %s", ErrBusy, v.Reason)
 			endpoint = advance(endpoint, last)
 			continue
 		case CodeBackendLost:
+			asp.SetArg("outcome", "backend-lost")
+			asp.End()
 			if d := time.Duration(v.RetryAfterMillis) * time.Millisecond; d > hint {
 				hint = d
 			}
@@ -236,6 +302,8 @@ func (c *Client) ProvisionFailover(dials []func() (net.Conn, error), image []byt
 			endpoint = advance(endpoint, last)
 			continue
 		}
+		asp.SetArg("outcome", "verdict")
+		asp.End()
 		return v, nil
 	}
 	return Verdict{}, fmt.Errorf("engarde: provisioning failed after %d attempts: %w", p.Attempts, last)
